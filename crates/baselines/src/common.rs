@@ -1,0 +1,279 @@
+//! Shared baseline resources and trace statistics.
+
+use se_hw::{HwError, Result};
+use se_ir::{LayerKind, LayerTrace, QuantTensor, WeightData};
+
+/// Equalised baseline resources (Table V): the same total on-chip SRAM as
+/// the SmartExchange accelerator and 1 K 8-bit multipliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineConfig {
+    /// 8-bit multipliers (1024 for all non-bit-serial baselines).
+    pub multipliers: usize,
+    /// Total on-chip SRAM in bytes (772 KB, matching the SE configuration).
+    pub sram_bytes: f64,
+    /// Fraction of SRAM dedicated to input activations (drives refetch).
+    pub input_share: f64,
+    /// DRAM bandwidth in bytes per cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Clock frequency in Hz.
+    pub frequency_hz: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            multipliers: 1024,
+            sram_bytes: 772.0 * 1024.0,
+            input_share: 0.5,
+            dram_bytes_per_cycle: 64.0,
+            frequency_hz: 1e9,
+        }
+    }
+}
+
+impl BaselineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for non-positive resources.
+    pub fn validate(&self) -> Result<()> {
+        if self.multipliers == 0
+            || self.sram_bytes <= 0.0
+            || !(0.0..=1.0).contains(&self.input_share)
+            || self.dram_bytes_per_cycle <= 0.0
+            || self.frequency_hz <= 0.0
+        {
+            return Err(HwError::InvalidConfig {
+                reason: "baseline resources must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// DRAM input traffic with the shared refetch rule: one pass when the
+    /// input fits its SRAM share, one pass per output tile otherwise.
+    pub fn input_dram_bytes(&self, input_bytes: u64, output_tiles: u64) -> u64 {
+        if (input_bytes as f64) <= self.sram_bytes * self.input_share {
+            input_bytes
+        } else {
+            input_bytes * output_tiles.max(1)
+        }
+    }
+}
+
+/// Dense layer statistics every baseline consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayerStats {
+    /// Output channels / neurons (`M`).
+    pub m: usize,
+    /// Input channels / features (`C`).
+    pub c: usize,
+    /// Kernel side (1 for FC).
+    pub kernel: usize,
+    /// Output spatial positions (`E × F`; 1 for FC).
+    pub spatial_out: usize,
+    /// Total MACs of the dense layer.
+    pub macs: u64,
+    /// Total weights.
+    pub weights: u64,
+    /// Non-zero weights.
+    pub weight_nnz: u64,
+    /// Non-zero weights per output filter.
+    pub filter_nnz: Vec<u64>,
+    /// Non-zero weights per input channel.
+    pub channel_w_nnz: Vec<u64>,
+    /// Non-zero activations per input channel.
+    pub channel_a_nnz: Vec<u64>,
+    /// Total input elements.
+    pub inputs: u64,
+    /// Total non-zero input elements.
+    pub input_nnz: u64,
+    /// Total output elements.
+    pub outputs: u64,
+}
+
+/// Extracts dense statistics from a trace (baselines require
+/// [`WeightData::Dense`]).
+///
+/// # Errors
+///
+/// Returns [`HwError::UnsupportedTrace`] for SE-form weights or
+/// squeeze-excite layers presented to designs that cannot run them.
+pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
+    let WeightData::Dense(qw) = trace.weights() else {
+        return Err(HwError::UnsupportedTrace {
+            reason: format!(
+                "baseline accelerators process dense weights; layer {} is SE-compressed",
+                trace.desc().name()
+            ),
+        });
+    };
+    let desc = trace.desc();
+    let (m, c, kernel) = match *desc.kind() {
+        LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+            (out_channels, in_channels, kernel)
+        }
+        LayerKind::DepthwiseConv2d { channels, kernel, .. } => (channels, 1, kernel),
+        LayerKind::Linear { in_features, out_features } => (out_features, in_features, 1),
+        LayerKind::SqueezeExcite { channels, reduced } => (2 * reduced, channels, 1),
+    };
+    let (e, f) = desc.output_hw()?;
+    let spatial_out = match desc.kind() {
+        LayerKind::Linear { .. } => 1,
+        _ => e * f,
+    };
+    let per_filter = qw.len() / m.max(1);
+    let mut filter_nnz = Vec::with_capacity(m);
+    for fi in 0..m {
+        let nz = qw.data()[fi * per_filter..(fi + 1) * per_filter]
+            .iter()
+            .filter(|&&x| x != 0)
+            .count() as u64;
+        filter_nnz.push(nz);
+    }
+    let weight_nnz = filter_nnz.iter().sum();
+
+    // Per-input-channel weight non-zeros (conv layout (M, C, R, S)).
+    let mut channel_w_nnz = vec![0u64; c];
+    match desc.kind() {
+        LayerKind::Conv2d { .. } => {
+            let per_chan = kernel * kernel;
+            for fi in 0..m {
+                for ci in 0..c {
+                    let base = fi * per_filter + ci * per_chan;
+                    channel_w_nnz[ci] += qw.data()[base..base + per_chan]
+                        .iter()
+                        .filter(|&&x| x != 0)
+                        .count() as u64;
+                }
+            }
+        }
+        _ => {
+            // FC-style: column ci of the (M, C) matrix.
+            for (i, &x) in qw.data().iter().enumerate() {
+                if x != 0 {
+                    let ci = i % per_filter.max(1);
+                    if ci < c {
+                        channel_w_nnz[ci] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let channel_a_nnz = channel_activation_nnz(trace.input(), c);
+    let input_nnz = channel_a_nnz.iter().sum();
+
+    Ok(DenseLayerStats {
+        m,
+        c,
+        kernel,
+        spatial_out,
+        macs: desc.macs()?,
+        weights: qw.len() as u64,
+        weight_nnz,
+        filter_nnz,
+        channel_w_nnz,
+        channel_a_nnz,
+        inputs: trace.input().len() as u64,
+        input_nnz,
+        outputs: desc.output_elems()?,
+    })
+}
+
+fn channel_activation_nnz(q: &QuantTensor, channels: usize) -> Vec<u64> {
+    let per = q.len() / channels.max(1);
+    (0..channels)
+        .map(|ci| {
+            let lo = ci * per;
+            let hi = ((ci + 1) * per).min(q.len());
+            q.data()[lo..hi].iter().filter(|&&x| x != 0).count() as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_ir::LayerDesc;
+    use se_tensor::Tensor;
+
+    fn trace() -> LayerTrace {
+        let desc = LayerDesc::new(
+            "c",
+            LayerKind::Conv2d { in_channels: 2, out_channels: 2, kernel: 3, stride: 1, padding: 1 },
+            (4, 4),
+        );
+        let mut w = Tensor::zeros(&[2, 2, 3, 3]);
+        // Filter 0: 3 non-zeros in channel 0; filter 1: 1 non-zero in channel 1.
+        w.set(&[0, 0, 0, 0], 1.0);
+        w.set(&[0, 0, 1, 1], -0.5);
+        w.set(&[0, 0, 2, 2], 0.25);
+        w.set(&[1, 1, 1, 1], 0.125);
+        let qw = QuantTensor::quantize(&w, 8).unwrap();
+        let mut a = Tensor::zeros(&[2, 4, 4]);
+        a.set(&[0, 0, 0], 1.0);
+        a.set(&[1, 2, 2], 1.0);
+        a.set(&[1, 3, 3], 0.5);
+        let qa = QuantTensor::quantize(&a, 8).unwrap();
+        LayerTrace::new(desc, WeightData::Dense(qw), qa).unwrap()
+    }
+
+    #[test]
+    fn stats_count_nonzeros() {
+        let s = dense_stats(&trace()).unwrap();
+        assert_eq!(s.weight_nnz, 4);
+        assert_eq!(s.filter_nnz, vec![3, 1]);
+        assert_eq!(s.channel_w_nnz, vec![3, 1]);
+        assert_eq!(s.channel_a_nnz, vec![1, 2]);
+        assert_eq!(s.macs, 2 * 16 * 2 * 9);
+        assert_eq!(s.spatial_out, 16);
+    }
+
+    #[test]
+    fn refetch_rule() {
+        let cfg = BaselineConfig::default();
+        assert_eq!(cfg.input_dram_bytes(1000, 4), 1000);
+        let big = (cfg.sram_bytes * cfg.input_share) as u64 + 1;
+        assert_eq!(cfg.input_dram_bytes(big, 4), big * 4);
+    }
+
+    #[test]
+    fn validation() {
+        BaselineConfig::default().validate().unwrap();
+        let mut c = BaselineConfig::default();
+        c.multipliers = 0;
+        assert!(c.validate().is_err());
+        let mut c = BaselineConfig::default();
+        c.input_share = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_se_traces() {
+        use se_ir::{Po2Set, SeLayer, SeLayout, SeSlice};
+        use se_tensor::Mat;
+        let desc = LayerDesc::new(
+            "c",
+            LayerKind::Conv2d { in_channels: 1, out_channels: 1, kernel: 3, stride: 1, padding: 1 },
+            (4, 4),
+        );
+        let po2 = Po2Set::default();
+        let sl = SeSlice::new(Mat::zeros(3, 3), Mat::identity(3), &po2).unwrap();
+        let layer = SeLayer::new(
+            SeLayout::ConvPerFilter {
+                out_channels: 1,
+                in_channels: 1,
+                kernel: 3,
+                slices_per_filter: 1,
+            },
+            po2,
+            vec![sl],
+        )
+        .unwrap();
+        let qa = QuantTensor::quantize(&Tensor::zeros(&[1, 4, 4]), 8).unwrap();
+        let t = LayerTrace::new(desc, WeightData::Se(vec![layer]), qa).unwrap();
+        assert!(dense_stats(&t).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Baseline DNN accelerator models: DianNao, SCNN, Cambricon-X, and
+//! Bit-pragmatic, on the shared SmartExchange substrate.
+//!
+//! The paper benchmarks its accelerator against these four designs
+//! (Table IV), re-implemented as in-house simulators with **equalised
+//! resources** (Table V): the same total on-chip SRAM and the same compute
+//! budget (1 K 8-bit multipliers, or the equivalent 8 K bit-serial lanes).
+//! This crate mirrors that methodology:
+//!
+//! | design | exploits | model |
+//! |---|---|---|
+//! | [`DianNao`] | nothing (dense) | MAC-throughput-bound NFU |
+//! | [`CambriconX`] | unstructured weight sparsity | per-PE non-zero-weight scheduling with lockstep imbalance |
+//! | [`Scnn`] | unstructured weight + activation sparsity | per-channel non-zero cartesian products with crossbar contention |
+//! | [`BitPragmatic`] | bit-level activation sparsity | the shared bit-serial lane engine with plain essential bits |
+//!
+//! All four consume the *dense-weight* traces (`WeightData::Dense`) built
+//! from exactly the same tensors as the SmartExchange traces, and produce
+//! the same [`se_hw::LayerResult`] currency, so energy/latency comparisons
+//! are apples-to-apples.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cambricon;
+mod common;
+mod diannao;
+mod pragmatic;
+mod scnn;
+
+pub use cambricon::CambriconX;
+pub use common::BaselineConfig;
+pub use diannao::DianNao;
+pub use pragmatic::BitPragmatic;
+pub use scnn::Scnn;
+
+/// Result alias re-used from the hardware crate.
+pub type Result<T> = se_hw::Result<T>;

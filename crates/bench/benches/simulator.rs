@@ -1,0 +1,76 @@
+//! Criterion benches for the accelerator simulators: per-layer simulation
+//! throughput for the SmartExchange engine and the four baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
+use se_hw::sim::SeAccelerator;
+use se_hw::{Accelerator, SeAcceleratorConfig};
+use se_ir::{Dataset, LayerDesc, LayerKind, NetworkDesc};
+use se_models::traces::{self, TraceOptions};
+use std::hint::black_box;
+
+fn test_net() -> NetworkDesc {
+    NetworkDesc::new(
+        "bench",
+        Dataset::Cifar10,
+        vec![LayerDesc::new(
+            "c1",
+            LayerKind::Conv2d {
+                in_channels: 64,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            (16, 16),
+        )],
+    )
+    .unwrap()
+}
+
+fn bench_simulators(c: &mut Criterion) {
+    let net = test_net();
+    let opts = TraceOptions::fast();
+    let dense = traces::dense_trace(&net, 0, 0).unwrap();
+    let se = traces::se_trace(&net, 0, 0, &opts.se_config).unwrap();
+
+    let mut group = c.benchmark_group("simulate_conv_64x64x3x3_16x16");
+    group.sample_size(20);
+
+    let accel = SeAccelerator::new(SeAcceleratorConfig::default()).unwrap();
+    group.bench_function("smartexchange", |b| {
+        b.iter(|| black_box(accel.process_layer(black_box(&se)).unwrap()))
+    });
+
+    let mut sampled_cfg = SeAcceleratorConfig::default();
+    sampled_cfg.row_sample = 4;
+    let sampled = SeAccelerator::new(sampled_cfg).unwrap();
+    group.bench_function("smartexchange_row_sample_4", |b| {
+        b.iter(|| black_box(sampled.process_layer(black_box(&se)).unwrap()))
+    });
+
+    let diannao = DianNao::new(BaselineConfig::default()).unwrap();
+    group.bench_function("diannao", |b| {
+        b.iter(|| black_box(diannao.process_layer(black_box(&dense)).unwrap()))
+    });
+
+    let scnn = Scnn::new(BaselineConfig::default()).unwrap();
+    group.bench_function("scnn", |b| {
+        b.iter(|| black_box(scnn.process_layer(black_box(&dense)).unwrap()))
+    });
+
+    let cx = CambriconX::new(BaselineConfig::default()).unwrap();
+    group.bench_function("cambricon_x", |b| {
+        b.iter(|| black_box(cx.process_layer(black_box(&dense)).unwrap()))
+    });
+
+    let prag = BitPragmatic::default();
+    group.bench_function("bit_pragmatic", |b| {
+        b.iter(|| black_box(prag.process_layer(black_box(&dense)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Minimal CLI-flag reading for the experiment binaries.
+
+/// Parsed common flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flags {
+    /// `--fast`: sample output rows and cut decomposition iterations so the
+    /// ImageNet-scale sweeps finish quickly (shapes are preserved; absolute
+    /// numbers move by a few percent).
+    pub fast: bool,
+    /// `--seed N`: base seed for synthetic weights/activations.
+    pub seed: u64,
+    /// `--models a,b,c`: restrict to a subset of model names.
+    pub models: Option<Vec<String>>,
+}
+
+impl Default for Flags {
+    fn default() -> Self {
+        Flags { fast: false, seed: 0, models: None }
+    }
+}
+
+impl Flags {
+    /// Parses flags from `std::env::args`, ignoring unknown arguments.
+    pub fn parse() -> Flags {
+        let mut flags = Flags::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--fast" => flags.fast = true,
+                "--seed" if i + 1 < args.len() => {
+                    flags.seed = args[i + 1].parse().unwrap_or(0);
+                    i += 1;
+                }
+                "--models" if i + 1 < args.len() => {
+                    flags.models = Some(
+                        args[i + 1].split(',').map(|s| s.trim().to_string()).collect(),
+                    );
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        flags
+    }
+
+    /// Whether `name` is selected by `--models` (everything is when the
+    /// flag is absent).
+    pub fn selects(&self, name: &str) -> bool {
+        match &self.models {
+            None => true,
+            Some(list) => list.iter().any(|m| m.eq_ignore_ascii_case(name)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_selects_everything() {
+        let f = Flags::default();
+        assert!(f.selects("VGG11"));
+        assert!(!f.fast);
+    }
+
+    #[test]
+    fn model_filter_is_case_insensitive() {
+        let f = Flags { models: Some(vec!["vgg11".into()]), ..Flags::default() };
+        assert!(f.selects("VGG11"));
+        assert!(!f.selects("ResNet50"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment harness shared by the per-table / per-figure binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index); this library holds the pieces
+//! they share: the five-accelerator comparison runner, text-table
+//! formatting, and a tiny CLI-flag reader.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod runner;
+pub mod table;
+
+/// Convenience alias for harness errors (boxed: binaries only print them).
+pub type BoxError = Box<dyn std::error::Error>;
+
+/// Harness result alias.
+pub type Result<T> = std::result::Result<T, BoxError>;

@@ -1,0 +1,204 @@
+//! The five-accelerator comparison runner behind Figs. 10–13.
+//!
+//! For every model, traces are generated layer by layer (one set of
+//! synthetic weights and activations); the four baselines consume the dense
+//! form and the SmartExchange accelerator the compressed form, exactly the
+//! paper's equal-footing protocol. FC layers are excluded (Figs. 10–12
+//! exclude them for fairness to SCNN) unless requested; SCNN skips models
+//! containing squeeze-excite layers (EfficientNet-B0), as in the paper.
+
+use crate::Result;
+use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
+use se_hw::sim::SeAccelerator;
+use se_hw::{Accelerator, EnergyModel, HwError, RunResult, SeAcceleratorConfig};
+use se_ir::NetworkDesc;
+use se_models::traces::{TraceOptions, TraceStream};
+
+/// Names of the five accelerators in presentation order.
+pub const ACCEL_NAMES: [&str; 5] =
+    ["DianNao", "SCNN", "Cambricon-X", "Bit-pragmatic", "SmartExchange"];
+
+/// One model's results across the five accelerators (`None` where the
+/// design cannot run the model, e.g. SCNN on EfficientNet-B0).
+#[derive(Debug, Clone)]
+pub struct ModelComparison {
+    /// Model name.
+    pub model: String,
+    /// Results indexed like [`ACCEL_NAMES`].
+    pub runs: [Option<RunResult>; 5],
+}
+
+impl ModelComparison {
+    /// Total energy in mJ per accelerator (None where unsupported).
+    pub fn energies_mj(&self, em: &EnergyModel, cfg: &SeAcceleratorConfig) -> [Option<f64>; 5] {
+        let mut out = [None; 5];
+        for (i, run) in self.runs.iter().enumerate() {
+            out[i] = run.as_ref().map(|r| r.energy_mj(em, cfg));
+        }
+        out
+    }
+
+    /// Total latency in cycles per accelerator.
+    pub fn cycles(&self) -> [Option<u64>; 5] {
+        let mut out = [None; 5];
+        for (i, run) in self.runs.iter().enumerate() {
+            out[i] = run.as_ref().map(RunResult::total_cycles);
+        }
+        out
+    }
+
+    /// Total DRAM bytes per accelerator.
+    pub fn dram_bytes(&self) -> [Option<u64>; 5] {
+        let mut out = [None; 5];
+        for (i, run) in self.runs.iter().enumerate() {
+            out[i] = run.as_ref().map(|r| r.mem_totals().dram_total_bytes());
+        }
+        out
+    }
+}
+
+/// Options for a comparison sweep.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Trace generation options (seed, SE config, FC inclusion).
+    pub traces: TraceOptions,
+    /// SmartExchange accelerator configuration.
+    pub se_cfg: SeAcceleratorConfig,
+    /// Baseline resources.
+    pub baseline_cfg: BaselineConfig,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            traces: TraceOptions::fast(),
+            se_cfg: SeAcceleratorConfig::default(),
+            baseline_cfg: BaselineConfig::default(),
+        }
+    }
+}
+
+impl RunnerOptions {
+    /// The `--fast` profile: sampled output rows and fewer decomposition
+    /// iterations.
+    pub fn fast() -> Self {
+        let mut o = RunnerOptions::default();
+        o.se_cfg.row_sample = 4;
+        o
+    }
+}
+
+/// Runs one model through all five accelerators.
+///
+/// # Errors
+///
+/// Propagates trace-generation failures and unexpected simulator errors
+/// (`UnsupportedTrace` is converted into a `None` run instead).
+pub fn compare_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<ModelComparison> {
+    let diannao = DianNao::new(opts.baseline_cfg.clone())?;
+    let scnn = Scnn::new(opts.baseline_cfg.clone())?;
+    let cambricon = CambriconX::new(opts.baseline_cfg.clone())?;
+    let pragmatic = BitPragmatic::new(opts.se_cfg.clone())?;
+    let se = SeAccelerator::new(opts.se_cfg.clone())?;
+
+    let mut runs: [Option<RunResult>; 5] = [
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+    ];
+    for pair in TraceStream::new(net, opts.traces.clone()) {
+        let pair = pair?;
+        let dense_targets: [(usize, &dyn Accelerator); 4] = [
+            (0, &diannao),
+            (1, &scnn),
+            (2, &cambricon),
+            (3, &pragmatic),
+        ];
+        for (idx, accel) in dense_targets {
+            if runs[idx].is_none() {
+                continue;
+            }
+            match accel.process_layer(&pair.dense) {
+                Ok(layer) => {
+                    runs[idx].as_mut().expect("checked above").layers.push(layer);
+                }
+                Err(HwError::UnsupportedTrace { .. }) => runs[idx] = None,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let layer = se.process_layer(&pair.se)?;
+        runs[4].as_mut().expect("SE always supported").layers.push(layer);
+    }
+    Ok(ModelComparison { model: net.name().to_string(), runs })
+}
+
+/// Runs a set of models through all five accelerators.
+///
+/// # Errors
+///
+/// Propagates the first model failure.
+pub fn compare_models(
+    models: &[NetworkDesc],
+    opts: &RunnerOptions,
+) -> Result<Vec<ModelComparison>> {
+    models.iter().map(|m| compare_model(m, opts)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_ir::{Dataset, LayerDesc, LayerKind};
+
+    fn tiny() -> NetworkDesc {
+        NetworkDesc::new(
+            "tiny",
+            Dataset::Cifar10,
+            vec![
+                LayerDesc::new(
+                    "c1",
+                    LayerKind::Conv2d {
+                        in_channels: 3,
+                        out_channels: 8,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
+                    (8, 8),
+                ),
+                LayerDesc::new(
+                    "se1",
+                    LayerKind::SqueezeExcite { channels: 8, reduced: 2 },
+                    (8, 8),
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scnn_drops_squeeze_excite_models() {
+        let cmp = compare_model(&tiny(), &RunnerOptions::default()).unwrap();
+        assert!(cmp.runs[0].is_some(), "DianNao runs");
+        assert!(cmp.runs[1].is_none(), "SCNN cannot run squeeze-excite");
+        assert!(cmp.runs[4].is_some(), "SmartExchange runs");
+        let e = cmp.energies_mj(&EnergyModel::default(), &SeAcceleratorConfig::default());
+        assert!(e[0].unwrap() > 0.0);
+        assert!(e[1].is_none());
+    }
+
+    #[test]
+    fn se_beats_diannao_on_energy() {
+        let cmp = compare_model(&tiny(), &RunnerOptions::default()).unwrap();
+        let em = EnergyModel::default();
+        let cfg = SeAcceleratorConfig::default();
+        let e = cmp.energies_mj(&em, &cfg);
+        assert!(
+            e[4].unwrap() < e[0].unwrap(),
+            "SE {} !< DianNao {}",
+            e[4].unwrap(),
+            e[0].unwrap()
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Compression baselines the paper benchmarks SmartExchange against in
+//! Fig. 8 and Section V-A:
+//!
+//! * element-wise **magnitude pruning** (Han et al.-style);
+//! * structured **channel pruning** (Network-Slimming / ThiNet-style);
+//! * **uniform fixed-point quantization** (DoReFa / S8 / FP8 / WAGEUBN
+//!   stand-ins at the matching bit widths);
+//! * **power-of-2 quantization alone** (the \[40\] comparison);
+//! * **low-rank decomposition alone** (truncated SVD).
+//!
+//! Each baseline returns the dense weights to substitute back into a model
+//! (for accuracy measurement) plus its storage cost in bits (for the model-
+//! size axis). Storage follows each family's standard accounting: pruned
+//! models store non-zeros + a 1-bit position bitmap, quantized models store
+//! every weight at the reduced width, low-rank stores both factors at FP32.
+
+use crate::{CoreError, Result};
+use se_ir::Po2Set;
+use se_tensor::{linalg, Mat, Tensor};
+
+/// A baseline compression outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineResult {
+    /// The compressed weights, densified back to the original shape.
+    pub weights: Tensor,
+    /// Total storage of the compressed representation, in bits.
+    pub storage_bits: u64,
+}
+
+impl BaselineResult {
+    /// Model-size in megabytes.
+    pub fn megabytes(&self) -> f64 {
+        self.storage_bits as f64 / 8.0 / (1024.0 * 1024.0)
+    }
+}
+
+fn check_fraction(f: f32, what: &str) -> Result<()> {
+    if !(0.0..=1.0).contains(&f) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("{what} fraction {f} must be in [0, 1]"),
+        });
+    }
+    Ok(())
+}
+
+/// Element-wise magnitude pruning: keeps the `keep_fraction` largest-|w|
+/// entries, zeroing the rest. Storage: kept weights at FP32 plus a 1-bit
+/// presence bitmap per position.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for fractions outside `[0, 1]`.
+pub fn magnitude_prune(w: &Tensor, keep_fraction: f32) -> Result<BaselineResult> {
+    check_fraction(keep_fraction, "keep")?;
+    let n = w.len();
+    let keep = ((n as f64) * f64::from(keep_fraction)).round() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        w.data()[b]
+            .abs()
+            .partial_cmp(&w.data()[a].abs())
+            .expect("finite weights")
+    });
+    let mut out = vec![0.0f32; n];
+    for &i in order.iter().take(keep) {
+        out[i] = w.data()[i];
+    }
+    let weights = Tensor::from_vec(out, w.shape())?;
+    let storage_bits = keep as u64 * 32 + n as u64;
+    Ok(BaselineResult { weights, storage_bits })
+}
+
+/// Structured channel pruning for CONV weights `(M, C, R, S)`: keeps the
+/// `keep_fraction` output channels with the largest L2 norm, zeroing the
+/// others. Storage: kept filters at FP32, no index overhead (the pruned
+/// model is simply narrower, as in ThiNet).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidWeights`] for non-4-D tensors and
+/// [`CoreError::InvalidConfig`] for bad fractions.
+pub fn channel_prune(w: &Tensor, keep_fraction: f32) -> Result<BaselineResult> {
+    check_fraction(keep_fraction, "keep")?;
+    let shape = w.shape().to_vec();
+    if shape.len() != 4 {
+        return Err(CoreError::InvalidWeights {
+            reason: format!("channel pruning expects (M,C,R,S), found {shape:?}"),
+        });
+    }
+    let m = shape[0];
+    let per = shape[1] * shape[2] * shape[3];
+    let keep = ((m as f64) * f64::from(keep_fraction)).round() as usize;
+    let mut norms: Vec<(usize, f32)> = (0..m)
+        .map(|i| {
+            let fs = &w.data()[i * per..(i + 1) * per];
+            (i, fs.iter().map(|&x| x * x).sum::<f32>())
+        })
+        .collect();
+    norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+    let kept: std::collections::HashSet<usize> =
+        norms.iter().take(keep).map(|&(i, _)| i).collect();
+    let mut out = w.data().to_vec();
+    for i in 0..m {
+        if !kept.contains(&i) {
+            out[i * per..(i + 1) * per].fill(0.0);
+        }
+    }
+    Ok(BaselineResult {
+        weights: Tensor::from_vec(out, &shape)?,
+        storage_bits: (keep * per) as u64 * 32,
+    })
+}
+
+/// Uniform symmetric fixed-point quantization at `bits` bits per weight.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for `bits` outside `2..=16`.
+pub fn uniform_quantize(w: &Tensor, bits: u32) -> Result<BaselineResult> {
+    if !(2..=16).contains(&bits) {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("uniform quantization bits {bits} must be in 2..=16"),
+        });
+    }
+    let qmax = ((1u32 << (bits - 1)) - 1) as f32;
+    let max_abs = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let scale = if max_abs > 0.0 { max_abs / qmax } else { 1.0 };
+    let weights = w.map(|x| (x / scale).round().clamp(-qmax, qmax) * scale);
+    Ok(BaselineResult { weights, storage_bits: w.len() as u64 * u64::from(bits) })
+}
+
+/// Power-of-2 quantization alone (no decomposition, no structured
+/// sparsity): every weight is scaled into the alphabet's range and rounded
+/// to the nearest `±2^p` (or zero).
+///
+/// # Errors
+///
+/// Never fails for finite inputs; propagates alphabet errors otherwise.
+pub fn po2_quantize(w: &Tensor, po2: &Po2Set) -> Result<BaselineResult> {
+    let max_abs = w.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    let top = (po2.max_exp() as f32).exp2();
+    let scale = if max_abs > 0.0 { max_abs / top } else { 1.0 };
+    let weights = w.map(|x| po2.quantize(x / scale) * scale);
+    Ok(BaselineResult {
+        weights,
+        storage_bits: w.len() as u64 * u64::from(po2.code_bits()),
+    })
+}
+
+/// Low-rank (decomposition-alone) compression: the best rank-`rank`
+/// approximation of a 2-D weight matrix via SVD, stored as the two FP32
+/// factors.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] if `rank` is zero or exceeds
+/// `min(m, n)`; propagates SVD failures.
+pub fn low_rank(w: &Mat, rank: usize) -> Result<BaselineResult> {
+    let max_rank = w.rows().min(w.cols());
+    if rank == 0 || rank > max_rank {
+        return Err(CoreError::InvalidConfig {
+            reason: format!("rank {rank} must be in 1..={max_rank}"),
+        });
+    }
+    let svd = linalg::svd(w)?;
+    let approx = svd.truncate(rank)?;
+    let storage_bits = ((w.rows() + w.cols()) * rank) as u64 * 32;
+    Ok(BaselineResult { weights: approx.into(), storage_bits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_tensor::rng;
+
+    fn tensor(n: usize, seed: u64) -> Tensor {
+        let mut r = rng::seeded(seed);
+        rng::normal_tensor(&mut r, &[n], 1.0)
+    }
+
+    #[test]
+    fn magnitude_prune_keeps_largest() {
+        let w = Tensor::from_vec(vec![0.1, -5.0, 0.2, 3.0], &[4]).unwrap();
+        let r = magnitude_prune(&w, 0.5).unwrap();
+        assert_eq!(r.weights.data(), &[0.0, -5.0, 0.0, 3.0]);
+        assert_eq!(r.storage_bits, 2 * 32 + 4);
+    }
+
+    #[test]
+    fn magnitude_prune_extremes() {
+        let w = tensor(16, 1);
+        assert_eq!(magnitude_prune(&w, 1.0).unwrap().weights, w);
+        assert_eq!(magnitude_prune(&w, 0.0).unwrap().weights.sparsity(), 1.0);
+        assert!(magnitude_prune(&w, 1.5).is_err());
+    }
+
+    #[test]
+    fn channel_prune_zeroes_weak_filters() {
+        let mut w = Tensor::zeros(&[3, 1, 2, 2]);
+        for (i, scale) in [(0usize, 1.0f32), (1, 10.0), (2, 0.1)] {
+            for j in 0..4 {
+                w.data_mut()[i * 4 + j] = scale;
+            }
+        }
+        let r = channel_prune(&w, 0.34).unwrap(); // keep 1 of 3
+        assert!(r.weights.data()[4..8].iter().all(|&x| x == 10.0));
+        assert!(r.weights.data()[0..4].iter().all(|&x| x == 0.0));
+        assert_eq!(r.storage_bits, 4 * 32);
+    }
+
+    #[test]
+    fn channel_prune_needs_4d() {
+        assert!(channel_prune(&tensor(8, 2), 0.5).is_err());
+    }
+
+    #[test]
+    fn uniform_quantize_error_scales_with_bits() {
+        let w = tensor(512, 3);
+        let e8 = uniform_quantize(&w, 8).unwrap().weights.sub(&w).unwrap().norm();
+        let e4 = uniform_quantize(&w, 4).unwrap().weights.sub(&w).unwrap().norm();
+        let e2 = uniform_quantize(&w, 2).unwrap().weights.sub(&w).unwrap().norm();
+        assert!(e8 < e4 && e4 < e2, "{e8} {e4} {e2}");
+        assert!(uniform_quantize(&w, 1).is_err());
+    }
+
+    #[test]
+    fn po2_quantize_produces_scaled_powers() {
+        let w = Tensor::from_vec(vec![1.0, 0.5, 0.26, -0.12], &[4]).unwrap();
+        let po2 = Po2Set::default();
+        let r = po2_quantize(&w, &po2).unwrap();
+        // scale = 1.0; outputs must be in the alphabet.
+        for &x in r.weights.data() {
+            assert!(po2.contains(x), "{x} not po2");
+        }
+        assert_eq!(r.storage_bits, 4 * 4);
+    }
+
+    #[test]
+    fn low_rank_reduces_error_with_rank() {
+        let mut r = rng::seeded(9);
+        let w = rng::normal_mat(&mut r, 16, 8, 1.0);
+        let full = low_rank(&w, 8).unwrap();
+        let e_full = full.weights.sub(&w.clone().into()).unwrap().norm();
+        let r2 = low_rank(&w, 2).unwrap();
+        let e2 = r2.weights.sub(&w.clone().into()).unwrap().norm();
+        assert!(e_full < 1e-2, "full-rank error {e_full}");
+        assert!(e2 > e_full);
+        assert_eq!(r2.storage_bits, (16 + 8) * 2 * 32);
+        assert!(low_rank(&w, 0).is_err());
+        assert!(low_rank(&w, 9).is_err());
+    }
+
+    #[test]
+    fn storage_ordering_matches_families() {
+        // For the same tensor: 4-bit po2 < 8-bit uniform < FP32 dense.
+        let w = tensor(1000, 5);
+        let po2 = po2_quantize(&w, &Po2Set::default()).unwrap();
+        let u8b = uniform_quantize(&w, 8).unwrap();
+        assert!(po2.storage_bits < u8b.storage_bits);
+        assert!(u8b.storage_bits < 1000 * 32);
+        assert!(po2.megabytes() < u8b.megabytes());
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by the SmartExchange algorithm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was out of its valid range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// The input weights were unusable (wrong rank, empty, non-finite).
+    InvalidWeights {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying tensor/linear-algebra operation failed.
+    Tensor(se_tensor::TensorError),
+    /// An interchange-format operation failed.
+    Ir(se_ir::IrError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CoreError::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Ir(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Ir(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<se_tensor::TensorError> for CoreError {
+    fn from(e: se_tensor::TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<se_ir::IrError> for CoreError {
+    fn from(e: se_ir::IrError) -> Self {
+        CoreError::Ir(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::InvalidConfig { reason: "x".into() }.to_string().contains("x"));
+        assert!(CoreError::Tensor(se_tensor::TensorError::Singular)
+            .to_string()
+            .contains("singular"));
+    }
+
+    #[test]
+    fn source_chain() {
+        use std::error::Error;
+        let e = CoreError::Ir(se_ir::IrError::InvalidPo2 { reason: "r".into() });
+        assert!(e.source().is_some());
+    }
+}

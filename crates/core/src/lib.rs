@@ -1,0 +1,60 @@
+//! The SmartExchange algorithm (ISCA 2020) — the paper's primary
+//! contribution.
+//!
+//! SmartExchange represents each layer-wise DNN weight matrix `W ∈ R^{m×n}`
+//! as the product of a small basis matrix `B ∈ R^{r×n}` and a large
+//! coefficient matrix `Ce ∈ R^{m×r}` that is simultaneously
+//!
+//! 1. **sparse** — channel-wise and vector-wise (whole rows zeroed), and
+//! 2. **readily quantized** — every non-zero entry is `±2^p`,
+//!
+//! so weights are *rebuilt* on-chip with cheap shift-and-add operations
+//! instead of being fetched from expensive memory. This crate implements:
+//!
+//! * [`algorithm`] — the alternating heuristic of Algorithm 1
+//!   (quantize → fit `B` → fit `Ce` → sparsify), with a per-iteration
+//!   evolution trace (Fig. 9);
+//! * [`layer`] — the per-layer application rules of Section III-C
+//!   (CONV reshape, 1×1-CONV-as-FC, FC row reshape with padding/slicing);
+//! * [`network`] — whole-network compression with storage accounting;
+//! * [`baselines`] — the compression baselines the paper compares against
+//!   in Fig. 8 (magnitude/channel pruning, uniform and power-of-2
+//!   quantization, low-rank decomposition).
+//!
+//! # Examples
+//!
+//! ```
+//! use se_core::{algorithm, SeConfig};
+//! use se_tensor::{rng, Mat};
+//!
+//! # fn main() -> Result<(), se_core::CoreError> {
+//! let mut r = rng::seeded(7);
+//! let w = rng::normal_mat(&mut r, 48, 3, 0.1);
+//! let cfg = SeConfig::default();
+//! let result = algorithm::decompose(&w, &cfg)?;
+//! // Every coefficient is 0 or ±2^p:
+//! assert!(result.ce.data().iter().all(|&x| cfg.po2().contains(x)));
+//! // And the rebuilt weights stay close to the originals:
+//! let rel = result.reconstruction_error(&w)?;
+//! assert!(rel < 0.35, "relative error {rel}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod error;
+
+pub mod algorithm;
+pub mod baselines;
+pub mod layer;
+pub mod network;
+pub mod sparsify;
+
+pub use config::{SeConfig, VectorSparsity};
+pub use error::CoreError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,285 @@
+//! Whole-network compression: applies the SmartExchange algorithm to every
+//! layer of a network and aggregates the storage accounting that backs the
+//! paper's Tables II and III.
+
+use crate::{layer, CoreError, Result, SeConfig};
+use se_ir::{storage, LayerDesc, SeLayer};
+use se_tensor::Tensor;
+
+/// Per-layer compression report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Original parameter count.
+    pub params: u64,
+    /// Storage breakdown of the compressed form.
+    pub storage: storage::SeStorage,
+    /// Vector-wise sparsity of the coefficient matrices in `[0, 1]`.
+    pub vector_sparsity: f32,
+    /// Relative Frobenius reconstruction error.
+    pub recon_error: f32,
+}
+
+/// A compressed network: per-layer compressed weights plus reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedNetwork {
+    /// Per-layer compressed weight parts, in network order (one entry per
+    /// layer, each holding one or more [`SeLayer`]s).
+    pub parts: Vec<Vec<SeLayer>>,
+    /// Per-layer reports, in network order.
+    pub reports: Vec<LayerReport>,
+}
+
+impl CompressedNetwork {
+    /// Total storage across all layers.
+    pub fn total_storage(&self) -> storage::SeStorage {
+        let mut s = storage::SeStorage::default();
+        for r in &self.reports {
+            s.accumulate(&r.storage);
+        }
+        s
+    }
+
+    /// Total original parameters.
+    pub fn total_params(&self) -> u64 {
+        self.reports.iter().map(|r| r.params).sum()
+    }
+
+    /// Overall compression rate vs FP32 (the paper's `CR` column).
+    pub fn compression_rate(&self) -> f64 {
+        storage::compression_rate(self.total_params(), &self.total_storage())
+    }
+
+    /// Parameter-weighted overall sparsity (the paper's `Spar.` column: the
+    /// ratio of pruned to total parameters).
+    pub fn overall_sparsity(&self) -> f64 {
+        let total: u64 = self.total_params();
+        if total == 0 {
+            return 0.0;
+        }
+        let pruned: f64 = self
+            .reports
+            .iter()
+            .map(|r| f64::from(r.vector_sparsity) * r.params as f64)
+            .sum();
+        pruned / total as f64
+    }
+
+    /// Parameter-weighted mean reconstruction error.
+    pub fn mean_recon_error(&self) -> f64 {
+        let total = self.total_params();
+        if total == 0 {
+            return 0.0;
+        }
+        self.reports
+            .iter()
+            .map(|r| f64::from(r.recon_error) * r.params as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+/// Compresses one layer and produces its report alongside the parts.
+///
+/// # Errors
+///
+/// Propagates decomposition and shape-validation failures.
+pub fn compress_layer_reported(
+    desc: &LayerDesc,
+    weights: &Tensor,
+    cfg: &SeConfig,
+) -> Result<(Vec<SeLayer>, LayerReport)> {
+    let parts = layer::compress_layer(desc, weights, cfg)?;
+    let mut st = storage::SeStorage::default();
+    let mut rows = 0usize;
+    let mut zero_rows = 0usize;
+    for p in &parts {
+        st.accumulate(&storage::se_layer_storage(p));
+        rows += p.total_rows();
+        zero_rows += p.total_rows() - p.total_nonzero_rows();
+    }
+    let recon = layer::reconstruct_layer(desc, &parts)?;
+    let diff = weights.sub(&recon).map_err(CoreError::from)?.norm();
+    let denom = weights.norm();
+    let report = LayerReport {
+        name: desc.name().to_string(),
+        params: desc.params(),
+        storage: st,
+        vector_sparsity: if rows > 0 { zero_rows as f32 / rows as f32 } else { 0.0 },
+        recon_error: if denom > 0.0 { diff / denom } else { diff },
+    };
+    Ok((parts, report))
+}
+
+/// Compresses every layer of a network given `(descriptor, weights)` pairs.
+///
+/// # Errors
+///
+/// Propagates per-layer failures, identifying the offending layer.
+///
+/// # Examples
+///
+/// ```
+/// use se_core::{network, SeConfig};
+/// use se_ir::{LayerDesc, LayerKind};
+/// use se_tensor::rng;
+///
+/// # fn main() -> Result<(), se_core::CoreError> {
+/// let mut r = rng::seeded(1);
+/// let desc = LayerDesc::new(
+///     "c1",
+///     LayerKind::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+///     (8, 8),
+/// );
+/// let w = rng::kaiming_tensor(&mut r, &[8, 4, 3, 3], 36);
+/// let cfg = SeConfig::default().with_max_iterations(5)?;
+/// let net = network::compress_network(&[(desc, w)], &cfg)?;
+/// assert!(net.compression_rate() > 4.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compress_network(
+    layers: &[(LayerDesc, Tensor)],
+    cfg: &SeConfig,
+) -> Result<CompressedNetwork> {
+    let mut parts = Vec::with_capacity(layers.len());
+    let mut reports = Vec::with_capacity(layers.len());
+    for (desc, w) in layers {
+        let (p, r) = compress_layer_reported(desc, w, cfg).map_err(|e| match e {
+            CoreError::InvalidWeights { reason } => CoreError::InvalidWeights {
+                reason: format!("{}: {reason}", desc.name()),
+            },
+            other => other,
+        })?;
+        parts.push(p);
+        reports.push(r);
+    }
+    Ok(CompressedNetwork { parts, reports })
+}
+
+/// Streaming variant of [`compress_network`] that keeps only the reports,
+/// generating weights on demand and dropping compressed parts immediately —
+/// used for ImageNet-scale models where holding every `Ce` would be large.
+///
+/// # Errors
+///
+/// Propagates per-layer failures.
+pub fn compress_network_reports<F>(
+    descs: &[LayerDesc],
+    cfg: &SeConfig,
+    mut weights_for: F,
+) -> Result<Vec<LayerReport>>
+where
+    F: FnMut(&LayerDesc) -> Result<Tensor>,
+{
+    let mut reports = Vec::with_capacity(descs.len());
+    for desc in descs {
+        let w = weights_for(desc)?;
+        let (_, r) = compress_layer_reported(desc, &w, cfg)?;
+        reports.push(r);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VectorSparsity;
+    use se_ir::LayerKind;
+    use se_tensor::rng;
+
+    fn small_net() -> Vec<(LayerDesc, Tensor)> {
+        let mut r = rng::seeded(71);
+        vec![
+            (
+                LayerDesc::new(
+                    "c1",
+                    LayerKind::Conv2d {
+                        in_channels: 3,
+                        out_channels: 8,
+                        kernel: 3,
+                        stride: 1,
+                        padding: 1,
+                    },
+                    (8, 8),
+                ),
+                rng::kaiming_tensor(&mut r, &[8, 3, 3, 3], 27),
+            ),
+            (
+                LayerDesc::new(
+                    "fc",
+                    LayerKind::Linear { in_features: 12, out_features: 4 },
+                    (1, 1),
+                ),
+                rng::kaiming_tensor(&mut r, &[4, 12], 12),
+            ),
+        ]
+    }
+
+    fn cfg() -> SeConfig {
+        SeConfig::default().with_max_iterations(6).unwrap()
+    }
+
+    #[test]
+    fn network_compression_rates_exceed_fp32_to_4bit_floor() {
+        let net = compress_network(&small_net(), &cfg()).unwrap();
+        assert_eq!(net.reports.len(), 2);
+        // 32-bit -> ~4-bit coefficients plus overheads: CR must beat 4x.
+        assert!(net.compression_rate() > 4.0, "CR {}", net.compression_rate());
+        assert!(net.total_params() > 0);
+    }
+
+    #[test]
+    fn sparsity_is_weighted_by_params() {
+        let c = cfg().with_vector_sparsity(VectorSparsity::KeepFraction(0.25)).unwrap();
+        let net = compress_network(&small_net(), &c).unwrap();
+        assert!(net.overall_sparsity() > 0.5, "sparsity {}", net.overall_sparsity());
+    }
+
+    #[test]
+    fn reports_match_parts() {
+        let net = compress_network(&small_net(), &cfg()).unwrap();
+        for (parts, report) in net.parts.iter().zip(&net.reports) {
+            let mut st = storage::SeStorage::default();
+            for p in parts {
+                st.accumulate(&storage::se_layer_storage(p));
+            }
+            assert_eq!(st, report.storage);
+        }
+    }
+
+    #[test]
+    fn streaming_variant_matches_owned() {
+        let layers = small_net();
+        let owned = compress_network(&layers, &cfg()).unwrap();
+        let descs: Vec<_> = layers.iter().map(|(d, _)| d.clone()).collect();
+        let streamed = compress_network_reports(&descs, &cfg(), |d| {
+            Ok(layers
+                .iter()
+                .find(|(ld, _)| ld.name() == d.name())
+                .map(|(_, w)| w.clone())
+                .expect("known layer"))
+        })
+        .unwrap();
+        assert_eq!(owned.reports, streamed);
+    }
+
+    #[test]
+    fn error_identifies_layer() {
+        let mut layers = small_net();
+        layers[1].1 = Tensor::zeros(&[3, 3]); // wrong shape
+        let err = compress_network(&layers, &cfg()).unwrap_err();
+        assert!(err.to_string().contains("fc"), "error was {err}");
+    }
+
+    #[test]
+    fn recon_error_reported_and_bounded() {
+        let net = compress_network(&small_net(), &cfg()).unwrap();
+        for r in &net.reports {
+            assert!(r.recon_error.is_finite());
+            assert!(r.recon_error < 0.6, "{}: {}", r.name, r.recon_error);
+        }
+        assert!(net.mean_recon_error() < 0.6);
+    }
+}

@@ -1,0 +1,42 @@
+//! The accelerator interface shared by the SmartExchange design and the
+//! four baselines.
+
+use crate::{LayerResult, Result, RunResult};
+use se_ir::LayerTrace;
+
+/// A DNN inference accelerator model: consumes per-layer traces, produces
+/// cycle/energy-accountable results.
+///
+/// All five accelerators in this workspace (SmartExchange, DianNao, SCNN,
+/// Cambricon-X, Bit-pragmatic) implement this trait, so the benchmark
+/// harness can sweep them uniformly over the same traces.
+pub trait Accelerator {
+    /// Human-readable accelerator name (as it appears in the figures).
+    fn name(&self) -> &str;
+
+    /// Processes one layer trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the trace's weight form or layer kind is not
+    /// supported by this design (e.g. SCNN and FC layers, per the paper's
+    /// protocol).
+    fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult>;
+
+    /// Processes a sequence of layer traces into a run result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-layer failure.
+    fn process_layers<'a, I>(&self, traces: I) -> Result<RunResult>
+    where
+        I: IntoIterator<Item = &'a LayerTrace>,
+        Self: Sized,
+    {
+        let mut run = RunResult::default();
+        for t in traces {
+            run.layers.push(self.process_layer(t)?);
+        }
+        Ok(run)
+    }
+}

@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced by the hardware simulators.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A trace was not processable by this accelerator (wrong weight form,
+    /// unsupported layer kind, mismatched shapes).
+    UnsupportedTrace {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying interchange-format operation failed.
+    Ir(se_ir::IrError),
+    /// An underlying tensor operation failed.
+    Tensor(se_tensor::TensorError),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HwError::UnsupportedTrace { reason } => write!(f, "unsupported trace: {reason}"),
+            HwError::Ir(e) => write!(f, "format error: {e}"),
+            HwError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HwError::Ir(e) => Some(e),
+            HwError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<se_ir::IrError> for HwError {
+    fn from(e: se_ir::IrError) -> Self {
+        HwError::Ir(e)
+    }
+}
+
+impl From<se_tensor::TensorError> for HwError {
+    fn from(e: se_tensor::TensorError) -> Self {
+        HwError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(HwError::InvalidConfig { reason: "x".into() }.to_string().contains("x"));
+        assert!(HwError::UnsupportedTrace { reason: "y".into() }.to_string().contains("y"));
+    }
+}

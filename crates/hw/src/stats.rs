@@ -1,0 +1,223 @@
+//! Access/operation counters and per-layer / per-run results.
+
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::SeAcceleratorConfig;
+
+/// Byte-granular memory access counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemCounters {
+    /// DRAM bytes read for input activations.
+    pub dram_input_bytes: u64,
+    /// DRAM bytes written for output activations.
+    pub dram_output_bytes: u64,
+    /// DRAM bytes read for weights (compressed bytes for SE).
+    pub dram_weight_bytes: u64,
+    /// DRAM bytes read for sparsity indices.
+    pub dram_index_bytes: u64,
+    /// Input GB bytes read.
+    pub input_gb_read_bytes: u64,
+    /// Input GB bytes written.
+    pub input_gb_write_bytes: u64,
+    /// Output GB bytes read.
+    pub output_gb_read_bytes: u64,
+    /// Output GB bytes written.
+    pub output_gb_write_bytes: u64,
+    /// Weight-buffer bytes read.
+    pub weight_gb_read_bytes: u64,
+    /// Weight-buffer bytes written.
+    pub weight_gb_write_bytes: u64,
+    /// Register-file bytes accessed (basis RF, FIFO, pipeline registers).
+    pub rf_bytes: u64,
+}
+
+impl MemCounters {
+    /// Total DRAM traffic in bytes (the quantity normalised in Fig. 11).
+    pub fn dram_total_bytes(&self) -> u64 {
+        self.dram_input_bytes
+            + self.dram_output_bytes
+            + self.dram_weight_bytes
+            + self.dram_index_bytes
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn accumulate(&mut self, o: &MemCounters) {
+        self.dram_input_bytes += o.dram_input_bytes;
+        self.dram_output_bytes += o.dram_output_bytes;
+        self.dram_weight_bytes += o.dram_weight_bytes;
+        self.dram_index_bytes += o.dram_index_bytes;
+        self.input_gb_read_bytes += o.input_gb_read_bytes;
+        self.input_gb_write_bytes += o.input_gb_write_bytes;
+        self.output_gb_read_bytes += o.output_gb_read_bytes;
+        self.output_gb_write_bytes += o.output_gb_write_bytes;
+        self.weight_gb_read_bytes += o.weight_gb_read_bytes;
+        self.weight_gb_write_bytes += o.weight_gb_write_bytes;
+        self.rf_bytes += o.rf_bytes;
+    }
+}
+
+/// Arithmetic operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounters {
+    /// Bit-serial digit-cycles executed across all lanes (PE energy when
+    /// bit-serial), or full multiplies when not.
+    pub pe_lane_cycles: u64,
+    /// Products accumulated (adder-tree / accumulator adds).
+    pub accumulator_adds: u64,
+    /// Shift-and-add operations in the rebuild engines.
+    pub rebuild_shift_adds: u64,
+    /// Index-selector comparisons.
+    pub index_compares: u64,
+    /// Full 8-bit MAC operations (used by non-bit-serial datapaths).
+    pub macs: u64,
+    /// Lane-cycles spent idle (allocated but not switching); couples
+    /// latency to energy via [`EnergyModel::lane_idle_pj`].
+    pub idle_lane_cycles: u64,
+}
+
+impl OpCounters {
+    /// Accumulates another counter set into this one.
+    pub fn accumulate(&mut self, o: &OpCounters) {
+        self.pe_lane_cycles += o.pe_lane_cycles;
+        self.accumulator_adds += o.accumulator_adds;
+        self.rebuild_shift_adds += o.rebuild_shift_adds;
+        self.index_compares += o.index_compares;
+        self.macs += o.macs;
+        self.idle_lane_cycles += o.idle_lane_cycles;
+    }
+}
+
+/// One layer's simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResult {
+    /// Layer name (from the trace descriptor).
+    pub name: String,
+    /// Compute cycles (PE array busy time).
+    pub compute_cycles: u64,
+    /// DRAM transfer cycles at the configured bandwidth.
+    pub dram_cycles: u64,
+    /// Layer latency in cycles: compute and DRAM overlap via double
+    /// buffering, so the layer takes the maximum of the two.
+    pub total_cycles: u64,
+    /// Memory access counters.
+    pub mem: MemCounters,
+    /// Operation counters.
+    pub ops: OpCounters,
+}
+
+impl LayerResult {
+    /// Converts counters into the per-component energy breakdown.
+    pub fn energy(&self, model: &EnergyModel, cfg: &SeAcceleratorConfig) -> EnergyBreakdown {
+        let input_sram = model.sram_pj_per_byte(cfg.input_gb_bank_kb);
+        let output_sram = model.sram_pj_per_byte(cfg.output_gb_bank_kb);
+        let weight_sram = model.sram_pj_per_byte(cfg.weight_buf_bank_kb);
+        EnergyBreakdown {
+            dram_input: self.mem.dram_input_bytes as f64 * model.dram_pj_per_byte,
+            dram_output: self.mem.dram_output_bytes as f64 * model.dram_pj_per_byte,
+            dram_weight: self.mem.dram_weight_bytes as f64 * model.dram_pj_per_byte,
+            dram_index: self.mem.dram_index_bytes as f64 * model.dram_pj_per_byte,
+            input_gb_read: self.mem.input_gb_read_bytes as f64 * input_sram,
+            input_gb_write: self.mem.input_gb_write_bytes as f64 * input_sram,
+            output_gb_read: self.mem.output_gb_read_bytes as f64 * output_sram,
+            output_gb_write: self.mem.output_gb_write_bytes as f64 * output_sram,
+            weight_gb_read: self.mem.weight_gb_read_bytes as f64 * weight_sram,
+            weight_gb_write: self.mem.weight_gb_write_bytes as f64 * weight_sram,
+            pe: self.ops.pe_lane_cycles as f64 * model.bit_serial_cycle_pj
+                + self.ops.macs as f64 * model.mac_pj
+                + self.ops.idle_lane_cycles as f64 * model.lane_idle_pj,
+            accumulator: self.ops.accumulator_adds as f64 * model.add_pj,
+            re: self.ops.rebuild_shift_adds as f64 * model.shift_add_pj
+                + self.mem.rf_bytes as f64 * model.rf_pj_per_byte,
+            index_selector: self.ops.index_compares as f64 * model.index_compare_pj,
+        }
+    }
+}
+
+/// A whole-network simulation outcome.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunResult {
+    /// Per-layer results in processing order.
+    pub layers: Vec<LayerResult>,
+}
+
+impl RunResult {
+    /// Total latency in cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles).sum()
+    }
+
+    /// Total latency in milliseconds at the configured frequency.
+    pub fn latency_ms(&self, cfg: &SeAcceleratorConfig) -> f64 {
+        self.total_cycles() as f64 / cfg.frequency_hz * 1e3
+    }
+
+    /// Aggregated memory counters.
+    pub fn mem_totals(&self) -> MemCounters {
+        let mut m = MemCounters::default();
+        for l in &self.layers {
+            m.accumulate(&l.mem);
+        }
+        m
+    }
+
+    /// Aggregated energy breakdown.
+    pub fn energy(&self, model: &EnergyModel, cfg: &SeAcceleratorConfig) -> EnergyBreakdown {
+        let mut e = EnergyBreakdown::default();
+        for l in &self.layers {
+            e.accumulate(&l.energy(model, cfg));
+        }
+        e
+    }
+
+    /// Total energy in millijoules.
+    pub fn energy_mj(&self, model: &EnergyModel, cfg: &SeAcceleratorConfig) -> f64 {
+        self.energy(model, cfg).total() * 1e-12 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(cycles: u64, dram_in: u64) -> LayerResult {
+        LayerResult {
+            name: "l".into(),
+            compute_cycles: cycles,
+            dram_cycles: 0,
+            total_cycles: cycles,
+            mem: MemCounters { dram_input_bytes: dram_in, ..Default::default() },
+            ops: OpCounters { pe_lane_cycles: 10, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn run_totals_sum_layers() {
+        let run = RunResult { layers: vec![layer(100, 5), layer(200, 7)] };
+        assert_eq!(run.total_cycles(), 300);
+        assert_eq!(run.mem_totals().dram_input_bytes, 12);
+        let cfg = SeAcceleratorConfig::default();
+        assert!((run.latency_ms(&cfg) - 300.0 / 1e9 * 1e3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_uses_unit_costs() {
+        let model = EnergyModel::default();
+        let cfg = SeAcceleratorConfig::default();
+        let l = layer(1, 10);
+        let e = l.energy(&model, &cfg);
+        assert!((e.dram_input - 1000.0).abs() < 1e-9); // 10 B x 100 pJ
+        assert!((e.pe - 10.0 * 0.030).abs() < 1e-9);
+        assert_eq!(e.dram_weight, 0.0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = MemCounters::default();
+        a.accumulate(&MemCounters { dram_weight_bytes: 3, rf_bytes: 2, ..Default::default() });
+        a.accumulate(&MemCounters { dram_weight_bytes: 4, ..Default::default() });
+        assert_eq!(a.dram_weight_bytes, 7);
+        assert_eq!(a.dram_total_bytes(), 7);
+        let mut o = OpCounters::default();
+        o.accumulate(&OpCounters { macs: 5, ..Default::default() });
+        assert_eq!(o.macs, 5);
+    }
+}

@@ -1,0 +1,67 @@
+use std::fmt;
+
+/// Errors produced by interchange-format operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A layer or network descriptor was internally inconsistent.
+    InvalidDescriptor {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// A power-of-2 set or code was invalid (empty set, exponent out of the
+    /// representable code range, value not in the set).
+    InvalidPo2 {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Compressed weights did not match the layer geometry they claim to
+    /// represent.
+    LayoutMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(se_tensor::TensorError),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::InvalidDescriptor { reason } => write!(f, "invalid descriptor: {reason}"),
+            IrError::InvalidPo2 { reason } => write!(f, "invalid power-of-2 data: {reason}"),
+            IrError::LayoutMismatch { reason } => write!(f, "layout mismatch: {reason}"),
+            IrError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IrError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<se_tensor::TensorError> for IrError {
+    fn from(e: se_tensor::TensorError) -> Self {
+        IrError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = IrError::Tensor(se_tensor::TensorError::Singular);
+        assert!(e.to_string().contains("singular"));
+        assert!(e.source().is_some());
+        let d = IrError::InvalidPo2 { reason: "empty".into() };
+        assert!(d.source().is_none());
+    }
+}

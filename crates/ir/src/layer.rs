@@ -1,0 +1,333 @@
+use crate::{IrError, Result};
+
+/// The kind and intrinsic geometry of a compute layer.
+///
+/// Only layers that carry weights (and therefore matter to compression and
+/// to the accelerators) are represented. Activation functions, batch-norm
+/// folding, and pooling are handled by the NN stack; their effect on the
+/// traces is reflected in the recorded activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Standard 2-D convolution with `M` output channels, `C` input
+    /// channels, an `R × S` kernel (we use square kernels, `R = S = kernel`),
+    /// stride `U` and symmetric zero padding.
+    Conv2d {
+        /// Input channels (`C`).
+        in_channels: usize,
+        /// Output channels (`M`).
+        out_channels: usize,
+        /// Kernel side (`R = S`).
+        kernel: usize,
+        /// Stride (`U`).
+        stride: usize,
+        /// Zero padding on each side.
+        padding: usize,
+    },
+    /// Depth-wise 2-D convolution: one `kernel × kernel` filter per channel.
+    DepthwiseConv2d {
+        /// Channels (`C = M`).
+        channels: usize,
+        /// Kernel side.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding on each side.
+        padding: usize,
+    },
+    /// Fully-connected layer (`C` inputs, `M` outputs).
+    Linear {
+        /// Input features (`C`).
+        in_features: usize,
+        /// Output features (`M`).
+        out_features: usize,
+    },
+    /// Squeeze-and-excite block: global average pool, `channels → reduced`
+    /// FC, ReLU, `reduced → channels` FC, sigmoid, channel-wise rescale.
+    SqueezeExcite {
+        /// Channels of the feature map being recalibrated.
+        channels: usize,
+        /// Bottleneck width of the two FC layers.
+        reduced: usize,
+    },
+}
+
+impl LayerKind {
+    /// Number of weight parameters in the layer (biases excluded, as in the
+    /// paper's storage accounting).
+    pub fn params(&self) -> u64 {
+        match *self {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+                (in_channels * out_channels * kernel * kernel) as u64
+            }
+            LayerKind::DepthwiseConv2d { channels, kernel, .. } => {
+                (channels * kernel * kernel) as u64
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                (in_features * out_features) as u64
+            }
+            LayerKind::SqueezeExcite { channels, reduced } => 2 * (channels * reduced) as u64,
+        }
+    }
+
+    /// Whether the layer is processed by the CONV-style datapath
+    /// (CONV, depth-wise CONV, squeeze-excite); FC layers are excluded from
+    /// the accelerator-vs-baseline comparisons of Figs. 10–12 as in the
+    /// paper.
+    pub fn is_conv_like(&self) -> bool {
+        !matches!(self, LayerKind::Linear { .. })
+    }
+}
+
+/// A layer descriptor: kind plus the spatial size of its input feature map.
+///
+/// Together these determine parameter count, MAC count, and activation
+/// volumes — everything the storage accounting and the simulators need.
+///
+/// # Examples
+///
+/// ```
+/// use se_ir::{LayerDesc, LayerKind};
+///
+/// let l = LayerDesc::new(
+///     "conv1",
+///     LayerKind::Conv2d { in_channels: 3, out_channels: 64, kernel: 3, stride: 1, padding: 1 },
+///     (32, 32),
+/// );
+/// assert_eq!(l.params(), 3 * 64 * 9);
+/// assert_eq!(l.output_hw().unwrap(), (32, 32));
+/// assert_eq!(l.macs().unwrap(), 64 * 32 * 32 * 3 * 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerDesc {
+    name: String,
+    kind: LayerKind,
+    input_hw: (usize, usize),
+}
+
+impl LayerDesc {
+    /// Creates a layer descriptor.
+    pub fn new(name: impl Into<String>, kind: LayerKind, input_hw: (usize, usize)) -> Self {
+        LayerDesc { name: name.into(), kind, input_hw }
+    }
+
+    /// The layer's name (unique within a network by convention).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer kind and intrinsic geometry.
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// Spatial size `(H, W)` of the input feature map (`(1, 1)` for FC).
+    pub fn input_hw(&self) -> (usize, usize) {
+        self.input_hw
+    }
+
+    /// Number of weight parameters.
+    pub fn params(&self) -> u64 {
+        self.kind.params()
+    }
+
+    /// Input channels (`C`), or input features for FC.
+    pub fn in_channels(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv2d { in_channels, .. } => in_channels,
+            LayerKind::DepthwiseConv2d { channels, .. } => channels,
+            LayerKind::Linear { in_features, .. } => in_features,
+            LayerKind::SqueezeExcite { channels, .. } => channels,
+        }
+    }
+
+    /// Output channels (`M`), or output features for FC.
+    pub fn out_channels(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv2d { out_channels, .. } => out_channels,
+            LayerKind::DepthwiseConv2d { channels, .. } => channels,
+            LayerKind::Linear { out_features, .. } => out_features,
+            LayerKind::SqueezeExcite { channels, .. } => channels,
+        }
+    }
+
+    /// Output spatial size `(E, F)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidDescriptor`] if the kernel does not fit the
+    /// padded input.
+    pub fn output_hw(&self) -> Result<(usize, usize)> {
+        let (h, w) = self.input_hw;
+        let (kernel, stride, padding) = match self.kind {
+            LayerKind::Conv2d { kernel, stride, padding, .. } => (kernel, stride, padding),
+            LayerKind::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                (kernel, stride, padding)
+            }
+            LayerKind::Linear { .. } => return Ok((1, 1)),
+            // Squeeze-excite rescales the map it was given.
+            LayerKind::SqueezeExcite { .. } => return Ok((h, w)),
+        };
+        if stride == 0 {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!("layer {}: stride must be positive", self.name),
+            });
+        }
+        let eh = h + 2 * padding;
+        let ew = w + 2 * padding;
+        if eh < kernel || ew < kernel {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!(
+                    "layer {}: kernel {kernel} larger than padded input {eh}x{ew}",
+                    self.name
+                ),
+            });
+        }
+        Ok(((eh - kernel) / stride + 1, (ew - kernel) / stride + 1))
+    }
+
+    /// Multiply-accumulate operations for one inference (batch 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidDescriptor`] if the geometry is invalid.
+    pub fn macs(&self) -> Result<u64> {
+        let (e, f) = self.output_hw()?;
+        Ok(match self.kind {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+                (out_channels * e * f * in_channels * kernel * kernel) as u64
+            }
+            LayerKind::DepthwiseConv2d { channels, kernel, .. } => {
+                (channels * e * f * kernel * kernel) as u64
+            }
+            LayerKind::Linear { in_features, out_features } => {
+                (in_features * out_features) as u64
+            }
+            LayerKind::SqueezeExcite { channels, reduced } => {
+                // Two FCs plus the channel-wise rescale of the map.
+                (2 * channels * reduced + channels * e * f) as u64
+            }
+        })
+    }
+
+    /// Number of input activation elements.
+    pub fn input_elems(&self) -> u64 {
+        let (h, w) = self.input_hw;
+        (self.in_channels() * h * w) as u64
+    }
+
+    /// Number of output activation elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidDescriptor`] if the geometry is invalid.
+    pub fn output_elems(&self) -> Result<u64> {
+        let (e, f) = self.output_hw()?;
+        Ok((self.out_channels() * e * f) as u64)
+    }
+
+    /// The shape of the weight tensor:
+    /// `(M, C, R, S)` for CONV, `(C, R, S)` for depth-wise,
+    /// `(M, C)` for FC, and `(2, channels, reduced)`-equivalent flattened
+    /// pair for squeeze-excite.
+    pub fn weight_shape(&self) -> Vec<usize> {
+        match self.kind {
+            LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+                vec![out_channels, in_channels, kernel, kernel]
+            }
+            LayerKind::DepthwiseConv2d { channels, kernel, .. } => {
+                vec![channels, kernel, kernel]
+            }
+            LayerKind::Linear { in_features, out_features } => vec![out_features, in_features],
+            LayerKind::SqueezeExcite { channels, reduced } => vec![2, channels, reduced],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(c: usize, m: usize, k: usize, s: usize, p: usize, hw: usize) -> LayerDesc {
+        LayerDesc::new(
+            "t",
+            LayerKind::Conv2d { in_channels: c, out_channels: m, kernel: k, stride: s, padding: p },
+            (hw, hw),
+        )
+    }
+
+    #[test]
+    fn conv_params_and_macs() {
+        let l = conv(64, 128, 3, 1, 1, 56);
+        assert_eq!(l.params(), 64 * 128 * 9);
+        assert_eq!(l.output_hw().unwrap(), (56, 56));
+        assert_eq!(l.macs().unwrap(), (128 * 56 * 56 * 64 * 9) as u64);
+    }
+
+    #[test]
+    fn strided_conv_halves_map() {
+        let l = conv(64, 128, 3, 2, 1, 56);
+        assert_eq!(l.output_hw().unwrap(), (28, 28));
+    }
+
+    #[test]
+    fn depthwise_params_are_per_channel() {
+        let l = LayerDesc::new(
+            "dw",
+            LayerKind::DepthwiseConv2d { channels: 32, kernel: 3, stride: 1, padding: 1 },
+            (112, 112),
+        );
+        assert_eq!(l.params(), 32 * 9);
+        assert_eq!(l.macs().unwrap(), (32 * 112 * 112 * 9) as u64);
+        assert!(l.kind().is_conv_like());
+    }
+
+    #[test]
+    fn linear_geometry() {
+        let l = LayerDesc::new(
+            "fc",
+            LayerKind::Linear { in_features: 4096, out_features: 1000 },
+            (1, 1),
+        );
+        assert_eq!(l.params(), 4096 * 1000);
+        assert_eq!(l.output_hw().unwrap(), (1, 1));
+        assert_eq!(l.macs().unwrap(), 4096 * 1000);
+        assert!(!l.kind().is_conv_like());
+    }
+
+    #[test]
+    fn squeeze_excite_geometry() {
+        let l = LayerDesc::new(
+            "se",
+            LayerKind::SqueezeExcite { channels: 96, reduced: 4 },
+            (56, 56),
+        );
+        assert_eq!(l.params(), 2 * 96 * 4);
+        assert_eq!(l.output_hw().unwrap(), (56, 56));
+        assert!(l.kind().is_conv_like());
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let l = conv(3, 8, 7, 1, 0, 5);
+        assert!(l.output_hw().is_err());
+        assert!(l.macs().is_err());
+    }
+
+    #[test]
+    fn activation_volumes() {
+        let l = conv(3, 64, 3, 1, 1, 224);
+        assert_eq!(l.input_elems(), 3 * 224 * 224);
+        assert_eq!(l.output_elems().unwrap(), 64 * 224 * 224);
+    }
+
+    #[test]
+    fn weight_shapes() {
+        assert_eq!(conv(3, 64, 3, 1, 1, 32).weight_shape(), vec![64, 3, 3, 3]);
+        let fc = LayerDesc::new(
+            "fc",
+            LayerKind::Linear { in_features: 10, out_features: 4 },
+            (1, 1),
+        );
+        assert_eq!(fc.weight_shape(), vec![4, 10]);
+    }
+}

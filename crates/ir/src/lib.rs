@@ -1,0 +1,42 @@
+//! Interchange formats shared across the SmartExchange workspace.
+//!
+//! This crate defines the *data contracts* between the algorithm side
+//! (`se-core`), the model zoo (`se-models`), and the hardware side
+//! (`se-hw`, `se-baselines`):
+//!
+//! * [`LayerDesc`] / [`NetworkDesc`] — geometry of DNN layers and networks
+//!   (the paper's `C, M, E, F, R, S, U` notation, Section II-A);
+//! * [`Po2Set`] — the quantization alphabet `Ω_P = {0, ±2^p | p ∈ P}`
+//!   (Section III-A, Eq. 2);
+//! * [`QuantTensor`] — 8-bit fixed-point activation/weight tensors;
+//! * [`SeLayer`] / [`SeSlice`] — the SmartExchange compressed weight format
+//!   (basis matrix `B` + sparse power-of-2 coefficient matrix `Ce`);
+//! * [`storage`] — bit-exact storage/compression-rate accounting
+//!   (the CR definition of Section III-C);
+//! * [`LayerTrace`] — the per-layer record (geometry + weights +
+//!   activations) that the cycle-accurate simulators consume.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod layer;
+mod network;
+mod po2;
+mod quant;
+mod se_format;
+mod trace;
+
+pub mod booth;
+pub mod storage;
+
+pub use error::IrError;
+pub use layer::{LayerDesc, LayerKind};
+pub use network::{Dataset, NetworkDesc};
+pub use po2::Po2Set;
+pub use quant::QuantTensor;
+pub use se_format::{SeLayer, SeLayout, SeSlice};
+pub use trace::{LayerTrace, WeightData};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,288 @@
+use crate::{IrError, Result};
+
+/// The power-of-2 quantization alphabet `Ω_P = {0} ∪ {±2^p | p ∈ P}` of
+/// Eq. (2) in the paper, with `P` a contiguous integer range
+/// `{max_exp - count + 1, …, max_exp}`.
+///
+/// A contiguous range is the hardware-natural choice: the exponent maps
+/// directly to a shift amount in the rebuild engine's shift-and-add unit.
+/// `|P| = count ≤ Np` controls the bit width of a non-zero code:
+/// `code_bits = ceil(log2(2·count + 1))` (sign × count magnitudes + zero).
+///
+/// The paper's default configuration stores coefficients in 4 bits, which
+/// accommodates `count = 7` exponents (e.g. `2^0 … 2^-6`) — exactly the
+/// values visible in Fig. 1.
+///
+/// # Examples
+///
+/// ```
+/// use se_ir::Po2Set;
+///
+/// let set = Po2Set::default(); // 4-bit: {0, ±2^0, ±2^-1, …, ±2^-6}
+/// assert_eq!(set.code_bits(), 4);
+/// assert_eq!(set.quantize(0.3), 0.25);     // nearest power of two
+/// assert_eq!(set.quantize(-0.3), -0.25);
+/// assert_eq!(set.quantize(0.0001), 0.0);   // underflows to zero
+/// assert_eq!(set.quantize(7.0), 1.0);      // clamps to the largest value
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Po2Set {
+    max_exp: i32,
+    count: u32,
+}
+
+impl Po2Set {
+    /// Creates a set with exponents `{max_exp - count + 1, …, max_exp}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidPo2`] if `count == 0` or the exponent range
+    /// leaves `f32` range.
+    pub fn new(max_exp: i32, count: u32) -> Result<Self> {
+        if count == 0 {
+            return Err(IrError::InvalidPo2 { reason: "exponent set must be non-empty".into() });
+        }
+        let min_exp = max_exp - count as i32 + 1;
+        if !(-120..=120).contains(&max_exp) || !(-120..=120).contains(&min_exp) {
+            return Err(IrError::InvalidPo2 {
+                reason: format!("exponent range [{min_exp}, {max_exp}] outside f32 range"),
+            });
+        }
+        Ok(Po2Set { max_exp, count })
+    }
+
+    /// Creates the largest set representable in `bits` bits with the given
+    /// maximum exponent: `count = 2^(bits-1) - 1` exponents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidPo2`] for `bits < 2` or an out-of-range
+    /// exponent span.
+    pub fn with_bits(max_exp: i32, bits: u32) -> Result<Self> {
+        if bits < 2 {
+            return Err(IrError::InvalidPo2 {
+                reason: format!("{bits}-bit codes cannot hold sign + exponent"),
+            });
+        }
+        Po2Set::new(max_exp, (1u32 << (bits - 1)) - 1)
+    }
+
+    /// Largest exponent in `P`.
+    pub fn max_exp(&self) -> i32 {
+        self.max_exp
+    }
+
+    /// Smallest exponent in `P`.
+    pub fn min_exp(&self) -> i32 {
+        self.max_exp - self.count as i32 + 1
+    }
+
+    /// Number of exponents `|P|`.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Bits needed for one coefficient code (zero + sign × magnitudes).
+    pub fn code_bits(&self) -> u32 {
+        let codes = 2 * self.count + 1;
+        u32::BITS - (codes - 1).leading_zeros()
+    }
+
+    /// Rounds `x` to the nearest element of `Ω_P`.
+    ///
+    /// Rounding happens in the log domain (nearest exponent), the standard
+    /// choice for power-of-2 quantizers: magnitudes below the halfway point
+    /// under `2^min_exp` become zero, magnitudes above `2^max_exp` clamp.
+    pub fn quantize(&self, x: f32) -> f32 {
+        if x == 0.0 || !x.is_finite() {
+            return 0.0;
+        }
+        let sign = x.signum();
+        let mag = x.abs();
+        let p = mag.log2().round() as i32;
+        if p > self.max_exp {
+            return sign * (self.max_exp as f32).exp2();
+        }
+        if p < self.min_exp() {
+            // Below the smallest representable exponent: check whether the
+            // value still rounds up to 2^min_exp in the log domain.
+            let min_val = (self.min_exp() as f32).exp2();
+            // log-domain midpoint between 0 (−∞) and min_exp is −∞, so any
+            // value whose nearest exponent is below min_exp becomes zero
+            // unless it is within half an octave of min_exp.
+            if mag >= min_val / std::f32::consts::SQRT_2 {
+                return sign * min_val;
+            }
+            return 0.0;
+        }
+        sign * (p as f32).exp2()
+    }
+
+    /// Whether `x` is exactly representable in this set.
+    pub fn contains(&self, x: f32) -> bool {
+        if x == 0.0 {
+            return true;
+        }
+        let mag = x.abs();
+        let p = mag.log2();
+        if p.fract() != 0.0 {
+            return false;
+        }
+        let p = p as i32;
+        p >= self.min_exp() && p <= self.max_exp
+    }
+
+    /// Encodes a representable value as a compact code
+    /// (`0` = zero; otherwise `1 + 2·exp_index + sign_bit`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidPo2`] if `x` is not in the set.
+    pub fn encode(&self, x: f32) -> Result<u16> {
+        if x == 0.0 {
+            return Ok(0);
+        }
+        if !self.contains(x) {
+            return Err(IrError::InvalidPo2 { reason: format!("{x} is not in Ω_P") });
+        }
+        let p = x.abs().log2() as i32;
+        let idx = (self.max_exp - p) as u16;
+        let sign_bit = u16::from(x < 0.0);
+        Ok(1 + 2 * idx + sign_bit)
+    }
+
+    /// Decodes a code produced by [`Po2Set::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidPo2`] for out-of-range codes.
+    pub fn decode(&self, code: u16) -> Result<f32> {
+        if code == 0 {
+            return Ok(0.0);
+        }
+        let idx = (code - 1) / 2;
+        let sign = if (code - 1) % 2 == 1 { -1.0 } else { 1.0 };
+        if u32::from(idx) >= self.count {
+            return Err(IrError::InvalidPo2 { reason: format!("code {code} out of range") });
+        }
+        let p = self.max_exp - i32::from(idx);
+        Ok(sign * (p as f32).exp2())
+    }
+
+    /// The exponents of `P` in decreasing order.
+    pub fn exponents(&self) -> impl Iterator<Item = i32> + '_ {
+        (0..self.count as i32).map(move |i| self.max_exp - i)
+    }
+}
+
+impl Default for Po2Set {
+    /// The paper's 4-bit coefficient configuration:
+    /// exponents `{0, −1, …, −6}` (unit-normalised columns keep magnitudes
+    /// at or below 1).
+    fn default() -> Self {
+        Po2Set::with_bits(0, 4).expect("static configuration is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_4bit_seven_exponents() {
+        let s = Po2Set::default();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.code_bits(), 4);
+        assert_eq!(s.max_exp(), 0);
+        assert_eq!(s.min_exp(), -6);
+        assert_eq!(s.exponents().collect::<Vec<_>>(), vec![0, -1, -2, -3, -4, -5, -6]);
+    }
+
+    #[test]
+    fn quantize_rounds_in_log_domain() {
+        let s = Po2Set::default();
+        assert_eq!(s.quantize(1.0), 1.0);
+        assert_eq!(s.quantize(0.5), 0.5);
+        // 0.7: log2 = -0.51 -> rounds to -1 -> 0.5
+        assert_eq!(s.quantize(0.7), 0.5);
+        // 0.72: log2 = -0.47 -> rounds to 0 -> 1.0
+        assert_eq!(s.quantize(0.72), 1.0);
+        assert_eq!(s.quantize(-0.26), -0.25);
+    }
+
+    #[test]
+    fn quantize_clamps_and_underflows() {
+        let s = Po2Set::default();
+        assert_eq!(s.quantize(100.0), 1.0);
+        assert_eq!(s.quantize(-100.0), -1.0);
+        assert_eq!(s.quantize(1e-6), 0.0);
+        // Just above the min representable / sqrt(2) threshold survives.
+        let min_val = 2.0f32.powi(-6);
+        assert_eq!(s.quantize(min_val * 0.9), min_val);
+        assert_eq!(s.quantize(f32::NAN), 0.0);
+        assert_eq!(s.quantize(f32::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn contains_exact_membership() {
+        let s = Po2Set::default();
+        assert!(s.contains(0.0));
+        assert!(s.contains(0.25));
+        assert!(s.contains(-1.0));
+        assert!(!s.contains(0.3));
+        assert!(!s.contains(2.0)); // above max_exp
+        assert!(!s.contains(2.0f32.powi(-7))); // below min_exp
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = Po2Set::default();
+        for p in s.min_exp()..=s.max_exp() {
+            for sign in [1.0f32, -1.0] {
+                let v = sign * (p as f32).exp2();
+                let code = s.encode(v).unwrap();
+                assert!(u32::from(code) < (1 << s.code_bits()));
+                assert_eq!(s.decode(code).unwrap(), v);
+            }
+        }
+        assert_eq!(s.encode(0.0).unwrap(), 0);
+        assert_eq!(s.decode(0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn encode_rejects_unrepresentable() {
+        let s = Po2Set::default();
+        assert!(s.encode(0.3).is_err());
+        assert!(s.decode(14).is_ok()); // 1 + 2*6 + 1 = 14 is the largest valid code
+        assert!(s.decode(15).is_err()); // 15 would be exponent index 7 -> invalid
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let s = Po2Set::new(0, 3).unwrap(); // codes 0..=6 valid
+        assert!(s.decode(7).is_err());
+    }
+
+    #[test]
+    fn code_bits_formula() {
+        assert_eq!(Po2Set::new(0, 1).unwrap().code_bits(), 2); // 3 codes
+        assert_eq!(Po2Set::new(0, 3).unwrap().code_bits(), 3); // 7 codes
+        assert_eq!(Po2Set::new(0, 7).unwrap().code_bits(), 4); // 15 codes
+        assert_eq!(Po2Set::new(0, 8).unwrap().code_bits(), 5); // 17 codes
+    }
+
+    #[test]
+    fn with_bits_inverse_of_code_bits() {
+        for bits in 2..8 {
+            let s = Po2Set::with_bits(0, bits).unwrap();
+            assert_eq!(s.code_bits(), bits);
+        }
+        assert!(Po2Set::with_bits(0, 1).is_err());
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Po2Set::new(0, 0).is_err());
+        assert!(Po2Set::new(-100, 60).is_err());
+    }
+}

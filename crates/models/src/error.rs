@@ -1,0 +1,83 @@
+use std::fmt;
+
+/// Errors produced by the model zoo.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// An unknown model name was requested.
+    UnknownModel {
+        /// The requested name.
+        name: String,
+    },
+    /// An underlying interchange-format operation failed.
+    Ir(se_ir::IrError),
+    /// An underlying tensor operation failed.
+    Tensor(se_tensor::TensorError),
+    /// An underlying NN-stack operation failed.
+    Nn(se_nn::NnError),
+    /// An underlying compression operation failed.
+    Core(se_core::CoreError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownModel { name } => write!(f, "unknown model: {name}"),
+            ModelError::Ir(e) => write!(f, "format error: {e}"),
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Nn(e) => write!(f, "nn error: {e}"),
+            ModelError::Core(e) => write!(f, "compression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::UnknownModel { .. } => None,
+            ModelError::Ir(e) => Some(e),
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Nn(e) => Some(e),
+            ModelError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<se_ir::IrError> for ModelError {
+    fn from(e: se_ir::IrError) -> Self {
+        ModelError::Ir(e)
+    }
+}
+
+impl From<se_tensor::TensorError> for ModelError {
+    fn from(e: se_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<se_nn::NnError> for ModelError {
+    fn from(e: se_nn::NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+impl From<se_core::CoreError> for ModelError {
+    fn from(e: se_core::CoreError) -> Self {
+        ModelError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ModelError::UnknownModel { name: "vgg99".into() };
+        assert!(e.to_string().contains("vgg99"));
+        assert!(e.source().is_none());
+        let e = ModelError::Tensor(se_tensor::TensorError::Singular);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic synthetic datasets.
+//!
+//! The paper's accuracy numbers come from ImageNet/CIFAR-10/MNIST/CamVid;
+//! those gates are substituted (DESIGN.md) with procedurally generated
+//! tasks that preserve what the compression experiments measure: how much
+//! accuracy a redundant model loses under each compression scheme.
+//!
+//! * [`gaussian_clusters`] — classification of noisy class templates
+//!   (arbitrary tensor shape, works for CNNs and MLPs);
+//! * [`procedural_digits`] — an MNIST-like 28×28 digit task rendered from a
+//!   built-in 7×5 glyph font with jitter and noise (for the MLP-1/MLP-2
+//!   experiments).
+
+use crate::{NnError, Result};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use se_tensor::{rng, Tensor};
+
+/// A labelled dataset of single-sample tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Vec<Tensor>,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating labels against the class count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidData`] for empty data, mismatched lengths,
+    /// or out-of-range labels.
+    pub fn new(inputs: Vec<Tensor>, labels: Vec<usize>, classes: usize) -> Result<Self> {
+        if inputs.is_empty() || inputs.len() != labels.len() {
+            return Err(NnError::InvalidData {
+                reason: format!(
+                    "{} inputs vs {} labels (both must be non-zero and equal)",
+                    inputs.len(),
+                    labels.len()
+                ),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(NnError::InvalidData {
+                reason: format!("label {bad} out of range for {classes} classes"),
+            });
+        }
+        Ok(Dataset { inputs, labels, classes })
+    }
+
+    /// The sample tensors.
+    pub fn inputs(&self) -> &[Tensor] {
+        &self.inputs
+    }
+
+    /// The labels, parallel to [`Dataset::inputs`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the dataset is empty (never true for constructed datasets).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Splits into `(front, back)` with `front` holding `fraction` of the
+    /// samples (interleaved by index so both halves keep class balance).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidData`] if either split would be empty.
+    pub fn split(&self, fraction: f32) -> Result<(Dataset, Dataset)> {
+        let stride = (1.0 / (1.0 - fraction).max(1e-6)).round().max(2.0) as usize;
+        let mut a_in = Vec::new();
+        let mut a_lab = Vec::new();
+        let mut b_in = Vec::new();
+        let mut b_lab = Vec::new();
+        for i in 0..self.len() {
+            if i % stride == stride - 1 {
+                b_in.push(self.inputs[i].clone());
+                b_lab.push(self.labels[i]);
+            } else {
+                a_in.push(self.inputs[i].clone());
+                a_lab.push(self.labels[i]);
+            }
+        }
+        Ok((
+            Dataset::new(a_in, a_lab, self.classes)?,
+            Dataset::new(b_in, b_lab, self.classes)?,
+        ))
+    }
+}
+
+/// Noisy-template classification: each class is a random Gaussian template
+/// of the given shape; samples are `template + noise·N(0,1)`.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidData`] for zero classes/samples or an empty
+/// shape.
+pub fn gaussian_clusters(
+    classes: usize,
+    shape: &[usize],
+    per_class: usize,
+    noise: f32,
+    seed: u64,
+) -> Result<Dataset> {
+    if classes == 0 || per_class == 0 || shape.iter().product::<usize>() == 0 {
+        return Err(NnError::InvalidData {
+            reason: "classes, per_class and shape must be non-zero".into(),
+        });
+    }
+    let mut r = rng::seeded(seed);
+    let templates: Vec<Tensor> =
+        (0..classes).map(|_| rng::normal_tensor(&mut r, shape, 1.0)).collect();
+    let mut inputs = Vec::with_capacity(classes * per_class);
+    let mut labels = Vec::with_capacity(classes * per_class);
+    for (c, t) in templates.iter().enumerate() {
+        for _ in 0..per_class {
+            let n = rng::normal_tensor(&mut r, shape, noise);
+            inputs.push(t.add(&n)?);
+            labels.push(c);
+        }
+    }
+    Dataset::new(inputs, labels, classes)
+}
+
+/// 7×5 glyph bitmaps for the digits 0–9 (row-major, one string per row).
+const GLYPHS: [[&str; 7]; 10] = [
+    ["01110", "10001", "10011", "10101", "11001", "10001", "01110"],
+    ["00100", "01100", "00100", "00100", "00100", "00100", "01110"],
+    ["01110", "10001", "00001", "00010", "00100", "01000", "11111"],
+    ["11110", "00001", "00001", "01110", "00001", "00001", "11110"],
+    ["00010", "00110", "01010", "10010", "11111", "00010", "00010"],
+    ["11111", "10000", "11110", "00001", "00001", "10001", "01110"],
+    ["00110", "01000", "10000", "11110", "10001", "10001", "01110"],
+    ["11111", "00001", "00010", "00100", "01000", "01000", "01000"],
+    ["01110", "10001", "10001", "01110", "10001", "10001", "01110"],
+    ["01110", "10001", "10001", "01111", "00001", "00010", "01100"],
+];
+
+/// An MNIST-like task: 28×28 single-channel images of the digits 0–9,
+/// rendered from a built-in glyph font at 3× scale with ±3 px position
+/// jitter, per-sample intensity jitter, and Gaussian pixel noise.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidData`] for `per_class == 0`.
+pub fn procedural_digits(per_class: usize, seed: u64) -> Result<Dataset> {
+    if per_class == 0 {
+        return Err(NnError::InvalidData { reason: "per_class must be non-zero".into() });
+    }
+    let mut r = rng::seeded(seed);
+    let mut inputs = Vec::with_capacity(10 * per_class);
+    let mut labels = Vec::with_capacity(10 * per_class);
+    for digit in 0..10usize {
+        for _ in 0..per_class {
+            inputs.push(render_digit(digit, &mut r));
+            labels.push(digit);
+        }
+    }
+    Dataset::new(inputs, labels, 10)
+}
+
+fn render_digit(digit: usize, r: &mut StdRng) -> Tensor {
+    const SIZE: usize = 28;
+    const SCALE: usize = 3; // glyph covers 21 x 15 px
+    let jitter_y = r.random_range(0..=6) as isize; // glyph height 21: fits 0..=7
+    let jitter_x = r.random_range(0..=12) as isize; // glyph width 15: fits 0..=13
+    let intensity = 0.75 + 0.25 * r.random::<f32>();
+    let mut img = vec![0.0f32; SIZE * SIZE];
+    for (gy, row) in GLYPHS[digit].iter().enumerate() {
+        for (gx, ch) in row.bytes().enumerate() {
+            if ch != b'1' {
+                continue;
+            }
+            for sy in 0..SCALE {
+                for sx in 0..SCALE {
+                    let y = gy as isize * SCALE as isize + sy as isize + jitter_y;
+                    let x = gx as isize * SCALE as isize + sx as isize + jitter_x;
+                    if (0..SIZE as isize).contains(&y) && (0..SIZE as isize).contains(&x) {
+                        img[y as usize * SIZE + x as usize] = intensity;
+                    }
+                }
+            }
+        }
+    }
+    for px in &mut img {
+        *px = (*px + 0.08 * rng::normal(r)).clamp(0.0, 1.0);
+    }
+    Tensor::from_vec(img, &[1, SIZE, SIZE]).expect("static shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_clusters_shapes_and_balance() {
+        let ds = gaussian_clusters(3, &[2, 4, 4], 5, 0.1, 1).unwrap();
+        assert_eq!(ds.len(), 15);
+        assert_eq!(ds.classes(), 3);
+        assert_eq!(ds.inputs()[0].shape(), &[2, 4, 4]);
+        let count_c0 = ds.labels().iter().filter(|&&l| l == 0).count();
+        assert_eq!(count_c0, 5);
+    }
+
+    #[test]
+    fn gaussian_clusters_are_separable_at_low_noise() {
+        let ds = gaussian_clusters(2, &[16], 10, 0.05, 2).unwrap();
+        // Nearest-template classification should be perfect at this noise.
+        let t0 = &ds.inputs()[0];
+        let t1 = &ds.inputs()[10];
+        let d_same = ds.inputs()[1].sub(t0).unwrap().norm();
+        let d_diff = ds.inputs()[1].sub(t1).unwrap().norm();
+        assert!(d_same < d_diff);
+    }
+
+    #[test]
+    fn digits_render_deterministically() {
+        let a = procedural_digits(2, 7).unwrap();
+        let b = procedural_digits(2, 7).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 20);
+        assert_eq!(a.inputs()[0].shape(), &[1, 28, 28]);
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        let ds = procedural_digits(1, 3).unwrap();
+        for (img, &label) in ds.inputs().iter().zip(ds.labels()) {
+            let ink = img.data().iter().filter(|&&p| p > 0.5).count();
+            assert!(ink > 20, "digit {label} has only {ink} bright pixels");
+        }
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let ds = gaussian_clusters(2, &[4], 20, 0.1, 4).unwrap();
+        let (train, test) = ds.split(0.75).unwrap();
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(train.len() > test.len());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(Dataset::new(vec![], vec![], 2).is_err());
+        assert!(Dataset::new(vec![Tensor::zeros(&[1])], vec![5], 2).is_err());
+        assert!(gaussian_clusters(0, &[4], 1, 0.1, 0).is_err());
+        assert!(procedural_digits(0, 0).is_err());
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced by the NN stack.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer was configured with invalid dimensions.
+    InvalidLayer {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A dataset was invalid (empty, label out of range, shape mismatch).
+    InvalidData {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Training configuration was out of range.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying tensor operation failed.
+    Tensor(se_tensor::TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidLayer { reason } => write!(f, "invalid layer: {reason}"),
+            NnError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            NnError::InvalidConfig { reason } => write!(f, "invalid training config: {reason}"),
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<se_tensor::TensorError> for NnError {
+    fn from(e: se_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::InvalidLayer { reason: "bad".into() }.to_string().contains("bad"));
+        assert!(NnError::Tensor(se_tensor::TensorError::Singular)
+            .to_string()
+            .contains("singular"));
+    }
+}

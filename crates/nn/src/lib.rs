@@ -1,0 +1,47 @@
+//! Minimal neural-network stack for the SmartExchange reproduction.
+//!
+//! The paper's accuracy experiments need trainable networks; with no
+//! PyTorch/GPU available (see DESIGN.md) this crate provides a compact,
+//! dependency-free substitute: convolution / linear / batch-norm / pooling
+//! layers with exact backpropagation, SGD with momentum, softmax
+//! cross-entropy, deterministic synthetic datasets, and the alternating
+//! re-training loop of Section III-C (one SGD epoch, then a weight
+//! projection supplied by the caller — the SmartExchange re-training
+//! recipe).
+//!
+//! # Examples
+//!
+//! Train a tiny MLP on a synthetic two-class problem:
+//!
+//! ```
+//! use se_nn::{data, layers::Layer, model::Sequential, train};
+//!
+//! # fn main() -> Result<(), se_nn::NnError> {
+//! let ds = data::gaussian_clusters(2, &[8], 40, 0.3, 42)?;
+//! let mut model = Sequential::new(vec![
+//!     Layer::linear(8, 16, 1)?,
+//!     Layer::relu(),
+//!     Layer::linear(16, 2, 2)?,
+//! ]);
+//! let cfg = train::TrainConfig::default().with_epochs(12).with_lr(0.05);
+//! let report = train::train(&mut model, &ds, &cfg)?;
+//! assert!(report.final_accuracy > 0.9, "accuracy {}", report.final_accuracy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+
+pub mod data;
+pub mod layers;
+pub mod loss;
+pub mod model;
+pub mod train;
+
+pub use error::NnError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,95 @@
+//! Softmax cross-entropy loss and classification metrics.
+
+use crate::{NnError, Result};
+use se_tensor::Tensor;
+
+/// Numerically-stable softmax of a logit vector.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let max = logits.max().unwrap_or(0.0);
+    let exps: Vec<f32> = logits.data().iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    Tensor::from_vec(exps.into_iter().map(|e| e / sum.max(1e-30)).collect(), logits.shape())
+        .expect("shape preserved")
+}
+
+/// Softmax cross-entropy: returns `(loss, dLoss/dlogits)` for one sample.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidData`] if `label` is out of range.
+pub fn cross_entropy(logits: &Tensor, label: usize) -> Result<(f32, Tensor)> {
+    if label >= logits.len() {
+        return Err(NnError::InvalidData {
+            reason: format!("label {label} out of range for {} classes", logits.len()),
+        });
+    }
+    let probs = softmax(logits);
+    let loss = -(probs.data()[label].max(1e-30)).ln();
+    let mut grad = probs;
+    grad.data_mut()[label] -= 1.0;
+    Ok((loss, grad))
+}
+
+/// Index of the largest logit (`0` for an empty vector).
+pub fn argmax(logits: &Tensor) -> usize {
+    logits
+        .data()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let p = softmax(&t);
+        assert!((p.sum() - 1.0).abs() < 1e-6);
+        assert!(p.data()[2] > p.data()[1] && p.data()[1] > p.data()[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap());
+        let b = softmax(&Tensor::from_vec(vec![1001.0, 1002.0], &[2]).unwrap());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_probs_minus_onehot() {
+        let t = Tensor::from_vec(vec![0.5, -0.5, 0.0], &[3]).unwrap();
+        let (loss, grad) = cross_entropy(&t, 1).unwrap();
+        assert!(loss > 0.0);
+        let p = softmax(&t);
+        assert!((grad.data()[0] - p.data()[0]).abs() < 1e-6);
+        assert!((grad.data()[1] - (p.data()[1] - 1.0)).abs() < 1e-6);
+        // Gradient sums to zero.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_rejects_bad_label() {
+        let t = Tensor::zeros(&[3]);
+        assert!(cross_entropy(&t, 3).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let t = Tensor::from_vec(vec![10.0, -10.0], &[2]).unwrap();
+        let (loss, _) = cross_entropy(&t, 0).unwrap();
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5], &[3]).unwrap();
+        assert_eq!(argmax(&t), 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! The [`Sequential`] model container.
+
+use crate::{layers::Layer, Result};
+use se_tensor::Tensor;
+
+/// A feed-forward stack of layers.
+///
+/// # Examples
+///
+/// ```
+/// use se_nn::{layers::Layer, model::Sequential};
+/// use se_tensor::Tensor;
+///
+/// # fn main() -> Result<(), se_nn::NnError> {
+/// let model = Sequential::new(vec![
+///     Layer::conv2d(1, 4, 3, 1, 1, 0)?,
+///     Layer::relu(),
+///     Layer::global_avg_pool(),
+///     Layer::linear(4, 2, 1)?,
+/// ]);
+/// let logits = model.forward(&Tensor::zeros(&[1, 8, 8]))?;
+/// assert_eq!(logits.shape(), &[2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sequential {
+    layers: Vec<Layer>,
+}
+
+impl Sequential {
+    /// Creates a model from an ordered list of layers.
+    pub fn new(layers: Vec<Layer>) -> Self {
+        Sequential { layers }
+    }
+
+    /// The layers in order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by compression projections to
+    /// rewrite weights in place).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Inference forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            cur = layer.forward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Inference forward pass that also returns the *input* to every layer
+    /// (used to capture the activation traces the accelerator simulators
+    /// consume).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_capturing(&self, x: &Tensor) -> Result<(Tensor, Vec<Tensor>)> {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for layer in &self.layers {
+            inputs.push(cur.clone());
+            cur = layer.forward(&cur)?;
+        }
+        Ok((cur, inputs))
+    }
+
+    /// Training forward pass (caches intermediates inside each layer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape errors.
+    pub fn forward_train(&mut self, x: &Tensor) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward_train(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// Backward pass from the loss gradient, accumulating per-layer
+    /// parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if called without a matching
+    /// [`Sequential::forward_train`].
+    pub fn backward(&mut self, dlogits: &Tensor) -> Result<()> {
+        let mut grad = dlogits.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad)?;
+        }
+        Ok(())
+    }
+
+    /// Applies accumulated gradients (SGD + momentum) and clears them.
+    pub fn apply_grads(&mut self, lr: f32, momentum: f32, batch: usize) {
+        for layer in &mut self.layers {
+            layer.apply_grads(lr, momentum, batch);
+        }
+    }
+
+    /// Iterates over the weight tensors of conv/linear layers.
+    pub fn weight_tensors(&self) -> impl Iterator<Item = &Tensor> {
+        self.layers.iter().filter_map(Layer::weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use se_tensor::rng;
+
+    fn tiny_cnn() -> Sequential {
+        Sequential::new(vec![
+            Layer::conv2d(1, 4, 3, 1, 1, 10).unwrap(),
+            Layer::relu(),
+            Layer::max_pool(2),
+            Layer::flatten(),
+            Layer::linear(4 * 4 * 4, 3, 11).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes_flow() {
+        let m = tiny_cnn();
+        let out = m.forward(&Tensor::zeros(&[1, 8, 8])).unwrap();
+        assert_eq!(out.shape(), &[3]);
+    }
+
+    #[test]
+    fn capture_returns_layer_inputs() {
+        let m = tiny_cnn();
+        let mut r = rng::seeded(2);
+        let x = rng::normal_tensor(&mut r, &[1, 8, 8], 1.0);
+        let (_, inputs) = m.forward_capturing(&x).unwrap();
+        assert_eq!(inputs.len(), 5);
+        assert_eq!(inputs[0], x);
+        assert_eq!(inputs[1].shape(), &[4, 8, 8]); // conv output feeds relu
+        assert_eq!(inputs[4].shape(), &[64]); // flattened into linear
+    }
+
+    #[test]
+    fn train_cycle_changes_weights() {
+        let mut m = tiny_cnn();
+        let before: Vec<Tensor> = m.weight_tensors().cloned().collect();
+        let mut r = rng::seeded(3);
+        let x = rng::normal_tensor(&mut r, &[1, 8, 8], 1.0);
+        let out = m.forward_train(&x).unwrap();
+        let (_, grad) = crate::loss::cross_entropy(&out, 0).unwrap();
+        m.backward(&grad).unwrap();
+        m.apply_grads(0.1, 0.9, 1);
+        let after: Vec<Tensor> = m.weight_tensors().cloned().collect();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn params_count() {
+        let m = tiny_cnn();
+        // conv: 4*1*9 + 4 bias; linear: 64*3 + 3 bias.
+        assert_eq!(m.params(), (36 + 4 + 192 + 3) as u64);
+    }
+}

@@ -1,0 +1,399 @@
+//! Convolution lowering primitives (im2col / col2im) and shape helpers.
+//!
+//! The CONV layers in Section II-A of the paper compute
+//! `O[co][e][f] = σ(Σ_ci Σ_kr Σ_ks W[co][ci][kr][ks] · I[ci][eU+kr][fU+ks] + bias)`.
+//! We lower that to a matrix product via im2col, which both the NN stack and
+//! the accelerator-trace generation reuse.
+
+use crate::{Mat, Result, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution.
+///
+/// Shapes follow the paper's notation: `C` input channels, `M` output
+/// channels, `R × S` kernels, `U` stride, spatial padding `P` on all sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeom {
+    /// Input channels (`C`).
+    pub in_channels: usize,
+    /// Output channels (`M`).
+    pub out_channels: usize,
+    /// Kernel height (`R`).
+    pub kernel_h: usize,
+    /// Kernel width (`S`).
+    pub kernel_w: usize,
+    /// Stride (`U`), same in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl Conv2dGeom {
+    /// Output spatial size `(E, F)` for an input of `(H, W)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if the kernel (with padding)
+    /// does not fit in the input or the stride is zero.
+    pub fn output_size(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if self.stride == 0 {
+            return Err(TensorError::InvalidShape { reason: "stride must be positive".into() });
+        }
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        if eff_h < self.kernel_h || eff_w < self.kernel_w {
+            return Err(TensorError::InvalidShape {
+                reason: format!(
+                    "kernel {}x{} larger than padded input {eff_h}x{eff_w}",
+                    self.kernel_h, self.kernel_w
+                ),
+            });
+        }
+        Ok((
+            (eff_h - self.kernel_h) / self.stride + 1,
+            (eff_w - self.kernel_w) / self.stride + 1,
+        ))
+    }
+}
+
+/// Lowers an input activation tensor `(C, H, W)` into the im2col matrix of
+/// shape `(C·R·S, E·F)`, so that `conv(W, I) = W_mat · im2col(I)` with
+/// `W_mat` of shape `(M, C·R·S)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if `input` is not 3-D, its channel
+/// count mismatches `geom`, or the geometry is invalid for the input size.
+pub fn im2col(input: &Tensor, geom: &Conv2dGeom) -> Result<Mat> {
+    let shape = input.shape();
+    if shape.len() != 3 {
+        return Err(TensorError::InvalidShape {
+            reason: format!("im2col expects (C,H,W), found {shape:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    if c != geom.in_channels {
+        return Err(TensorError::InvalidShape {
+            reason: format!("input has {c} channels, geometry expects {}", geom.in_channels),
+        });
+    }
+    let (e, f) = geom.output_size(h, w)?;
+    let (r, s, u, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let mut out = Mat::zeros(c * r * s, e * f);
+    let data = input.data();
+    for ci in 0..c {
+        let chan = &data[ci * h * w..(ci + 1) * h * w];
+        for kr in 0..r {
+            for ks in 0..s {
+                let row_idx = (ci * r + kr) * s + ks;
+                let row = out.row_mut(row_idx);
+                for oy in 0..e {
+                    let iy = (oy * u + kr) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue; // padding region stays zero
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..f {
+                        let ix = (ox * u + ks) as isize - p as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        row[oy * f + ox] = chan[iy * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Scatters an im2col-shaped gradient matrix `(C·R·S, E·F)` back into an
+/// input-shaped tensor `(C, H, W)`, accumulating overlaps (the adjoint of
+/// [`im2col`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] if the matrix shape does not match
+/// the geometry for the given input size.
+pub fn col2im(cols: &Mat, geom: &Conv2dGeom, h: usize, w: usize) -> Result<Tensor> {
+    let c = geom.in_channels;
+    let (r, s, u, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let (e, f) = geom.output_size(h, w)?;
+    if cols.rows() != c * r * s || cols.cols() != e * f {
+        return Err(TensorError::InvalidShape {
+            reason: format!(
+                "col matrix {}x{} does not match geometry ({}x{})",
+                cols.rows(),
+                cols.cols(),
+                c * r * s,
+                e * f
+            ),
+        });
+    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let data = out.data_mut();
+    for ci in 0..c {
+        for kr in 0..r {
+            for ks in 0..s {
+                let row = cols.row((ci * r + kr) * s + ks);
+                for oy in 0..e {
+                    let iy = (oy * u + kr) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..f {
+                        let ix = (ox * u + ks) as isize - p as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        data[(ci * h + iy) * w + ix as usize] += row[oy * f + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Full 2-D convolution forward pass: weights `(M, C, R, S)` applied to an
+/// input `(C, H, W)`, producing `(M, E, F)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] on any dimension mismatch.
+///
+/// # Examples
+///
+/// ```
+/// use se_tensor::{Tensor, conv::{conv2d, Conv2dGeom}};
+/// # fn main() -> Result<(), se_tensor::TensorError> {
+/// // 1x1x3x3 identity-ish kernel on a 1x3x3 input.
+/// let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+/// w.set(&[0, 0, 1, 1], 1.0); // centre tap
+/// let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3])?;
+/// let geom = Conv2dGeom {
+///     in_channels: 1, out_channels: 1, kernel_h: 3, kernel_w: 3, stride: 1, padding: 1,
+/// };
+/// let out = conv2d(&w, &input, &geom)?;
+/// assert_eq!(out.shape(), &[1, 3, 3]);
+/// assert_eq!(out.at(&[0, 1, 1]), 5.0); // centre tap passes the input through
+/// # Ok(())
+/// # }
+/// ```
+pub fn conv2d(weights: &Tensor, input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
+    let ws = weights.shape();
+    if ws.len() != 4
+        || ws[0] != geom.out_channels
+        || ws[1] != geom.in_channels
+        || ws[2] != geom.kernel_h
+        || ws[3] != geom.kernel_w
+    {
+        return Err(TensorError::InvalidShape {
+            reason: format!("weights {ws:?} do not match geometry {geom:?}"),
+        });
+    }
+    let (h, w) = (input.shape()[1], input.shape()[2]);
+    let (e, f) = geom.output_size(h, w)?;
+    let cols = im2col(input, geom)?;
+    let w_mat = Mat::from_vec(
+        weights.data().to_vec(),
+        geom.out_channels,
+        geom.in_channels * geom.kernel_h * geom.kernel_w,
+    )?;
+    let out = w_mat.matmul(&cols)?;
+    Tensor::from_vec(out.into_vec(), &[geom.out_channels, e, f])
+}
+
+/// Depth-wise 2-D convolution: weights `(C, R, S)` (one kernel per channel)
+/// applied to `(C, H, W)`, producing `(C, E, F)`.
+///
+/// Depth-wise CONV layers are the structure MobileNetV2/EfficientNet use and
+/// that the accelerator's "dedicated design for compact models" targets.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidShape`] on dimension mismatch.
+pub fn depthwise_conv2d(weights: &Tensor, input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
+    let ws = weights.shape();
+    if ws.len() != 3 || ws[0] != geom.in_channels || ws[1] != geom.kernel_h || ws[2] != geom.kernel_w
+    {
+        return Err(TensorError::InvalidShape {
+            reason: format!("depthwise weights {ws:?} do not match geometry {geom:?}"),
+        });
+    }
+    let shape = input.shape();
+    if shape.len() != 3 || shape[0] != geom.in_channels {
+        return Err(TensorError::InvalidShape {
+            reason: format!("depthwise input {shape:?} does not match geometry {geom:?}"),
+        });
+    }
+    let (c, h, w) = (shape[0], shape[1], shape[2]);
+    let (e, f) = geom.output_size(h, w)?;
+    let (r, s, u, p) = (geom.kernel_h, geom.kernel_w, geom.stride, geom.padding);
+    let mut out = Tensor::zeros(&[c, e, f]);
+    let in_data = input.data();
+    let w_data = weights.data();
+    let out_data = out.data_mut();
+    for ci in 0..c {
+        let chan = &in_data[ci * h * w..(ci + 1) * h * w];
+        let kern = &w_data[ci * r * s..(ci + 1) * r * s];
+        let out_chan = &mut out_data[ci * e * f..(ci + 1) * e * f];
+        for oy in 0..e {
+            for ox in 0..f {
+                let mut acc = 0.0f32;
+                for kr in 0..r {
+                    let iy = (oy * u + kr) as isize - p as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    for ks in 0..s {
+                        let ix = (ox * u + ks) as isize - p as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        acc += kern[kr * s + ks] * chan[iy as usize * w + ix as usize];
+                    }
+                }
+                out_chan[oy * f + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(c: usize, m: usize, k: usize, stride: usize, pad: usize) -> Conv2dGeom {
+        Conv2dGeom {
+            in_channels: c,
+            out_channels: m,
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            padding: pad,
+        }
+    }
+
+    #[test]
+    fn output_size_basic() {
+        let g = geom(1, 1, 3, 1, 0);
+        assert_eq!(g.output_size(5, 5).unwrap(), (3, 3));
+        let g = geom(1, 1, 3, 1, 1);
+        assert_eq!(g.output_size(5, 5).unwrap(), (5, 5));
+        let g = geom(1, 1, 3, 2, 1);
+        assert_eq!(g.output_size(8, 8).unwrap(), (4, 4));
+    }
+
+    #[test]
+    fn output_size_rejects_bad_geometry() {
+        let g = geom(1, 1, 7, 1, 0);
+        assert!(g.output_size(5, 5).is_err());
+        let mut g = geom(1, 1, 3, 1, 0);
+        g.stride = 0;
+        assert!(g.output_size(5, 5).is_err());
+    }
+
+    #[test]
+    fn im2col_identity_kernel_layout() {
+        // 1 channel, 2x2 input, 1x1 kernel: im2col is just the flattened input.
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]).unwrap();
+        let g = geom(1, 1, 1, 1, 0);
+        let cols = im2col(&input, &g).unwrap();
+        assert_eq!(cols.rows(), 1);
+        assert_eq!(cols.row(0), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_matches_manual() {
+        // 1x1x2x2 averaging kernel over 1x3x3 input, stride 1, no pad.
+        let w = Tensor::from_vec(vec![0.25; 4], &[1, 1, 2, 2]).unwrap();
+        let input = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 3, 3]).unwrap();
+        let g = geom(1, 1, 2, 1, 0);
+        let out = conv2d(&w, &input, &g).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        // Top-left window: (1+2+4+5)/4 = 3.
+        assert!((out.at(&[0, 0, 0]) - 3.0).abs() < 1e-6);
+        assert!((out.at(&[0, 1, 1]) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_channels() {
+        // Two input channels, kernel = all ones: output = sum over both.
+        let w = Tensor::full(&[1, 2, 1, 1], 1.0);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0], &[2, 1, 2]).unwrap();
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let out = conv2d(&w, &input, &g).unwrap();
+        assert_eq!(out.data(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_zero_extends() {
+        let w = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let input = Tensor::full(&[1, 1, 1], 5.0);
+        let g = geom(1, 1, 3, 1, 1);
+        let out = conv2d(&w, &input, &g).unwrap();
+        // Only the centre tap sees the single input pixel.
+        assert_eq!(out.shape(), &[1, 1, 1]);
+        assert_eq!(out.at(&[0, 0, 0]), 5.0);
+    }
+
+    #[test]
+    fn conv2d_rejects_wrong_weight_shape() {
+        let w = Tensor::zeros(&[1, 1, 3, 3]);
+        let input = Tensor::zeros(&[2, 5, 5]);
+        let g = geom(2, 1, 3, 1, 0);
+        assert!(conv2d(&w, &input, &g).is_err());
+    }
+
+    #[test]
+    fn depthwise_independent_channels() {
+        // Channel 0 kernel doubles, channel 1 kernel negates.
+        let w = Tensor::from_vec(vec![2.0, -1.0], &[2, 1, 1]).unwrap();
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 1, 2]).unwrap();
+        let g = Conv2dGeom {
+            in_channels: 2,
+            out_channels: 2,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let out = depthwise_conv2d(&w, &input, &g).unwrap();
+        assert_eq!(out.data(), &[2.0, 4.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for arbitrary x, y.
+        let g = geom(2, 1, 3, 1, 1);
+        let x = Tensor::from_vec((0..2 * 4 * 4).map(|i| (i as f32).sin()).collect(), &[2, 4, 4])
+            .unwrap();
+        let cols = im2col(&x, &g).unwrap();
+        let y = Mat::from_fn(cols.rows(), cols.cols(), |i, j| ((i * 31 + j * 17) % 7) as f32 - 3.0);
+        let lhs: f32 = cols.data().iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, &g, 4, 4).unwrap();
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn strided_conv_spatial_positions() {
+        let mut w = Tensor::zeros(&[1, 1, 1, 1]);
+        w.set(&[0, 0, 0, 0], 1.0);
+        let input =
+            Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
+        let g = geom(1, 1, 1, 2, 0);
+        let out = conv2d(&w, &input, &g).unwrap();
+        assert_eq!(out.shape(), &[1, 2, 2]);
+        assert_eq!(out.data(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+}

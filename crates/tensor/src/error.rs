@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced by tensor and linear-algebra operations.
+///
+/// All fallible public functions in this crate return this type; it
+/// implements [`std::error::Error`] so it composes with `?` and
+/// error-handling libraries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// A shape was invalid on its own (zero-sized dimension where data was
+    /// provided, or element count not matching the buffer length).
+    InvalidShape {
+        /// Human-readable description of what was wrong.
+        reason: String,
+    },
+    /// A matrix required to be (numerically) positive definite or otherwise
+    /// invertible was singular.
+    Singular,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed to converge.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::InvalidShape { reason } => write!(f, "invalid shape: {reason}"),
+            TensorError::Singular => write!(f, "matrix is singular"),
+            TensorError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

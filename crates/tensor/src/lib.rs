@@ -1,0 +1,43 @@
+//! Dense `f32` tensor and linear-algebra substrate for the SmartExchange
+//! reproduction.
+//!
+//! The SmartExchange paper (ISCA 2020) evaluates on PyTorch-trained networks;
+//! this crate provides the from-scratch numerical substrate the rest of the
+//! workspace builds on: an n-dimensional [`Tensor`], a 2-D [`Mat`] with the
+//! linear-algebra kernels the decomposition algorithm needs (mat-mul,
+//! Cholesky, least squares, Jacobi SVD), convolution lowering (im2col), and
+//! deterministic random initialisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use se_tensor::{Mat, linalg};
+//!
+//! # fn main() -> Result<(), se_tensor::TensorError> {
+//! // Solve the least-squares problem  argmin_B ||W - C B||_F.
+//! let c = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]])?;
+//! let w = Mat::from_rows(&[&[2.0], &[3.0], &[5.0]])?;
+//! let b = linalg::lstsq_left(&c, &w, 0.0)?;
+//! assert!((b.get(0, 0) - 2.0).abs() < 1e-5);
+//! assert!((b.get(1, 0) - 3.0).abs() < 1e-5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod mat;
+mod tensor;
+
+pub mod conv;
+pub mod linalg;
+pub mod rng;
+
+pub use error::TensorError;
+pub use mat::Mat;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,474 @@
+//! Linear-algebra kernels: Cholesky factorisation, least squares, and a
+//! one-sided Jacobi SVD.
+//!
+//! The SmartExchange fitting steps (Section III-B, Step 2 of Algorithm 1)
+//! are two unconstrained least-squares problems:
+//!
+//! * `B  = argmin_B  ||W - Ce B||_F`  → solved by [`lstsq_left`], and
+//! * `Ce = argmin_Ce ||W - Ce B||_F`  → solved by [`lstsq_right`].
+//!
+//! Both reduce to small symmetric positive (semi-)definite systems
+//! (`r × r` with `r = S`, typically 3), solved via Cholesky with optional
+//! ridge regularisation for rank-deficient cases.
+//!
+//! [`svd`] provides the low-rank-decomposition *baseline* the paper compares
+//! against (decomposition-alone compression).
+
+use crate::{Mat, Result, TensorError};
+
+/// Cholesky factorisation of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular `L` with `A = L Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `a` is not square and
+/// [`TensorError::Singular`] if a non-positive pivot is encountered
+/// (matrix not positive definite within `f64` round-off).
+///
+/// # Examples
+///
+/// ```
+/// use se_tensor::{Mat, linalg};
+/// # fn main() -> Result<(), se_tensor::TensorError> {
+/// let a = Mat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let l = linalg::cholesky(&a)?;
+/// let recon = l.matmul(&l.transpose())?;
+/// assert!((recon.get(0, 0) - 4.0).abs() < 1e-5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cholesky(a: &Mat) -> Result<Mat> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(TensorError::ShapeMismatch {
+            op: "cholesky",
+            lhs: vec![a.rows(), a.cols()],
+            rhs: vec![n, n],
+        });
+    }
+    // Factor in f64 for numerical robustness; the inputs are f32 data.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.get(i, j) as f64;
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(TensorError::Singular);
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    Ok(Mat::from_fn(n, n, |i, j| l[i * n + j] as f32))
+}
+
+/// Solves `A X = B` for symmetric positive-definite `A` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates [`cholesky`] errors; also returns
+/// [`TensorError::ShapeMismatch`] if `b.rows() != a.rows()`.
+pub fn solve_spd(a: &Mat, b: &Mat) -> Result<Mat> {
+    if b.rows() != a.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "solve_spd",
+            lhs: vec![a.rows(), a.cols()],
+            rhs: vec![b.rows(), b.cols()],
+        });
+    }
+    let l = cholesky(a)?;
+    let n = a.rows();
+    let m = b.cols();
+    // Forward substitution: L Y = B.
+    let mut y = vec![0.0f64; n * m];
+    for c in 0..m {
+        for i in 0..n {
+            let mut sum = b.get(i, c) as f64;
+            for k in 0..i {
+                sum -= (l.get(i, k) as f64) * y[k * m + c];
+            }
+            y[i * m + c] = sum / l.get(i, i) as f64;
+        }
+    }
+    // Back substitution: Lᵀ X = Y.
+    let mut x = vec![0.0f64; n * m];
+    for c in 0..m {
+        for i in (0..n).rev() {
+            let mut sum = y[i * m + c];
+            for k in (i + 1)..n {
+                sum -= (l.get(k, i) as f64) * x[k * m + c];
+            }
+            x[i * m + c] = sum / l.get(i, i) as f64;
+        }
+    }
+    Ok(Mat::from_fn(n, m, |i, j| x[i * m + j] as f32))
+}
+
+/// Adds `ridge · (1 + mean(diag))` to the diagonal of a Gram matrix so the
+/// regularisation stays meaningful across scales (an absolute `1e-8` would
+/// vanish in `f32` next to a diagonal of order 1).
+fn add_relative_ridge(gram: &mut Mat, ridge: f32) {
+    if ridge <= 0.0 {
+        return;
+    }
+    let n = gram.rows();
+    let mean_diag = (0..n).map(|i| gram.get(i, i)).sum::<f32>() / n.max(1) as f32;
+    let eff = ridge * (1.0 + mean_diag);
+    for i in 0..n {
+        let v = gram.get(i, i) + eff;
+        gram.set(i, i, v);
+    }
+}
+
+/// Least squares for the *left* factor position:
+/// `B = argmin_B ||W - C B||_F`, solved as `(CᵀC + ridge·I) B = CᵀW`.
+///
+/// `ridge >= 0` adds Tikhonov regularisation; pass a small positive value
+/// (e.g. `1e-6`) when `C` may have zero columns (fully-pruned coefficient
+/// columns produce an exactly singular normal matrix).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `c.rows() != w.rows()`, or
+/// [`TensorError::Singular`] if the (regularised) normal matrix is still
+/// singular.
+pub fn lstsq_left(c: &Mat, w: &Mat, ridge: f32) -> Result<Mat> {
+    if c.rows() != w.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "lstsq_left",
+            lhs: vec![c.rows(), c.cols()],
+            rhs: vec![w.rows(), w.cols()],
+        });
+    }
+    let ct = c.transpose();
+    let mut gram = ct.matmul(c)?;
+    add_relative_ridge(&mut gram, ridge);
+    let rhs = ct.matmul(w)?;
+    solve_spd(&gram, &rhs)
+}
+
+/// Least squares for the *right* factor position:
+/// `C = argmin_C ||W - C B||_F`, solved as `C = W Bᵀ (B Bᵀ + ridge·I)⁻¹`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `w.cols() != b.cols()`, or
+/// [`TensorError::Singular`] if the (regularised) Gram matrix is singular.
+pub fn lstsq_right(w: &Mat, b: &Mat, ridge: f32) -> Result<Mat> {
+    if w.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "lstsq_right",
+            lhs: vec![w.rows(), w.cols()],
+            rhs: vec![b.rows(), b.cols()],
+        });
+    }
+    let bt = b.transpose();
+    let mut gram = b.matmul(&bt)?; // r × r
+    add_relative_ridge(&mut gram, ridge);
+    // Solve (B Bᵀ) Xᵀ = B Wᵀ, then C = Xᵀᵀ = X.
+    let rhs = b.matmul(&w.transpose())?;
+    let xt = solve_spd(&gram, &rhs)?;
+    Ok(xt.transpose())
+}
+
+/// Result of a singular value decomposition `A = U Σ Vᵀ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` with orthonormal columns.
+    pub u: Mat,
+    /// Singular values in non-increasing order, length `k = min(m, n)`.
+    pub sigma: Vec<f32>,
+    /// Right singular vectors, `n × k` with orthonormal columns.
+    pub v: Mat,
+}
+
+impl Svd {
+    /// Reconstructs the best rank-`r` approximation `U_r Σ_r V_rᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `r` exceeds the number of
+    /// singular values.
+    pub fn truncate(&self, r: usize) -> Result<Mat> {
+        if r > self.sigma.len() {
+            return Err(TensorError::InvalidShape {
+                reason: format!("rank {r} exceeds {} singular values", self.sigma.len()),
+            });
+        }
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let mut out = Mat::zeros(m, n);
+        for k in 0..r {
+            let s = self.sigma[k];
+            for i in 0..m {
+                let uis = self.u.get(i, k) * s;
+                if uis == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = out.get(i, j) + uis * self.v.get(j, k);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One-sided Jacobi SVD of `a` (`m × n`, any aspect ratio).
+///
+/// Orthogonalises the columns of `A` by Jacobi rotations; suitable for the
+/// moderate matrix sizes used in the low-rank compression baseline.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NoConvergence`] if off-diagonal mass remains after
+/// the sweep budget (does not happen for well-scaled inputs).
+///
+/// # Examples
+///
+/// ```
+/// use se_tensor::{Mat, linalg};
+/// # fn main() -> Result<(), se_tensor::TensorError> {
+/// let a = Mat::from_rows(&[&[3.0, 0.0], &[0.0, 2.0], &[0.0, 0.0]])?;
+/// let svd = linalg::svd(&a)?;
+/// assert!((svd.sigma[0] - 3.0).abs() < 1e-4);
+/// assert!((svd.sigma[1] - 2.0).abs() < 1e-4);
+/// # Ok(())
+/// # }
+/// ```
+pub fn svd(a: &Mat) -> Result<Svd> {
+    // Work on the tall orientation; transpose back at the end if needed.
+    if a.rows() < a.cols() {
+        let s = svd(&a.transpose())?;
+        return Ok(Svd { u: s.v, sigma: s.sigma, v: s.u });
+    }
+    let m = a.rows();
+    let n = a.cols();
+    // u starts as a copy of A in f64; v accumulates rotations.
+    let mut u: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    let max_sweeps = 60;
+    let eps = 1e-12_f64;
+    let mut converged = false;
+    for _ in 0..max_sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Column inner products.
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let up = u[i * n + p];
+                    let uq = u[i * n + q];
+                    app += up * up;
+                    aqq += uq * uq;
+                    apq += up * uq;
+                }
+                off += apq * apq;
+                if apq.abs() <= eps * (app * aqq).sqrt().max(1e-300) {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) entry of AᵀA.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u[i * n + p];
+                    let uq = u[i * n + q];
+                    u[i * n + p] = c * up - s * uq;
+                    u[i * n + q] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v[i * n + p];
+                    let vq = v[i * n + q];
+                    v[i * n + p] = c * vp - s * vq;
+                    v[i * n + q] = s * vp + c * vq;
+                }
+            }
+        }
+        if off.sqrt() <= 1e-10 {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(TensorError::NoConvergence { routine: "svd", iterations: max_sweeps });
+    }
+    // Column norms are the singular values; normalise U's columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigmas = vec![0.0f64; n];
+    for (j, s) in sigmas.iter_mut().enumerate() {
+        *s = (0..m).map(|i| u[i * n + j] * u[i * n + j]).sum::<f64>().sqrt();
+    }
+    order.sort_by(|&x, &y| sigmas[y].partial_cmp(&sigmas[x]).expect("finite singular values"));
+
+    let mut u_out = Mat::zeros(m, n);
+    let mut v_out = Mat::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (k, &j) in order.iter().enumerate() {
+        let s = sigmas[j];
+        sigma.push(s as f32);
+        let inv = if s > 1e-30 { 1.0 / s } else { 0.0 };
+        for i in 0..m {
+            u_out.set(i, k, (u[i * n + j] * inv) as f32);
+        }
+        for i in 0..n {
+            v_out.set(i, k, v[i * n + j] as f32);
+        }
+    }
+    Ok(Svd { u: u_out, sigma, v: v_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f32, b: f32, tol: f32) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn cholesky_known() {
+        let a = Mat::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
+            .unwrap();
+        let l = cholesky(&a).unwrap();
+        assert_close(l.get(0, 0), 5.0, 1e-5);
+        assert_close(l.get(1, 0), 3.0, 1e-5);
+        assert_close(l.get(1, 1), 3.0, 1e-5);
+        assert_close(l.get(2, 0), -1.0, 1e-5);
+        assert_close(l.get(2, 2), 3.0, 1e-4);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(cholesky(&a), Err(TensorError::Singular));
+    }
+
+    #[test]
+    fn cholesky_rejects_nonsquare() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(cholesky(&a), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn solve_spd_identity_rhs() {
+        let a = Mat::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_spd(&a, &Mat::identity(2)).unwrap();
+        // x should be A^{-1}: check A * x = I.
+        let prod = a.matmul(&x).unwrap();
+        assert_close(prod.get(0, 0), 1.0, 1e-5);
+        assert_close(prod.get(0, 1), 0.0, 1e-5);
+        assert_close(prod.get(1, 1), 1.0, 1e-5);
+    }
+
+    #[test]
+    fn lstsq_left_exact_system() {
+        // C is square invertible: B must satisfy W = C B exactly.
+        let c = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]).unwrap();
+        let w = Mat::from_rows(&[&[2.0, 4.0], &[8.0, 12.0]]).unwrap();
+        let b = lstsq_left(&c, &w, 0.0).unwrap();
+        assert_close(b.get(0, 0), 1.0, 1e-5);
+        assert_close(b.get(0, 1), 2.0, 1e-5);
+        assert_close(b.get(1, 0), 2.0, 1e-5);
+        assert_close(b.get(1, 1), 3.0, 1e-5);
+    }
+
+    #[test]
+    fn lstsq_right_exact_system() {
+        let b = Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        let c_true = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let w = c_true.matmul(&b).unwrap();
+        let c = lstsq_right(&w, &b, 0.0).unwrap();
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_close(c.get(i, j), c_true.get(i, j), 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn lstsq_left_overdetermined_reduces_residual() {
+        // Random-ish overdetermined system: residual of LS solution must be
+        // no worse than residual of any other candidate (here: zero).
+        let c = Mat::from_rows(&[&[1.0, 0.5], &[0.2, 1.0], &[1.0, 1.0], &[0.3, 0.7]]).unwrap();
+        let w = Mat::from_rows(&[&[1.0], &[2.0], &[3.0], &[0.5]]).unwrap();
+        let b = lstsq_left(&c, &w, 0.0).unwrap();
+        let resid = w.sub(&c.matmul(&b).unwrap()).unwrap().frobenius_norm();
+        assert!(resid < w.frobenius_norm());
+    }
+
+    #[test]
+    fn ridge_rescues_singular_gram() {
+        // C has an all-zero column -> CᵀC singular without ridge.
+        let c = Mat::from_rows(&[&[1.0, 0.0], &[2.0, 0.0]]).unwrap();
+        let w = Mat::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        assert_eq!(lstsq_left(&c, &w, 0.0), Err(TensorError::Singular));
+        let b = lstsq_left(&c, &w, 1e-6).unwrap();
+        assert_close(b.get(0, 0), 1.0, 1e-3);
+    }
+
+    #[test]
+    fn svd_diagonal() {
+        let a = Mat::from_rows(&[&[0.0, 2.0], &[3.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let s = svd(&a).unwrap();
+        assert_close(s.sigma[0], 3.0, 1e-4);
+        assert_close(s.sigma[1], 2.0, 1e-4);
+    }
+
+    #[test]
+    fn svd_reconstructs() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+            &[1.0, 0.0, -1.0],
+        ])
+        .unwrap();
+        let s = svd(&a).unwrap();
+        let full = s.truncate(3).unwrap();
+        let err = a.sub(&full).unwrap().frobenius_norm();
+        assert!(err < 1e-3, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn svd_truncation_is_best_low_rank() {
+        let a = Mat::from_rows(&[&[10.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let s = svd(&a).unwrap();
+        let r1 = s.truncate(1).unwrap();
+        // Best rank-1 approximation keeps the sigma=10 direction.
+        assert_close(r1.get(0, 0), 10.0, 1e-4);
+        assert_close(r1.get(1, 1), 0.0, 1e-4);
+        assert!(s.truncate(5).is_err());
+    }
+
+    #[test]
+    fn svd_wide_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 0.0, 0.0, 2.0], &[0.0, 3.0, 0.0, 0.0]]).unwrap();
+        let s = svd(&a).unwrap();
+        assert_eq!(s.u.rows(), 2);
+        assert_eq!(s.v.rows(), 4);
+        let recon = s.truncate(2).unwrap();
+        assert_close(recon.get(0, 3), 2.0, 1e-4);
+        assert_close(recon.get(1, 1), 3.0, 1e-4);
+    }
+
+    #[test]
+    fn svd_singular_values_nonincreasing() {
+        let a = Mat::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 5) as f32 - 2.0);
+        let s = svd(&a).unwrap();
+        for w in s.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+use crate::{Result, TensorError};
+
+/// A dense row-major 2-D matrix of `f32`.
+///
+/// This is the workhorse of the SmartExchange decomposition: weight matrices
+/// `W`, coefficient matrices `Ce`, and basis matrices `B` are all `Mat`s.
+///
+/// # Examples
+///
+/// ```
+/// use se_tensor::Mat;
+///
+/// # fn main() -> Result<(), se_tensor::TensorError> {
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Mat::identity(2);
+/// let c = a.matmul(&b)?;
+/// assert_eq!(c, a);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let i = se_tensor::Mat::identity(3);
+    /// assert_eq!(i.get(1, 1), 1.0);
+    /// assert_eq!(i.get(1, 2), 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if `data.len() != rows * cols`.
+    pub fn from_vec(data: Vec<f32>, rows: usize, cols: usize) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(TensorError::InvalidShape {
+                reason: format!("{} elements cannot form a {rows}x{cols} matrix", data.len()),
+            });
+        }
+        Ok(Mat { rows, cols, data })
+    }
+
+    /// Creates a matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidShape`] if rows have unequal lengths or
+    /// there are zero rows.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(TensorError::InvalidShape { reason: "no rows provided".into() });
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(TensorError::InvalidShape {
+                    reason: format!("ragged rows: expected {cols} columns, found {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Mat { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the row-major buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets the element at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        assert!(i < self.rows, "row {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f32> {
+        assert!(j < self.cols, "column {j} out of bounds");
+        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses an i-k-j loop order for cache friendliness; adequate for the
+    /// matrix sizes in this workspace (inner dims are small or mid-sized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Mat) -> Result<Mat> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let mut out = Mat::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        for i in 0..self.rows {
+            let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue; // exploits the sparse Ce rows SmartExchange produces
+                }
+                let b_row = &rhs.data[k * n..(k + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Mat {
+        let mut out = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise subtraction `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dimensions differ.
+    pub fn sub(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "sub",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Element-wise addition `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if dimensions differ.
+    pub fn add(&self, rhs: &Mat) -> Result<Mat> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![rhs.rows, rhs.cols],
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect();
+        Ok(Mat { rows: self.rows, cols: self.cols, data })
+    }
+
+    /// Multiplies every element by a scalar, in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Frobenius norm.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let m = se_tensor::Mat::from_rows(&[&[3.0], &[4.0]]).unwrap();
+    /// assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+    /// ```
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt() as f32
+    }
+
+    /// Fraction of exactly-zero elements, in `[0, 1]`.
+    pub fn sparsity(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data.iter().filter(|&&x| x == 0.0).count();
+        zeros as f32 / self.data.len() as f32
+    }
+
+    /// Number of rows whose elements are all exactly zero.
+    ///
+    /// SmartExchange's vector-wise sparsity zeroes whole rows of `Ce`; this
+    /// is the quantity that drives the accelerator's row-skipping.
+    pub fn zero_rows(&self) -> usize {
+        (0..self.rows)
+            .filter(|&i| self.row(i).iter().all(|&x| x == 0.0))
+            .count()
+    }
+
+    /// Extracts the sub-matrix of rows `r0..r1` (exclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r0 > r1` or `r1 > rows`.
+    pub fn row_slice(&self, r0: usize, r1: usize) -> Mat {
+        assert!(r0 <= r1 && r1 <= self.rows, "row slice {r0}..{r1} out of bounds");
+        Mat {
+            rows: r1 - r0,
+            cols: self.cols,
+            data: self.data[r0 * self.cols..r1 * self.cols].to_vec(),
+        }
+    }
+
+    /// Stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if column counts differ.
+    pub fn vstack(&self, other: &Mat) -> Result<Mat> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "vstack",
+                lhs: vec![self.rows, self.cols],
+                rhs: vec![other.rows, other.cols],
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Mat { rows: self.rows + other.rows, cols: self.cols, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let i = Mat::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Mat::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn zero_rows_counts_only_fully_zero() {
+        let m = Mat::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        assert_eq!(m.zero_rows(), 2);
+        assert!((m.sparsity() - 5.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn row_slice_and_vstack_roundtrip() {
+        let m = Mat::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]).unwrap();
+        let top = m.row_slice(0, 2);
+        let bot = m.row_slice(2, 4);
+        assert_eq!(top.vstack(&bot).unwrap(), m);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let r1: &[f32] = &[1.0, 2.0];
+        let r2: &[f32] = &[3.0];
+        assert!(Mat::from_rows(&[r1, r2]).is_err());
+    }
+
+    #[test]
+    fn col_extraction() {
+        let m = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        assert_eq!(m.col(1), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let mut m = Mat::identity(2);
+        m.scale(3.0);
+        let s = m.add(&Mat::identity(2)).unwrap();
+        assert_eq!(s.get(0, 0), 4.0);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+}

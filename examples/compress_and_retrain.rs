@@ -1,0 +1,64 @@
+//! The paper's re-training recipe (Section III-C) end to end: train a small
+//! CNN, compress it with SmartExchange, recover the accuracy by alternating
+//! SGD epochs with SE projections, and report the trade-off.
+//!
+//! Run with: `cargo run --release --example compress_and_retrain`
+
+use smartexchange::core::{SeConfig, VectorSparsity};
+use smartexchange::models::trainable;
+use smartexchange::nn::layers::Layer;
+use smartexchange::nn::model::Sequential;
+use smartexchange::nn::{data, train};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input_shape = [1usize, 28, 28];
+    let ds = data::procedural_digits(12, 7)?;
+
+    // 1. Train the dense model (a small CNN on an MNIST-like task).
+    println!("training the dense model...");
+    let mut model = Sequential::new(vec![
+        Layer::conv2d(1, 6, 3, 2, 1, 1000)?,
+        Layer::relu(),
+        Layer::max_pool(2),
+        Layer::flatten(),
+        Layer::linear(6 * 7 * 7, 10, 1001)?,
+    ]);
+    let cfg = train::TrainConfig::default()
+        .with_epochs(10)
+        .with_lr(0.05)
+        .with_batch_size(4);
+    let report = train::train(&mut model, &ds, &cfg)?;
+    println!("dense accuracy: {:.1}%", report.final_accuracy * 100.0);
+
+    // 2. One-shot compression (post-processing, no re-training).
+    let se_cfg = SeConfig::default()
+        .with_max_iterations(6)?
+        .with_vector_sparsity(VectorSparsity::KeepFraction(0.5))?;
+    let mut projected = model.clone();
+    trainable::se_projection(&mut projected, &input_shape, &se_cfg)?;
+    let post_acc = train::evaluate(&projected, &ds)?;
+    println!("after one-shot SmartExchange projection: {:.1}%", post_acc * 100.0);
+
+    // 3. Re-training: alternate one SGD epoch with the SE projection.
+    println!("re-training with per-epoch projections...");
+    let recover = train::TrainConfig::default()
+        .with_epochs(8)
+        .with_lr(0.02)
+        .with_batch_size(4);
+    let se_cfg2 = se_cfg.clone();
+    let report = train::retrain_with_projection(&mut model, &ds, &recover, |m| {
+        trainable::se_projection(m, &input_shape, &se_cfg2)
+            .map_err(|e| smartexchange::nn::NnError::InvalidLayer { reason: e.to_string() })
+    })?;
+    println!("after re-training: {:.1}%", report.final_accuracy * 100.0);
+
+    // 4. The storage the deployed model needs.
+    let net = trainable::compress_trainable(&model, &input_shape, &se_cfg)?;
+    println!(
+        "compression rate {:.1}x, overall sparsity {:.1}%, mean reconstruction error {:.3}",
+        net.compression_rate(),
+        net.overall_sparsity() * 100.0,
+        net.mean_recon_error()
+    );
+    Ok(())
+}

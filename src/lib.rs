@@ -1,0 +1,53 @@
+//! SmartExchange: trading higher-cost memory storage/access for lower-cost
+//! computation (ISCA 2020) — a full Rust reproduction.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the SmartExchange algorithm (decomposition + pruning +
+//!   power-of-2 quantization);
+//! * [`ir`] — interchange formats (layer descriptors, compressed weights,
+//!   storage accounting, Booth encoding);
+//! * [`hw`] — the SmartExchange accelerator simulator and energy model;
+//! * [`baselines`] — DianNao, SCNN, Cambricon-X, Bit-pragmatic;
+//! * [`models`] — the nine-network benchmark zoo with synthetic
+//!   weights/activations and trace generation;
+//! * [`nn`] — the minimal trainable NN stack;
+//! * [`tensor`] — the dense `f32` tensor/linear-algebra substrate.
+//!
+//! # Examples
+//!
+//! Compress one CONV layer and rebuild its weights:
+//!
+//! ```
+//! use smartexchange::core::{layer, SeConfig};
+//! use smartexchange::ir::{storage, LayerDesc, LayerKind};
+//! use smartexchange::tensor::rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let desc = LayerDesc::new(
+//!     "conv",
+//!     LayerKind::Conv2d { in_channels: 8, out_channels: 4, kernel: 3, stride: 1, padding: 1 },
+//!     (8, 8),
+//! );
+//! let mut r = rng::seeded(1);
+//! let w = rng::kaiming_tensor(&mut r, &[4, 8, 3, 3], 72);
+//! let cfg = SeConfig::default().with_max_iterations(6)?;
+//! let parts = layer::compress_layer(&desc, &w, &cfg)?;
+//! let s = storage::se_layer_storage(&parts[0]);
+//! assert!(storage::compression_rate(desc.params(), &s) > 4.0);
+//! let rebuilt = layer::reconstruct_layer(&desc, &parts)?;
+//! assert_eq!(rebuilt.shape(), w.shape());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use se_baselines as baselines;
+pub use se_core as core;
+pub use se_hw as hw;
+pub use se_ir as ir;
+pub use se_models as models;
+pub use se_nn as nn;
+pub use se_tensor as tensor;

@@ -1,0 +1,103 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use smartexchange::core::{algorithm, SeConfig, VectorSparsity};
+use smartexchange::ir::{booth, Po2Set, QuantTensor};
+use smartexchange::tensor::{linalg, Mat, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantizing to Ω_P is idempotent and always lands in the set.
+    #[test]
+    fn po2_quantize_idempotent(x in -10.0f32..10.0) {
+        let set = Po2Set::default();
+        let q = set.quantize(x);
+        prop_assert!(set.contains(q));
+        prop_assert_eq!(set.quantize(q), q);
+    }
+
+    /// Encode/decode of representable values round-trips for arbitrary
+    /// alphabet shapes.
+    #[test]
+    fn po2_codec_roundtrip(max_exp in -8i32..8, count in 1u32..12, idx in 0u32..12, neg in any::<bool>()) {
+        let set = Po2Set::new(max_exp, count).unwrap();
+        let p = max_exp - (idx % count) as i32;
+        let v = if neg { -1.0 } else { 1.0 } * (p as f32).exp2();
+        let code = set.encode(v).unwrap();
+        prop_assert_eq!(set.decode(code).unwrap(), v);
+        prop_assert!(u32::from(code) < (1u32 << set.code_bits()));
+    }
+
+    /// Booth digits always reconstruct the 8-bit value.
+    #[test]
+    fn booth_reconstructs(v in any::<i8>()) {
+        let d = booth::booth_digits(v);
+        let recon: i32 = d.iter().enumerate().map(|(i, &dv)| i32::from(dv) * 4i32.pow(i as u32)).sum();
+        prop_assert_eq!(recon, i32::from(v));
+        prop_assert!(booth::booth_nonzero_digits(v) <= 4);
+    }
+
+    /// 8-bit quantization round-trips within half a step.
+    #[test]
+    fn quant_tensor_error_bounded(xs in proptest::collection::vec(-5.0f32..5.0, 1..64)) {
+        let n = xs.len();
+        let t = Tensor::from_vec(xs, &[n]).unwrap();
+        let q = QuantTensor::quantize(&t, 8).unwrap();
+        let back = q.dequantize();
+        for (a, b) in t.data().iter().zip(back.data()) {
+            prop_assert!((a - b).abs() <= q.scale() / 2.0 + 1e-6);
+        }
+    }
+
+    /// The decomposition always produces representable coefficients and a
+    /// bounded reconstruction error for well-scaled inputs.
+    #[test]
+    fn decomposition_invariants(seed in 0u64..50, rows in 6usize..40) {
+        let mut r = smartexchange::tensor::rng::seeded(seed);
+        let w = smartexchange::tensor::rng::normal_mat(&mut r, rows, 3, 0.1);
+        let cfg = SeConfig::default()
+            .with_max_iterations(5).unwrap()
+            .with_vector_sparsity(VectorSparsity::None).unwrap();
+        let d = algorithm::decompose(&w, &cfg).unwrap();
+        for &x in d.ce.data() {
+            prop_assert!(cfg.po2().contains(x), "coefficient {} not in Ω_P", x);
+        }
+        let err = d.reconstruction_error(&w).unwrap();
+        prop_assert!(err < 0.6, "reconstruction error {}", err);
+    }
+
+    /// KeepFraction guarantees at least the requested row sparsity.
+    #[test]
+    fn keep_fraction_row_guarantee(seed in 0u64..30, keep in 0.1f32..0.9) {
+        let mut r = smartexchange::tensor::rng::seeded(seed);
+        let w = smartexchange::tensor::rng::normal_mat(&mut r, 30, 3, 0.1);
+        let cfg = SeConfig::default()
+            .with_max_iterations(4).unwrap()
+            .with_vector_sparsity(VectorSparsity::KeepFraction(keep)).unwrap();
+        let d = algorithm::decompose(&w, &cfg).unwrap();
+        let zero_rows = d.ce.zero_rows();
+        let expect_zero = 30 - ((30.0 * keep).round() as usize);
+        prop_assert!(zero_rows >= expect_zero, "{} zero rows < {}", zero_rows, expect_zero);
+    }
+
+    /// Least squares never increases the residual relative to Ce = W, B = I.
+    #[test]
+    fn lstsq_left_is_optimal_enough(seed in 0u64..30) {
+        let mut r = smartexchange::tensor::rng::seeded(seed);
+        let c = smartexchange::tensor::rng::normal_mat(&mut r, 12, 3, 1.0);
+        let w = smartexchange::tensor::rng::normal_mat(&mut r, 12, 3, 1.0);
+        let b = linalg::lstsq_left(&c, &w, 1e-6).unwrap();
+        let fitted = w.sub(&c.matmul(&b).unwrap()).unwrap().frobenius_norm();
+        let identity = w.sub(&c.matmul(&Mat::identity(3)).unwrap()).unwrap().frobenius_norm();
+        prop_assert!(fitted <= identity + 1e-3);
+    }
+
+    /// Matrix transpose is an involution and matmul distributes over it.
+    #[test]
+    fn transpose_involution(seed in 0u64..30, rows in 1usize..12, cols in 1usize..12) {
+        let mut r = smartexchange::tensor::rng::seeded(seed);
+        let a = smartexchange::tensor::rng::normal_mat(&mut r, rows, cols, 1.0);
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+}
