@@ -126,10 +126,9 @@ pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
     let per_filter = qw.len() / m.max(1);
     let mut filter_nnz = Vec::with_capacity(m);
     for fi in 0..m {
-        let nz = qw.data()[fi * per_filter..(fi + 1) * per_filter]
-            .iter()
-            .filter(|&&x| x != 0)
-            .count() as u64;
+        let nz =
+            qw.data()[fi * per_filter..(fi + 1) * per_filter].iter().filter(|&&x| x != 0).count()
+                as u64;
         filter_nnz.push(nz);
     }
     let weight_nnz = filter_nnz.iter().sum();
@@ -140,12 +139,11 @@ pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
         LayerKind::Conv2d { .. } => {
             let per_chan = kernel * kernel;
             for fi in 0..m {
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     let base = fi * per_filter + ci * per_chan;
-                    channel_w_nnz[ci] += qw.data()[base..base + per_chan]
-                        .iter()
-                        .filter(|&&x| x != 0)
-                        .count() as u64;
+                    channel_w_nnz[ci] +=
+                        qw.data()[base..base + per_chan].iter().filter(|&&x| x != 0).count() as u64;
                 }
             }
         }
@@ -242,11 +240,9 @@ mod tests {
     #[test]
     fn validation() {
         BaselineConfig::default().validate().unwrap();
-        let mut c = BaselineConfig::default();
-        c.multipliers = 0;
+        let c = BaselineConfig { multipliers: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = BaselineConfig::default();
-        c.input_share = 2.0;
+        let c = BaselineConfig { input_share: 2.0, ..Default::default() };
         assert!(c.validate().is_err());
     }
 

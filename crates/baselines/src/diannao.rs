@@ -12,7 +12,7 @@ use se_hw::{Accelerator, LayerResult, MemCounters, OpCounters, Result};
 use se_ir::LayerTrace;
 
 /// The DianNao baseline accelerator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct DianNao {
     cfg: BaselineConfig,
 }
@@ -31,12 +31,6 @@ impl DianNao {
     /// The configuration in use.
     pub fn config(&self) -> &BaselineConfig {
         &self.cfg
-    }
-}
-
-impl Default for DianNao {
-    fn default() -> Self {
-        DianNao { cfg: BaselineConfig::default() }
     }
 }
 

@@ -19,7 +19,7 @@ use se_ir::{LayerKind, LayerTrace};
 const CONTENTION: f64 = 1.25;
 
 /// The SCNN baseline accelerator.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Scnn {
     cfg: BaselineConfig,
 }
@@ -38,12 +38,6 @@ impl Scnn {
     /// The configuration in use.
     pub fn config(&self) -> &BaselineConfig {
         &self.cfg
-    }
-}
-
-impl Default for Scnn {
-    fn default() -> Self {
-        Scnn { cfg: BaselineConfig::default() }
     }
 }
 
@@ -81,8 +75,7 @@ impl Accelerator for Scnn {
         }
 
         let mults = self.cfg.multipliers as u64;
-        let compute_cycles =
-            ((products as f64 * CONTENTION) / mults as f64).ceil() as u64;
+        let compute_cycles = ((products as f64 * CONTENTION) / mults as f64).ceil() as u64;
 
         // Compressed tensors: 8-bit value + 4-bit coordinate per non-zero.
         let weight_bytes = s.weight_nnz + (s.weight_nnz * 4).div_ceil(8);
@@ -138,10 +131,20 @@ mod tests {
             (8, 8),
         );
         let mut r = rng::seeded(seed);
-        let w = rng::kaiming_tensor(&mut r, &[8, 4, 3, 3], 36)
-            .map(|v| if v.abs() < (1.0 - w_keep) * 0.2 { 0.0 } else { v });
-        let a = rng::normal_tensor(&mut r, &[4, 8, 8], 1.0)
-            .map(|v| if v < (1.0 - a_keep) { 0.0 } else { v });
+        let w = rng::kaiming_tensor(&mut r, &[8, 4, 3, 3], 36).map(|v| {
+            if v.abs() < (1.0 - w_keep) * 0.2 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let a = rng::normal_tensor(&mut r, &[4, 8, 8], 1.0).map(|v| {
+            if v < (1.0 - a_keep) {
+                0.0
+            } else {
+                v
+            }
+        });
         LayerTrace::new(
             desc,
             WeightData::Dense(QuantTensor::quantize(&w, 8).unwrap()),
@@ -170,20 +173,14 @@ mod tests {
 
     #[test]
     fn fc_layers_rejected() {
-        let desc = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 8, out_features: 4 },
-            (1, 1),
-        );
+        let desc =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 8, out_features: 4 }, (1, 1));
         let t = LayerTrace::new(
             desc,
             WeightData::Dense(QuantTensor::quantize(&Tensor::zeros(&[4, 8]), 8).unwrap()),
             QuantTensor::quantize(&Tensor::full(&[8], 1.0), 8).unwrap(),
         )
         .unwrap();
-        assert!(matches!(
-            Scnn::default().process_layer(&t),
-            Err(HwError::UnsupportedTrace { .. })
-        ));
+        assert!(matches!(Scnn::default().process_layer(&t), Err(HwError::UnsupportedTrace { .. })));
     }
 }

@@ -2,8 +2,9 @@
 //! level Algorithm 1 and full layer compression at CONV-layer sizes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use se_core::{algorithm, layer, SeConfig, VectorSparsity};
+use se_core::{algorithm, layer, network, SeConfig, VectorSparsity};
 use se_ir::{LayerDesc, LayerKind};
+use se_models::{weights, zoo};
 use se_tensor::rng;
 use std::hint::black_box;
 
@@ -54,5 +55,43 @@ fn bench_reconstruct(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decompose_matrix, bench_compress_conv_layer, bench_reconstruct);
+/// Serial vs parallel whole-network compression on a ResNet-scale zoo
+/// network (ResNet164: 167 layers, ~1.7 M params). The pipeline's outputs
+/// are bit-identical across worker counts, so this measures pure speedup;
+/// on an N-core machine the parallel run should approach N× (and must be
+/// ≥2× on ≥4 cores — layers are fully independent jobs).
+fn bench_compress_network_parallel(c: &mut Criterion) {
+    let net = zoo::resnet164();
+    let descs: Vec<_> = net.layers().to_vec();
+    let base = SeConfig::default().with_max_iterations(4).unwrap();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut group = c.benchmark_group("compress_network_resnet164");
+    group.sample_size(10);
+    for (label, workers) in
+        [("serial_1_worker".to_string(), 1), (format!("parallel_{cores}_workers"), cores)]
+    {
+        let cfg = base.clone().with_parallelism(workers).unwrap();
+        group.bench_function(&label, |b| {
+            b.iter(|| {
+                black_box(
+                    network::compress_network_reports(&descs, &cfg, |d| {
+                        Ok(weights::synthetic_weights(net.name(), d, 0)
+                            .expect("synthetic weights are infallible"))
+                    })
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decompose_matrix,
+    bench_compress_conv_layer,
+    bench_reconstruct,
+    bench_compress_network_parallel
+);
 criterion_main!(benches);

@@ -59,9 +59,7 @@ fn bench_matmul(c: &mut Criterion) {
     let mut r = rng::seeded(3);
     let a = rng::normal_mat(&mut r, 128, 128, 1.0);
     let b_m = rng::normal_mat(&mut r, 128, 128, 1.0);
-    c.bench_function("matmul_128", |b| {
-        b.iter(|| black_box(a.matmul(black_box(&b_m)).unwrap()))
-    });
+    c.bench_function("matmul_128", |b| b.iter(|| black_box(a.matmul(black_box(&b_m)).unwrap())));
     // The sparse-row fast path the SE coefficient matrices exercise.
     let mut sparse = Mat::zeros(128, 128);
     for i in (0..128).step_by(4) {

@@ -42,8 +42,7 @@ fn bench_simulators(c: &mut Criterion) {
         b.iter(|| black_box(accel.process_layer(black_box(&se)).unwrap()))
     });
 
-    let mut sampled_cfg = SeAcceleratorConfig::default();
-    sampled_cfg.row_sample = 4;
+    let sampled_cfg = SeAcceleratorConfig { row_sample: 4, ..Default::default() };
     let sampled = SeAccelerator::new(sampled_cfg).unwrap();
     group.bench_function("smartexchange_row_sample_4", |b| {
         b.iter(|| black_box(sampled.process_layer(black_box(&se)).unwrap()))

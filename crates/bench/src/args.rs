@@ -1,7 +1,7 @@
 //! Minimal CLI-flag reading for the experiment binaries.
 
 /// Parsed common flags.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Flags {
     /// `--fast`: sample output rows and cut decomposition iterations so the
     /// ImageNet-scale sweeps finish quickly (shapes are preserved; absolute
@@ -11,12 +11,6 @@ pub struct Flags {
     pub seed: u64,
     /// `--models a,b,c`: restrict to a subset of model names.
     pub models: Option<Vec<String>>,
-}
-
-impl Default for Flags {
-    fn default() -> Self {
-        Flags { fast: false, seed: 0, models: None }
-    }
 }
 
 impl Flags {
@@ -33,9 +27,8 @@ impl Flags {
                     i += 1;
                 }
                 "--models" if i + 1 < args.len() => {
-                    flags.models = Some(
-                        args[i + 1].split(',').map(|s| s.trim().to_string()).collect(),
-                    );
+                    flags.models =
+                        Some(args[i + 1].split(',').map(|s| s.trim().to_string()).collect());
                     i += 1;
                 }
                 _ => {}

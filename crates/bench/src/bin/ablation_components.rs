@@ -44,27 +44,39 @@ fn main() -> Result<()> {
     // The ablation ladder: dense baseline accel -> +compression ->
     // +vector-sparsity skipping -> +bit-serial lanes (full design).
     let steps: Vec<(&str, SeAcceleratorConfig, bool)> = vec![
-        ("baseline accel, dense weights", {
-            let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-            c.row_sample = sample.row_sample;
-            c
-        }, false),
-        ("+ SE compression (weights only)", {
-            let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-            c.row_sample = sample.row_sample;
-            c
-        }, true),
-        ("+ vector-wise sparsity (index select)", {
-            let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-            c.index_select = true;
-            c.row_sample = sample.row_sample;
-            c
-        }, true),
-        ("+ bit-level sparsity (full SmartExchange)", {
-            let mut c = SeAcceleratorConfig::default();
-            c.row_sample = sample.row_sample;
-            c
-        }, true),
+        (
+            "baseline accel, dense weights",
+            {
+                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
+                c.row_sample = sample.row_sample;
+                c
+            },
+            false,
+        ),
+        (
+            "+ SE compression (weights only)",
+            {
+                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
+                c.row_sample = sample.row_sample;
+                c
+            },
+            true,
+        ),
+        (
+            "+ vector-wise sparsity (index select)",
+            {
+                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
+                c.index_select = true;
+                c.row_sample = sample.row_sample;
+                c
+            },
+            true,
+        ),
+        (
+            "+ bit-level sparsity (full SmartExchange)",
+            SeAcceleratorConfig { row_sample: sample.row_sample, ..Default::default() },
+            true,
+        ),
     ];
 
     println!("Section V-B component ablation on ResNet50\n");

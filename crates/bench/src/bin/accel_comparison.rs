@@ -35,17 +35,12 @@ fn main() -> Result<()> {
         let e0 = e[0].expect("DianNao runs everything");
         let d_se = d[4].expect("SE runs everything") as f64;
         let c0 = c[0].expect("DianNao runs everything") as f64;
-        let mut rows: Vec<Vec<String>> =
-            (0..3).map(|_| vec![cmp.model.clone()]).collect();
+        let mut rows: Vec<Vec<String>> = (0..3).map(|_| vec![cmp.model.clone()]).collect();
         for i in 0..5 {
-            let vals = [
-                e[i].map(|x| e0 / x),
-                d[i].map(|x| x as f64 / d_se),
-                c[i].map(|x| c0 / x as f64),
-            ];
-            for (v, (row, g)) in vals
-                .iter()
-                .zip(rows.iter_mut().zip(geo.iter_mut().map(|gg| &mut gg[i])))
+            let vals =
+                [e[i].map(|x| e0 / x), d[i].map(|x| x as f64 / d_se), c[i].map(|x| c0 / x as f64)];
+            for (v, (row, g)) in
+                vals.iter().zip(rows.iter_mut().zip(geo.iter_mut().map(|gg| &mut gg[i])))
             {
                 match v {
                     Some(x) => {

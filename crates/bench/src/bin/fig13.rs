@@ -45,10 +45,9 @@ fn main() -> Result<()> {
     let em = EnergyModel::default();
     let cfg = SeAcceleratorConfig::default();
 
-    for (title, include_fc) in [
-        ("(a) CONV + squeeze-excite layers", false),
-        ("(b) all layers (FC included)", true),
-    ] {
+    for (title, include_fc) in
+        [("(a) CONV + squeeze-excite layers", false), ("(b) all layers (FC included)", true)]
+    {
         println!("Fig. 13 {title}: SmartExchange energy breakdown (% of total)\n");
         let mut rows = Vec::new();
         for net in &models {
@@ -64,20 +63,8 @@ fn main() -> Result<()> {
         }
         let mut headers: Vec<&str> = vec!["model", "total mJ"];
         headers.extend([
-            "DRAM in",
-            "DRAM out",
-            "DRAM wgt",
-            "DRAM idx",
-            "inGB rd",
-            "inGB wr",
-            "outGB rd",
-            "outGB wr",
-            "wGB rd",
-            "wGB wr",
-            "PE",
-            "Accum",
-            "RE",
-            "IdxSel",
+            "DRAM in", "DRAM out", "DRAM wgt", "DRAM idx", "inGB rd", "inGB wr", "outGB rd",
+            "outGB wr", "wGB rd", "wGB wr", "PE", "Accum", "RE", "IdxSel",
         ]);
         println!("{}", table::render(&headers, &rows));
     }

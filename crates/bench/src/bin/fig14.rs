@@ -43,8 +43,7 @@ fn main() -> Result<()> {
             if !desc.kind().is_conv_like() {
                 continue;
             }
-            let w =
-                weights::synthetic_weights_with_sparsity(net.name(), desc, flags.seed, sp)?;
+            let w = weights::synthetic_weights_with_sparsity(net.name(), desc, flags.seed, sp)?;
             let parts = se_layer::compress_layer(desc, &w, &se_cfg)?;
             let act = activations::synthetic_activation(&net, li, flags.seed)?;
             let qa = QuantTensor::quantize(&act, 8)?;

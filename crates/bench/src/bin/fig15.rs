@@ -8,17 +8,16 @@ use se_bench::args::Flags;
 use se_bench::{table, Result};
 use se_hw::sim::SeAccelerator;
 use se_hw::{Accelerator, EnergyModel, SeAcceleratorConfig};
+use se_ir::LayerKind;
 use se_models::traces::{self, TraceOptions};
 use se_models::zoo;
-use se_ir::LayerKind;
 
 fn main() -> Result<()> {
     let flags = Flags::parse();
     let net = zoo::mobilenet_v2();
     let em = EnergyModel::default();
     let with_cfg = SeAcceleratorConfig::default();
-    let mut without_cfg = SeAcceleratorConfig::default();
-    without_cfg.compact_dedicated = false;
+    let without_cfg = SeAcceleratorConfig { compact_dedicated: false, ..Default::default() };
     let with_accel = SeAccelerator::new(with_cfg.clone())?;
     let without_accel = SeAccelerator::new(without_cfg)?;
 
@@ -48,7 +47,10 @@ fn main() -> Result<()> {
             net.layers()[li].name().to_string(),
             format!("{}", with.total_cycles),
             format!("{}", without.total_cycles),
-            format!("{:.1}%", (1.0 - with.total_cycles as f64 / without.total_cycles as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - with.total_cycles as f64 / without.total_cycles as f64) * 100.0
+            ),
             format!("{:.1}%", (1.0 - e_with / e_without) * 100.0),
         ]);
     }

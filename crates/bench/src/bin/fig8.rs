@@ -36,18 +36,14 @@ fn main() -> Result<()> {
         se_nn::layers::Layer::flatten(),
         se_nn::layers::Layer::linear(6 * 7 * 7, 10, 1001 + flags.seed)?,
     ]);
-    let cfg = train::TrainConfig::default()
-        .with_epochs(2 * epochs)
-        .with_lr(0.05)
-        .with_batch_size(4);
+    let cfg =
+        train::TrainConfig::default().with_epochs(2 * epochs).with_lr(0.05).with_batch_size(4);
     train::train(&mut base, &ds, &cfg)?;
     let base_acc = train::evaluate(&base, &ds)?;
     let base_mb = dense_bits(&base) as f64 / 8.0 / 1024.0 / 1024.0;
 
-    let recover = train::TrainConfig::default()
-        .with_epochs(epochs)
-        .with_lr(0.02)
-        .with_batch_size(4);
+    let recover =
+        train::TrainConfig::default().with_epochs(epochs).with_lr(0.02).with_batch_size(4);
     let mut rows = Vec::new();
     rows.push(vec![
         "FP32 baseline".into(),
@@ -95,10 +91,9 @@ fn main() -> Result<()> {
                     let is_conv = layer.conv_geom().is_some();
                     if let Some(w) = layer.weights_mut() {
                         if is_conv {
-                            let r = baselines::channel_prune(w, 0.5)
-                                .map_err(|e| se_nn::NnError::InvalidLayer {
-                                    reason: e.to_string(),
-                                })?;
+                            let r = baselines::channel_prune(w, 0.5).map_err(|e| {
+                                se_nn::NnError::InvalidLayer { reason: e.to_string() }
+                            })?;
                             *w = r.weights;
                         }
                     }

@@ -13,11 +13,7 @@ fn main() -> Result<()> {
     // Second block of stage 1: its middle (3x3) conv. Layers are
     // [conv1, block1(conv2,conv3,conv4,proj5), block2(conv6,conv7,conv8)...]
     // so the second block's 3x3 conv is "conv7".
-    let desc = net
-        .layers()
-        .iter()
-        .find(|l| l.name() == "conv7")
-        .expect("ResNet164 has conv7");
+    let desc = net.layers().iter().find(|l| l.name() == "conv7").expect("ResNet164 has conv7");
     // Fig. 9 decomposes a *dense* trained matrix (the evolution shows
     // sparsity being discovered); bypass the zoo's natural pre-pruning by
     // seeding plain Kaiming weights for this layer.
@@ -34,8 +30,7 @@ fn main() -> Result<()> {
     // weights sit at a different scale than trained ResNet164 weights, so
     // the threshold is chosen relative to the weight RMS to land in the
     // same ~25–30% sparsity band Fig. 9 shows.
-    let rms = (w.data().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>()
-        / w.len() as f64)
+    let rms = (w.data().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / w.len() as f64)
         .sqrt() as f32;
     let cfg = SeConfig::default()
         .with_max_iterations(20)?
@@ -43,9 +38,7 @@ fn main() -> Result<()> {
         .with_quantize_basis(false);
     let (dec, trace) = algorithm::decompose_traced(&w, &cfg)?;
 
-    println!(
-        "Fig. 9: SmartExchange evolution on W (192x3) from ResNet164 (CIFAR-10)\n"
-    );
+    println!("Fig. 9: SmartExchange evolution on W (192x3) from ResNet164 (CIFAR-10)\n");
     let rows: Vec<Vec<String>> = trace
         .records
         .iter()

@@ -31,5 +31,8 @@ fn main() {
     println!("{}", table::render(&["component", "pJ"], &rows));
 
     let ratio = m.dram_pj_per_byte / m.sram_pj_per_byte(16.0);
-    println!("DRAM / SRAM(16KB) ratio: {ratio:.1}x  (paper: >= 9.5x vs MAC: {:.1}x)", m.dram_pj_per_byte / m.mac_pj);
+    println!(
+        "DRAM / SRAM(16KB) ratio: {ratio:.1}x  (paper: >= 9.5x vs MAC: {:.1}x)",
+        m.dram_pj_per_byte / m.mac_pj
+    );
 }

@@ -11,10 +11,7 @@ use se_models::{weights, zoo};
 
 fn main() -> Result<()> {
     let flags = Flags::parse();
-    let entries = [
-        (zoo::mobilenet_v2(), "6.57", "2.12"),
-        (zoo::efficientnet_b0(), "6.67", "3.06"),
-    ];
+    let entries = [(zoo::mobilenet_v2(), "6.57", "2.12"), (zoo::efficientnet_b0(), "6.67", "3.06")];
     println!("Table III: SmartExchange on compact models\n");
     let iterations = if flags.fast { 4 } else { 8 };
     // Compact models: no vector sparsification (paper Spar. = 0.00%).

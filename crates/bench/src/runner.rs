@@ -6,6 +6,13 @@
 //! paper's equal-footing protocol. FC layers are excluded (Figs. 10–12
 //! exclude them for fairness to SCNN) unless requested; SCNN skips models
 //! containing squeeze-excite layers (EfficientNet-B0), as in the paper.
+//!
+//! Trace generation — the dominant cost (it runs the SmartExchange
+//! decomposition per layer) — executes on the parallel work queue of
+//! `se_core::pipeline` via [`TraceStream`]'s batched prefetch; the worker
+//! count comes from `RunnerOptions::traces.se_config.parallelism()`.
+//! Results are reassembled in network order, so a comparison sweep is
+//! bit-identical for every worker count.
 
 use crate::Result;
 use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
@@ -86,6 +93,17 @@ impl RunnerOptions {
         o.se_cfg.row_sample = 4;
         o
     }
+
+    /// Sets the worker-thread count for trace generation (results are
+    /// bit-identical for every value).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the configuration error for `n == 0`.
+    pub fn with_parallelism(mut self, n: usize) -> Result<Self> {
+        self.traces.se_config = self.traces.se_config.with_parallelism(n)?;
+        Ok(self)
+    }
 }
 
 /// Runs one model through all five accelerators.
@@ -110,12 +128,8 @@ pub fn compare_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<ModelCom
     ];
     for pair in TraceStream::new(net, opts.traces.clone()) {
         let pair = pair?;
-        let dense_targets: [(usize, &dyn Accelerator); 4] = [
-            (0, &diannao),
-            (1, &scnn),
-            (2, &cambricon),
-            (3, &pragmatic),
-        ];
+        let dense_targets: [(usize, &dyn Accelerator); 4] =
+            [(0, &diannao), (1, &scnn), (2, &cambricon), (3, &pragmatic)];
         for (idx, accel) in dense_targets {
             if runs[idx].is_none() {
                 continue;
@@ -167,11 +181,7 @@ mod tests {
                     },
                     (8, 8),
                 ),
-                LayerDesc::new(
-                    "se1",
-                    LayerKind::SqueezeExcite { channels: 8, reduced: 2 },
-                    (8, 8),
-                ),
+                LayerDesc::new("se1", LayerKind::SqueezeExcite { channels: 8, reduced: 2 }, (8, 8)),
             ],
         )
         .unwrap()
@@ -189,16 +199,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_comparison_is_bit_identical_to_serial() {
+        let net = tiny();
+        let serial_opts = RunnerOptions::default().with_parallelism(1).unwrap();
+        let serial = compare_model(&net, &serial_opts).unwrap();
+        let parallel_opts = RunnerOptions::default().with_parallelism(4).unwrap();
+        let parallel = compare_model(&net, &parallel_opts).unwrap();
+        assert_eq!(serial.runs, parallel.runs);
+    }
+
+    #[test]
     fn se_beats_diannao_on_energy() {
         let cmp = compare_model(&tiny(), &RunnerOptions::default()).unwrap();
         let em = EnergyModel::default();
         let cfg = SeAcceleratorConfig::default();
         let e = cmp.energies_mj(&em, &cfg);
-        assert!(
-            e[4].unwrap() < e[0].unwrap(),
-            "SE {} !< DianNao {}",
-            e[4].unwrap(),
-            e[0].unwrap()
-        );
+        assert!(e[4].unwrap() < e[0].unwrap(), "SE {} !< DianNao {}", e[4].unwrap(), e[0].unwrap());
     }
 }

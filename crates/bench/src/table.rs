@@ -60,10 +60,7 @@ mod tests {
     fn renders_aligned() {
         let t = render(
             &["model", "CR"],
-            &[
-                vec!["VGG19".into(), "80.94".into()],
-                vec!["R".into(), "8".into()],
-            ],
+            &[vec!["VGG19".into(), "80.94".into()], vec!["R".into(), "8".into()]],
         );
         assert!(t.contains("VGG19"));
         assert!(t.lines().count() == 4);

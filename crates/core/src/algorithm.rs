@@ -161,10 +161,7 @@ pub fn decompose_with_channel_mask(
             recon_error: relative_error(w, &ce, &basis)?,
             ce_sparsity: ce.sparsity(),
             ce_row_sparsity: ce.zero_rows() as f32 / ce.rows() as f32,
-            basis_identity_dist: basis
-                .sub(&Mat::identity(n))?
-                .frobenius_norm()
-                / identity_norm,
+            basis_identity_dist: basis.sub(&Mat::identity(n))?.frobenius_norm() / identity_norm,
             quant_delta: delta,
         });
 
@@ -350,7 +347,7 @@ mod tests {
         let mut r = rng::seeded(11);
         let w = rng::normal_mat(&mut r, 96, 3, 0.05);
         let d = decompose(&w, &cfg()).unwrap();
-        let po2 = cfg().po2().clone();
+        let po2 = *cfg().po2();
         assert!(d.ce.data().iter().all(|&x| po2.contains(x)));
     }
 
@@ -381,8 +378,7 @@ mod tests {
         let mut r = rng::seeded(8);
         let w = rng::normal_mat(&mut r, 12, 3, 0.1); // 4 channels of 3 rows
         let mask = vec![true, false, true, false];
-        let (d, _) =
-            decompose_with_channel_mask(&w, &cfg(), Some(&mask)).unwrap();
+        let (d, _) = decompose_with_channel_mask(&w, &cfg(), Some(&mask)).unwrap();
         for ch in [1usize, 3] {
             for row in ch * 3..(ch + 1) * 3 {
                 assert!(d.ce.row(row).iter().all(|&x| x == 0.0), "row {row} not zero");
@@ -460,8 +456,7 @@ mod tests {
         let dn = decompose(&w, &c).unwrap();
         // Unquantized basis fits at least as well.
         assert!(
-            dn.reconstruction_error(&w).unwrap()
-                <= dq.reconstruction_error(&w).unwrap() + 1e-4
+            dn.reconstruction_error(&w).unwrap() <= dq.reconstruction_error(&w).unwrap() + 1e-4
         );
     }
 

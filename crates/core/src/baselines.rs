@@ -56,10 +56,7 @@ pub fn magnitude_prune(w: &Tensor, keep_fraction: f32) -> Result<BaselineResult>
     let keep = ((n as f64) * f64::from(keep_fraction)).round() as usize;
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        w.data()[b]
-            .abs()
-            .partial_cmp(&w.data()[a].abs())
-            .expect("finite weights")
+        w.data()[b].abs().partial_cmp(&w.data()[a].abs()).expect("finite weights")
     });
     let mut out = vec![0.0f32; n];
     for &i in order.iter().take(keep) {
@@ -97,8 +94,7 @@ pub fn channel_prune(w: &Tensor, keep_fraction: f32) -> Result<BaselineResult> {
         })
         .collect();
     norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
-    let kept: std::collections::HashSet<usize> =
-        norms.iter().take(keep).map(|&(i, _)| i).collect();
+    let kept: std::collections::HashSet<usize> = norms.iter().take(keep).map(|&(i, _)| i).collect();
     let mut out = w.data().to_vec();
     for i in 0..m {
         if !kept.contains(&i) {
@@ -141,10 +137,7 @@ pub fn po2_quantize(w: &Tensor, po2: &Po2Set) -> Result<BaselineResult> {
     let top = (po2.max_exp() as f32).exp2();
     let scale = if max_abs > 0.0 { max_abs / top } else { 1.0 };
     let weights = w.map(|x| po2.quantize(x / scale) * scale);
-    Ok(BaselineResult {
-        weights,
-        storage_bits: w.len() as u64 * u64::from(po2.code_bits()),
-    })
+    Ok(BaselineResult { weights, storage_bits: w.len() as u64 * u64::from(po2.code_bits()) })
 }
 
 /// Low-rank (decomposition-alone) compression: the best rank-`rank`

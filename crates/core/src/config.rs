@@ -78,6 +78,7 @@ pub struct SeConfig {
     fc_width: usize,
     max_unit_rows: usize,
     quantize_basis: bool,
+    parallelism: usize,
 }
 
 impl Default for SeConfig {
@@ -92,8 +93,15 @@ impl Default for SeConfig {
             fc_width: 3,
             max_unit_rows: 768,
             quantize_basis: true,
+            parallelism: default_parallelism(),
         }
     }
+}
+
+/// The default worker count for whole-network compression: every available
+/// core (layers are independent jobs; see [`crate::pipeline`]).
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 impl SeConfig {
@@ -194,8 +202,7 @@ impl SeConfig {
     pub fn with_vector_sparsity(mut self, v: VectorSparsity) -> Result<Self> {
         v.validate()?;
         self.vector_sparsity = v;
-        self
-            .validate_self()
+        self.validate_self()
     }
 
     /// Enables channel pruning with the given relative threshold (channels
@@ -252,6 +259,31 @@ impl SeConfig {
         self
     }
 
+    /// Worker-thread count for whole-network compression (default: all
+    /// available cores). Results are bit-identical for every value; see
+    /// [`crate::pipeline`].
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Sets the worker-thread count for whole-network compression.
+    ///
+    /// `1` forces the fully serial path; results are bit-identical for
+    /// every value (only wall-clock time changes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if `n == 0`.
+    pub fn with_parallelism(mut self, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "parallelism must be at least 1".into(),
+            });
+        }
+        self.parallelism = n;
+        Ok(self)
+    }
+
     fn validate_self(self) -> Result<Self> {
         Ok(self)
     }
@@ -280,12 +312,19 @@ mod tests {
         assert!(SeConfig::default()
             .with_vector_sparsity(VectorSparsity::KeepFraction(1.5))
             .is_err());
-        assert!(SeConfig::default()
-            .with_vector_sparsity(VectorSparsity::Threshold(-0.1))
-            .is_err());
+        assert!(SeConfig::default().with_vector_sparsity(VectorSparsity::Threshold(-0.1)).is_err());
         assert!(SeConfig::default().with_channel_prune(Some(-1.0)).is_err());
         assert!(SeConfig::default().with_fc_width(0).is_err());
         assert!(SeConfig::default().with_max_unit_rows(0).is_err());
+        assert!(SeConfig::default().with_parallelism(0).is_err());
+    }
+
+    #[test]
+    fn parallelism_defaults_to_available_cores() {
+        let c = SeConfig::default();
+        assert!(c.parallelism() >= 1);
+        let forced = SeConfig::default().with_parallelism(4).unwrap();
+        assert_eq!(forced.parallelism(), 4);
     }
 
     #[test]

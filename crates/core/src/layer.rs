@@ -87,43 +87,22 @@ fn decompose_chunk(chunk: &Mat, cfg: &SeConfig, forced: Option<&[bool]>) -> Resu
     d.into_se_slice(cfg.po2())
 }
 
-/// Runs `f` over `0..units` in parallel (bounded by available cores),
-/// returning per-unit results in order.
-fn parallel_units<T, F>(units: usize, f: F) -> Result<Vec<T>>
+/// Runs `f` over `0..units` on the [`crate::pipeline`] work queue,
+/// returning per-unit results in order (lowest-index error on failure).
+/// The thread budget comes from the caller (derived from
+/// [`SeConfig::parallelism`], capped at 4 — per-unit work is too small to
+/// feed more), so a network-level pipeline running many layer jobs
+/// concurrently can force this inner level inline instead of
+/// oversubscribing the machine (see `crate::pipeline::worker_config`).
+/// Results are bit-identical for every budget: units are independent and
+/// reassembled in unit order.
+fn parallel_units<T, F>(units: usize, budget: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> Result<T> + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(4)
-        .min(units.max(1));
-    if threads <= 1 || units <= 1 {
-        return (0..units).map(&f).collect();
-    }
-    let chunk = units.div_ceil(threads);
-    let mut out: Vec<Result<Vec<T>>> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(units);
-            if lo >= hi {
-                break;
-            }
-            let f = &f;
-            handles.push(scope.spawn(move || (lo..hi).map(f).collect::<Result<Vec<T>>>()));
-        }
-        for h in handles {
-            out.push(h.join().expect("decomposition worker panicked"));
-        }
-    });
-    let mut flat = Vec::with_capacity(units);
-    for group in out {
-        flat.extend(group?);
-    }
-    Ok(flat)
+    let indices: Vec<usize> = (0..units).collect();
+    crate::pipeline::try_run_ordered(&indices, budget.clamp(1, 4), |_, &u| f(u))
 }
 
 /// Compresses a standard CONV weight tensor `(M, C, R, S)` with `R = S > 1`.
@@ -143,7 +122,7 @@ pub fn compress_conv(w: &Tensor, cfg: &SeConfig) -> Result<SeLayer> {
     let unit_rows = c * k;
     let slices_per_filter = chunk_bounds(unit_rows, cfg.max_unit_rows()).len();
 
-    let per_filter = parallel_units(m, |fi| {
+    let per_filter = parallel_units(m, cfg.parallelism(), |fi| {
         let data = &w.data()[fi * unit_rows * k..(fi + 1) * unit_rows * k];
         let unit = Mat::from_vec(data.to_vec(), unit_rows, k)?;
         // Channel pruning: one group of R rows per input channel.
@@ -162,12 +141,8 @@ pub fn compress_conv(w: &Tensor, cfg: &SeConfig) -> Result<SeLayer> {
         decompose_unit(&unit, cfg, forced.as_deref())
     })?;
 
-    let layout = SeLayout::ConvPerFilter {
-        out_channels: m,
-        in_channels: c,
-        kernel: k,
-        slices_per_filter,
-    };
+    let layout =
+        SeLayout::ConvPerFilter { out_channels: m, in_channels: c, kernel: k, slices_per_filter };
     Ok(SeLayer::new(layout, *cfg.po2(), per_filter.into_iter().flatten().collect())?)
 }
 
@@ -185,13 +160,17 @@ pub fn compress_depthwise(w: &Tensor, cfg: &SeConfig) -> Result<SeLayer> {
         });
     }
     let (c, k) = (shape[0], shape[1]);
-    let per_channel = parallel_units(c, |ci| {
+    let per_channel = parallel_units(c, cfg.parallelism(), |ci| {
         let data = &w.data()[ci * k * k..(ci + 1) * k * k];
         let unit = Mat::from_vec(data.to_vec(), k, k)?;
         decompose_unit(&unit, cfg, None)
     })?;
-    let layout =
-        SeLayout::ConvPerFilter { out_channels: c, in_channels: 1, kernel: k, slices_per_filter: 1 };
+    let layout = SeLayout::ConvPerFilter {
+        out_channels: c,
+        in_channels: 1,
+        kernel: k,
+        slices_per_filter: 1,
+    };
     Ok(SeLayer::new(layout, *cfg.po2(), per_channel.into_iter().flatten().collect())?)
 }
 
@@ -213,15 +192,14 @@ pub fn compress_fc(w: &Mat, cfg: &SeConfig) -> Result<SeLayer> {
     let unit_rows = padded / s;
     let slices_per_row = chunk_bounds(unit_rows, cfg.max_unit_rows()).len();
 
-    let per_row = parallel_units(m, |ri| {
+    let per_row = parallel_units(m, cfg.parallelism(), |ri| {
         let mut data = w.row(ri).to_vec();
         data.resize(padded, 0.0);
         let unit = Mat::from_vec(data, unit_rows, s)?;
         decompose_unit(&unit, cfg, None)
     })?;
 
-    let layout =
-        SeLayout::FcPerRow { out_features: m, in_features: c, width: s, slices_per_row };
+    let layout = SeLayout::FcPerRow { out_features: m, in_features: c, width: s, slices_per_row };
     Ok(SeLayer::new(layout, *cfg.po2(), per_row.into_iter().flatten().collect())?)
 }
 
@@ -427,11 +405,8 @@ mod tests {
     #[test]
     fn squeeze_excite_produces_two_parts() {
         let mut r = rng::seeded(53);
-        let desc = LayerDesc::new(
-            "se",
-            LayerKind::SqueezeExcite { channels: 12, reduced: 3 },
-            (8, 8),
-        );
+        let desc =
+            LayerDesc::new("se", LayerKind::SqueezeExcite { channels: 12, reduced: 3 }, (8, 8));
         let w = rng::kaiming_tensor(&mut r, &[2, 12, 3], 12);
         let parts = compress_layer(&desc, &w, &cfg()).unwrap();
         assert_eq!(parts.len(), 2);
@@ -478,15 +453,9 @@ mod tests {
 
     #[test]
     fn reconstruct_layer_part_count_checked() {
-        let desc = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 6, out_features: 2 },
-            (1, 1),
-        );
-        assert!(matches!(
-            reconstruct_layer(&desc, &[]),
-            Err(CoreError::InvalidWeights { .. })
-        ));
+        let desc =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 6, out_features: 2 }, (1, 1));
+        assert!(matches!(reconstruct_layer(&desc, &[]), Err(CoreError::InvalidWeights { .. })));
     }
 
     #[test]

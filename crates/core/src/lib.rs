@@ -17,6 +17,8 @@
 //! * [`layer`] — the per-layer application rules of Section III-C
 //!   (CONV reshape, 1×1-CONV-as-FC, FC row reshape with padding/slicing);
 //! * [`network`] — whole-network compression with storage accounting;
+//! * [`pipeline`] — the deterministic parallel work queue that network
+//!   compression (and the `se-models` trace generators) execute on;
 //! * [`baselines`] — the compression baselines the paper compares against
 //!   in Fig. 8 (magnitude/channel pruning, uniform and power-of-2
 //!   quantization, low-rank decomposition).
@@ -51,6 +53,7 @@ pub mod algorithm;
 pub mod baselines;
 pub mod layer;
 pub mod network;
+pub mod pipeline;
 pub mod sparsify;
 
 pub use config::{SeConfig, VectorSparsity};

@@ -1,8 +1,14 @@
 //! Whole-network compression: applies the SmartExchange algorithm to every
 //! layer of a network and aggregates the storage accounting that backs the
 //! paper's Tables II and III.
+//!
+//! Since the decomposition never looks across layers, both entry points
+//! here execute on the parallel work queue of [`crate::pipeline`]
+//! (worker count from [`SeConfig::parallelism`], default all cores) with
+//! results reassembled in network order — output is bit-identical to a
+//! serial run for every worker count.
 
-use crate::{layer, CoreError, Result, SeConfig};
+use crate::{layer, pipeline, CoreError, Result, SeConfig};
 use se_ir::{storage, LayerDesc, SeLayer};
 use se_tensor::Tensor;
 
@@ -58,11 +64,8 @@ impl CompressedNetwork {
         if total == 0 {
             return 0.0;
         }
-        let pruned: f64 = self
-            .reports
-            .iter()
-            .map(|r| f64::from(r.vector_sparsity) * r.params as f64)
-            .sum();
+        let pruned: f64 =
+            self.reports.iter().map(|r| f64::from(r.vector_sparsity) * r.params as f64).sum();
         pruned / total as f64
     }
 
@@ -72,10 +75,7 @@ impl CompressedNetwork {
         if total == 0 {
             return 0.0;
         }
-        self.reports
-            .iter()
-            .map(|r| f64::from(r.recon_error) * r.params as f64)
-            .sum::<f64>()
+        self.reports.iter().map(|r| f64::from(r.recon_error) * r.params as f64).sum::<f64>()
             / total as f64
     }
 }
@@ -143,43 +143,27 @@ pub fn compress_network(
     layers: &[(LayerDesc, Tensor)],
     cfg: &SeConfig,
 ) -> Result<CompressedNetwork> {
-    let mut parts = Vec::with_capacity(layers.len());
-    let mut reports = Vec::with_capacity(layers.len());
-    for (desc, w) in layers {
-        let (p, r) = compress_layer_reported(desc, w, cfg).map_err(|e| match e {
-            CoreError::InvalidWeights { reason } => CoreError::InvalidWeights {
-                reason: format!("{}: {reason}", desc.name()),
-            },
-            other => other,
-        })?;
-        parts.push(p);
-        reports.push(r);
-    }
-    Ok(CompressedNetwork { parts, reports })
+    pipeline::compress_network(layers, cfg)
 }
 
 /// Streaming variant of [`compress_network`] that keeps only the reports,
 /// generating weights on demand and dropping compressed parts immediately —
 /// used for ImageNet-scale models where holding every `Ce` would be large.
+/// Weights are generated on the worker threads, so `weights_for` must be
+/// `Fn + Sync`; peak memory is bounded by [`SeConfig::parallelism`] layers.
 ///
 /// # Errors
 ///
-/// Propagates per-layer failures.
+/// Propagates per-layer failures, identifying the offending layer.
 pub fn compress_network_reports<F>(
     descs: &[LayerDesc],
     cfg: &SeConfig,
-    mut weights_for: F,
+    weights_for: F,
 ) -> Result<Vec<LayerReport>>
 where
-    F: FnMut(&LayerDesc) -> Result<Tensor>,
+    F: Fn(&LayerDesc) -> Result<Tensor> + Sync,
 {
-    let mut reports = Vec::with_capacity(descs.len());
-    for desc in descs {
-        let w = weights_for(desc)?;
-        let (_, r) = compress_layer_reported(desc, &w, cfg)?;
-        reports.push(r);
-    }
-    Ok(reports)
+    pipeline::compress_network_reports(descs, cfg, weights_for)
 }
 
 #[cfg(test)]

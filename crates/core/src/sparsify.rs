@@ -55,8 +55,7 @@ pub fn vector_sparsify(ce: &mut Mat, policy: VectorSparsity) -> usize {
         }
         VectorSparsity::KeepFraction(frac) => {
             let keep = (((rows as f64) * f64::from(frac)).round() as usize).min(rows);
-            let mut norms: Vec<(usize, f32)> =
-                (0..rows).map(|i| (i, rms(ce.row(i)))).collect();
+            let mut norms: Vec<(usize, f32)> = (0..rows).map(|i| (i, rms(ce.row(i)))).collect();
             // Sort by descending norm; stable on ties so results are
             // deterministic.
             norms.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite norms"));
@@ -100,15 +99,14 @@ pub fn vector_sparsify(ce: &mut Mat, policy: VectorSparsity) -> usize {
 /// pruning).
 pub fn channel_mask(w: &Mat, group_rows: usize, rel_threshold: f32) -> Vec<bool> {
     if group_rows == 0 || w.rows() % group_rows != 0 {
-        return vec![true; if group_rows == 0 { 0 } else { w.rows() / group_rows }];
+        return vec![true; w.rows().checked_div(group_rows).unwrap_or(0)];
     }
     let channels = w.rows() / group_rows;
     let saliency: Vec<f32> = (0..channels)
         .map(|c| {
             let start = c * group_rows;
-            let elems: Vec<f32> = (start..start + group_rows)
-                .flat_map(|r| w.row(r).iter().copied())
-                .collect();
+            let elems: Vec<f32> =
+                (start..start + group_rows).flat_map(|r| w.row(r).iter().copied()).collect();
             rms(&elems)
         })
         .collect();
@@ -140,8 +138,7 @@ mod tests {
 
     #[test]
     fn threshold_zeroes_small_rows() {
-        let mut ce =
-            Mat::from_rows(&[&[0.002, 0.001], &[1.0, 0.0], &[0.0, 0.0]]).unwrap();
+        let mut ce = Mat::from_rows(&[&[0.002, 0.001], &[1.0, 0.0], &[0.0, 0.0]]).unwrap();
         let zeroed = vector_sparsify(&mut ce, VectorSparsity::Threshold(0.01));
         assert_eq!(zeroed, 2); // the small row and the already-zero row
         assert_eq!(ce.row(0), &[0.0, 0.0]);
@@ -158,13 +155,7 @@ mod tests {
 
     #[test]
     fn keep_fraction_exact_count() {
-        let mut ce = Mat::from_rows(&[
-            &[4.0, 0.0],
-            &[1.0, 0.0],
-            &[3.0, 0.0],
-            &[2.0, 0.0],
-        ])
-        .unwrap();
+        let mut ce = Mat::from_rows(&[&[4.0, 0.0], &[1.0, 0.0], &[3.0, 0.0], &[2.0, 0.0]]).unwrap();
         let zeroed = vector_sparsify(&mut ce, VectorSparsity::KeepFraction(0.5));
         assert_eq!(zeroed, 2);
         // Largest two rows (4.0 and 3.0) survive.

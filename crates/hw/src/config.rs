@@ -108,9 +108,7 @@ impl SeAcceleratorConfig {
             });
         }
         if self.row_sample == 0 {
-            return Err(HwError::InvalidConfig {
-                reason: "row_sample must be at least 1".into(),
-            });
+            return Err(HwError::InvalidConfig { reason: "row_sample must be at least 1".into() });
         }
         Ok(())
     }
@@ -177,14 +175,11 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate() {
-        let mut c = SeAcceleratorConfig::default();
-        c.dim_m = 0;
+        let c = SeAcceleratorConfig { dim_m: 0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = SeAcceleratorConfig::default();
-        c.dram_bytes_per_cycle = 0.0;
+        let c = SeAcceleratorConfig { dram_bytes_per_cycle: 0.0, ..Default::default() };
         assert!(c.validate().is_err());
-        let mut c = SeAcceleratorConfig::default();
-        c.input_gb_bank_kb = -1.0;
+        let c = SeAcceleratorConfig { input_gb_bank_kb: -1.0, ..Default::default() };
         assert!(c.validate().is_err());
     }
 

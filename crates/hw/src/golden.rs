@@ -71,9 +71,8 @@ pub fn golden_conv_cycles(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Resu
             q.data()[(ci * h + iy) * w + ix as usize]
         }
     };
-    let act_row_zero = |ci: usize, iy: usize| -> bool {
-        (0..w).all(|x| q.data()[(ci * h + iy) * w + x] == 0)
-    };
+    let act_row_zero =
+        |ci: usize, iy: usize| -> bool { (0..w).all(|x| q.data()[(ci * h + iy) * w + x] == 0) };
 
     // Row cost: the lockstep bit-serial cycles of one weight row over one
     // output-pixel group.
@@ -194,6 +193,7 @@ mod tests {
     use se_ir::{LayerDesc, QuantTensor};
     use se_tensor::rng;
 
+    #[allow(clippy::too_many_arguments)]
     fn make_trace(
         c: usize,
         m: usize,
@@ -206,13 +206,7 @@ mod tests {
     ) -> LayerTrace {
         let desc = LayerDesc::new(
             "g",
-            LayerKind::Conv2d {
-                in_channels: c,
-                out_channels: m,
-                kernel: k,
-                stride,
-                padding: pad,
-            },
+            LayerKind::Conv2d { in_channels: c, out_channels: m, kernel: k, stride, padding: pad },
             (hw, hw),
         );
         let mut r = rng::seeded(seed);
@@ -223,8 +217,8 @@ mod tests {
             .with_vector_sparsity(VectorSparsity::KeepFraction(keep))
             .unwrap();
         let parts = se_layer::compress_layer(&desc, &w, &cfg).unwrap();
-        let act = rng::normal_tensor(&mut r, &[c, hw, hw], 1.0)
-            .map(|v| if v < 0.3 { 0.0 } else { v });
+        let act =
+            rng::normal_tensor(&mut r, &[c, hw, hw], 1.0).map(|v| if v < 0.3 { 0.0 } else { v });
         let q = QuantTensor::quantize(&act, 8).unwrap();
         LayerTrace::new(desc, WeightData::Se(parts), q).unwrap()
     }
@@ -308,11 +302,8 @@ mod tests {
 
     #[test]
     fn golden_rejects_unsupported() {
-        let desc = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 4, out_features: 2 },
-            (1, 1),
-        );
+        let desc =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 4, out_features: 2 }, (1, 1));
         let q = QuantTensor::quantize(&Tensor::full(&[4], 1.0), 8).unwrap();
         let t = LayerTrace::new(
             desc,

@@ -113,11 +113,7 @@ impl PreparedWeights {
 
 fn se_storage_bytes(layer: &SeLayer) -> (u64, u64, u64) {
     let s = se_ir::storage::se_layer_storage(layer);
-    (
-        (s.ce_bits + s.basis_bits).div_ceil(8),
-        s.index_bits.div_ceil(8),
-        s.basis_bits.div_ceil(8),
-    )
+    ((s.ce_bits + s.basis_bits).div_ceil(8), s.index_bits.div_ceil(8), s.basis_bits.div_ceil(8))
 }
 
 /// Builds [`PreparedWeights`] from an SE layer whose layout units map to
@@ -235,8 +231,7 @@ fn weight_chunking(
     // 16-bit partial sums, written and re-read once per extra chunk.
     let spill = 2 * (chunks - 1) * outputs * 2;
     let tile_psums = (cfg.dim_m as u64) * 2 * outputs.div_ceil(cfg.dim_m as u64).max(1);
-    let to_gb =
-        (tile_psums as f64) <= cfg.output_gb_banks as f64 * cfg.output_gb_bank_kb * 1024.0;
+    let to_gb = (tile_psums as f64) <= cfg.output_gb_banks as f64 * cfg.output_gb_bank_kb * 1024.0;
     (chunks, spill, to_gb)
 }
 
@@ -247,8 +242,7 @@ fn finish(
     mem: MemCounters,
     mut ops: OpCounters,
 ) -> LayerResult {
-    let dram_cycles =
-        (mem.dram_total_bytes() as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
+    let dram_cycles = (mem.dram_total_bytes() as f64 / cfg.dram_bytes_per_cycle).ceil() as u64;
     let lanes = cfg.total_lanes() as u64;
     let busy = ops.pe_lane_cycles + ops.macs;
     ops.idle_lane_cycles = (compute_cycles * lanes).saturating_sub(busy);
@@ -263,7 +257,7 @@ fn finish(
 }
 
 /// Extracts the single SE part or signals a dense layer.
-fn weight_form<'a>(trace: &'a LayerTrace) -> Result<Option<&'a SeLayer>> {
+fn weight_form(trace: &LayerTrace) -> Result<Option<&SeLayer>> {
     match trace.weights() {
         WeightData::Se(parts) if parts.len() == 1 => Ok(Some(&parts[0])),
         WeightData::Se(parts) => Err(HwError::UnsupportedTrace {
@@ -384,6 +378,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
             // Shared activation fetches: a row segment is read once per
             // (e, f0) if any filter needs it.
             let seg_bytes = ((nf - 1) * stride + s) as u64;
+            #[allow(clippy::needless_range_loop)]
             for idx in 0..c * r {
                 if processed[idx] && (!cfg.index_select || pw.any_row[idx]) {
                     gb_in_read += seg_bytes;
@@ -409,6 +404,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
             } else {
                 // Static line ownership: every filter pays the same line
                 // times (no per-filter skipping hardware).
+                #[allow(clippy::needless_range_loop)]
                 for ci in 0..c {
                     for kr in 0..r {
                         let idx = ci * r + kr;
@@ -429,9 +425,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
                 let m_hi = (m0 + dim_m).min(m);
                 let mut tile_max = 0u64;
                 for fi in m0..m_hi {
-                    let t = slice_work[fi]
-                        .div_ceil(dim_c as u64)
-                        .max(slice_longest[fi]);
+                    let t = slice_work[fi].div_ceil(dim_c as u64).max(slice_longest[fi]);
                     tile_max = tile_max.max(t);
                 }
                 compute += tile_max;
@@ -440,8 +434,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
             let m_tiles = m.div_ceil(dim_m) as u64;
             for c0 in (0..c).step_by(dim_c) {
                 let c_hi = (c0 + dim_c).min(c);
-                let line_max =
-                    (c0..c_hi).map(|ci| line_total[ci]).max().unwrap_or(0);
+                let line_max = (c0..c_hi).map(|ci| line_total[ci]).max().unwrap_or(0);
                 compute += line_max * m_tiles;
             }
         }
@@ -478,8 +471,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
     // Needed input rows: non-zero rows of channels any filter uses.
     let mut needed_in: u64 = 0;
     for ci in 0..c {
-        let channel_needed =
-            !cfg.index_select || (0..r).any(|kr| pw.any_row[ci * r + kr]);
+        let channel_needed = !cfg.index_select || (0..r).any(|kr| pw.any_row[ci * r + kr]);
         if !channel_needed {
             continue;
         }
@@ -606,6 +598,7 @@ fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
                 lanes[g] = active_lanes;
             }
             let seg_bytes = (((nf - 1) * stride + 1) * group) as u64;
+            #[allow(clippy::needless_range_loop)]
             for g in 0..groups {
                 if live[g] && (!cfg.index_select || pw.any_row[g]) {
                     gb_in_read += seg_bytes;
@@ -672,10 +665,7 @@ fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
     let outputs = (m * e_out * f_out) as u64;
     let needed_in: u64 = (0..c)
         .map(|ci| {
-            (0..h)
-                .filter(|&y| !cfg.index_select || act_nz[ci * h + y])
-                .count() as u64
-                * w as u64
+            (0..h).filter(|&y| !cfg.index_select || act_nz[ci * h + y]).count() as u64 * w as u64
         })
         .sum();
     let m_tiles = (m as u64).div_ceil(dim_m as u64);
@@ -746,6 +736,7 @@ fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
                 for ci in c0..c_hi {
                     let mut row_times = [0u64; 16];
                     debug_assert!(r <= 16, "kernel rows exceed scratch");
+                    #[allow(clippy::needless_range_loop)]
                     for kr in 0..r {
                         let iy = (e * stride + kr) as isize - padding as isize;
                         if iy < 0 || iy as usize >= h {
@@ -765,10 +756,8 @@ fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
                         let mut energy = 0u64;
                         for si in 0..s {
                             let start = (f0 * stride + si) as isize - padding as isize;
-                            cycles +=
-                                step_cost(window::window_max(row_sc, start, stride, nf));
-                            energy +=
-                                u64::from(window::window_sum(row_sc, start, stride, nf));
+                            cycles += step_cost(window::window_max(row_sc, start, stride, nf));
+                            energy += u64::from(window::window_sum(row_sc, start, stride, nf));
                         }
                         row_times[kr] = cycles;
                         pe_busy += energy;
@@ -800,10 +789,8 @@ fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
         rebuild = pw.total_nnz * s as u64 * e_out as u64;
     }
     let outputs = (c * e_out * f_out) as u64;
-    let needed_in: u64 = (0..c * h)
-        .filter(|&row| !cfg.index_select || act_nz[row])
-        .count() as u64
-        * w as u64;
+    let needed_in: u64 =
+        (0..c * h).filter(|&row| !cfg.index_select || act_nz[row]).count() as u64 * w as u64;
     let dram_in = input_dram_bytes(cfg, needed_in, 1);
 
     let mem = MemCounters {
@@ -978,17 +965,13 @@ fn squeeze_excite_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result
             };
             // Compute the FC1 output to feed FC2's activation statistics.
             let w1 = parts[0].reconstruct_weights()?; // (reduced, channels)
-            let mut y = vec![0.0f32; reduced];
             let x = pooled_q.dequantize();
-            for i in 0..reduced {
-                let row = &w1.data()[i * channels..(i + 1) * channels];
-                y[i] = row
-                    .iter()
-                    .zip(x.data())
-                    .map(|(&a, &b)| a * b)
-                    .sum::<f32>()
-                    .max(0.0);
-            }
+            let y: Vec<f32> = (0..reduced)
+                .map(|i| {
+                    let row = &w1.data()[i * channels..(i + 1) * channels];
+                    row.iter().zip(x.data()).map(|(&a, &b)| a * b).sum::<f32>().max(0.0)
+                })
+                .collect();
             (
                 prepare_se(&parts[0]),
                 prepare_se(&parts[1]),
@@ -1053,21 +1036,20 @@ mod tests {
     fn conv_desc(c: usize, m: usize, k: usize, stride: usize, pad: usize, hw: usize) -> LayerDesc {
         LayerDesc::new(
             "conv",
-            LayerKind::Conv2d {
-                in_channels: c,
-                out_channels: m,
-                kernel: k,
-                stride,
-                padding: pad,
-            },
+            LayerKind::Conv2d { in_channels: c, out_channels: m, kernel: k, stride, padding: pad },
             (hw, hw),
         )
     }
 
     fn quant_act(c: usize, hw: usize, seed: u64, sparsity: f32) -> QuantTensor {
         let mut r = rng::seeded(seed);
-        let t = rng::normal_tensor(&mut r, &[c, hw, hw], 1.0)
-            .map(|v| if v.abs() < sparsity { 0.0 } else { v.abs() });
+        let t = rng::normal_tensor(&mut r, &[c, hw, hw], 1.0).map(|v| {
+            if v.abs() < sparsity {
+                0.0
+            } else {
+                v.abs()
+            }
+        });
         QuantTensor::quantize(&t, 8).unwrap()
     }
 
@@ -1124,8 +1106,7 @@ mod tests {
     fn index_select_reduces_cycles() {
         let t = se_trace(8, 16, 16, 0.3, 3);
         let with = accel().process_layer(&t).unwrap();
-        let mut cfg = SeAcceleratorConfig::default();
-        cfg.index_select = false;
+        let cfg = SeAcceleratorConfig { index_select: false, ..Default::default() };
         let without = SeAccelerator::new(cfg).unwrap().process_layer(&t).unwrap();
         assert!(with.compute_cycles < without.compute_cycles);
         assert!(with.mem.dram_input_bytes <= without.mem.dram_input_bytes);
@@ -1135,8 +1116,7 @@ mod tests {
     fn bit_serial_exploits_bit_sparsity() {
         let t = se_trace(8, 16, 16, 1.0, 4);
         let serial = accel().process_layer(&t).unwrap();
-        let mut cfg = SeAcceleratorConfig::default();
-        cfg.bit_serial = false;
+        let cfg = SeAcceleratorConfig { bit_serial: false, ..Default::default() };
         let parallel = SeAccelerator::new(cfg).unwrap().process_layer(&t).unwrap();
         // Booth digits of small activations are < 4, so bit-serial beats
         // one-cycle-per-multiply only when counting equivalent lanes; what
@@ -1196,11 +1176,9 @@ mod tests {
         let w = rng::kaiming_tensor(&mut r, &[16, 3, 3], 9);
         let cfg = SeConfig::default().with_max_iterations(4).unwrap();
         let parts = se_layer::compress_layer(&desc, &w, &cfg).unwrap();
-        let t =
-            LayerTrace::new(desc, WeightData::Se(parts), quant_act(16, 16, 10, 0.3)).unwrap();
+        let t = LayerTrace::new(desc, WeightData::Se(parts), quant_act(16, 16, 10, 0.3)).unwrap();
         let ded = accel().process_layer(&t).unwrap();
-        let mut cfg2 = SeAcceleratorConfig::default();
-        cfg2.compact_dedicated = false;
+        let cfg2 = SeAcceleratorConfig { compact_dedicated: false, ..Default::default() };
         let plain = SeAccelerator::new(cfg2).unwrap().process_layer(&t).unwrap();
         assert!(
             ded.compute_cycles < plain.compute_cycles,
@@ -1216,11 +1194,8 @@ mod tests {
 
     #[test]
     fn fc_layer_runs_and_uses_cluster_mode() {
-        let desc = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 96, out_features: 32 },
-            (1, 1),
-        );
+        let desc =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 96, out_features: 32 }, (1, 1));
         let mut r = rng::seeded(11);
         let w = rng::kaiming_tensor(&mut r, &[32, 96], 96);
         let cfg = SeConfig::default().with_max_iterations(4).unwrap();
@@ -1237,11 +1212,8 @@ mod tests {
 
     #[test]
     fn squeeze_excite_layer_runs() {
-        let desc = LayerDesc::new(
-            "se",
-            LayerKind::SqueezeExcite { channels: 16, reduced: 4 },
-            (8, 8),
-        );
+        let desc =
+            LayerDesc::new("se", LayerKind::SqueezeExcite { channels: 16, reduced: 4 }, (8, 8));
         let mut r = rng::seeded(13);
         let w = rng::kaiming_tensor(&mut r, &[2, 16, 4], 16);
         let cfg = SeConfig::default().with_max_iterations(4).unwrap();
@@ -1274,8 +1246,8 @@ mod tests {
 
     #[test]
     fn dram_bound_layers_report_dram_cycles() {
-        let mut cfg = SeAcceleratorConfig::default();
-        cfg.dram_bytes_per_cycle = 0.001; // starve the accelerator
+        // Starve the accelerator of DRAM bandwidth.
+        let cfg = SeAcceleratorConfig { dram_bytes_per_cycle: 0.001, ..Default::default() };
         let accel = SeAccelerator::new(cfg).unwrap();
         let t = se_trace(4, 8, 8, 1.0, 18);
         let r = accel.process_layer(&t).unwrap();

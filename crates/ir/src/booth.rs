@@ -105,11 +105,8 @@ mod tests {
     fn booth_digits_reconstruct_every_value() {
         for v in i8::MIN..=i8::MAX {
             let d = booth_digits(v);
-            let recon: i32 = d
-                .iter()
-                .enumerate()
-                .map(|(i, &dv)| i32::from(dv) * 4i32.pow(i as u32))
-                .sum();
+            let recon: i32 =
+                d.iter().enumerate().map(|(i, &dv)| i32::from(dv) * 4i32.pow(i as u32)).sum();
             assert_eq!(recon, i32::from(v), "value {v} digits {d:?}");
         }
     }

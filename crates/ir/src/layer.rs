@@ -62,9 +62,7 @@ impl LayerKind {
             LayerKind::DepthwiseConv2d { channels, kernel, .. } => {
                 (channels * kernel * kernel) as u64
             }
-            LayerKind::Linear { in_features, out_features } => {
-                (in_features * out_features) as u64
-            }
+            LayerKind::Linear { in_features, out_features } => (in_features * out_features) as u64,
             LayerKind::SqueezeExcite { channels, reduced } => 2 * (channels * reduced) as u64,
         }
     }
@@ -160,9 +158,7 @@ impl LayerDesc {
         let (h, w) = self.input_hw;
         let (kernel, stride, padding) = match self.kind {
             LayerKind::Conv2d { kernel, stride, padding, .. } => (kernel, stride, padding),
-            LayerKind::DepthwiseConv2d { kernel, stride, padding, .. } => {
-                (kernel, stride, padding)
-            }
+            LayerKind::DepthwiseConv2d { kernel, stride, padding, .. } => (kernel, stride, padding),
             LayerKind::Linear { .. } => return Ok((1, 1)),
             // Squeeze-excite rescales the map it was given.
             LayerKind::SqueezeExcite { .. } => return Ok((h, w)),
@@ -199,9 +195,7 @@ impl LayerDesc {
             LayerKind::DepthwiseConv2d { channels, kernel, .. } => {
                 (channels * e * f * kernel * kernel) as u64
             }
-            LayerKind::Linear { in_features, out_features } => {
-                (in_features * out_features) as u64
-            }
+            LayerKind::Linear { in_features, out_features } => (in_features * out_features) as u64,
             LayerKind::SqueezeExcite { channels, reduced } => {
                 // Two FCs plus the channel-wise rescale of the map.
                 (2 * channels * reduced + channels * e * f) as u64
@@ -296,11 +290,8 @@ mod tests {
 
     #[test]
     fn squeeze_excite_geometry() {
-        let l = LayerDesc::new(
-            "se",
-            LayerKind::SqueezeExcite { channels: 96, reduced: 4 },
-            (56, 56),
-        );
+        let l =
+            LayerDesc::new("se", LayerKind::SqueezeExcite { channels: 96, reduced: 4 }, (56, 56));
         assert_eq!(l.params(), 2 * 96 * 4);
         assert_eq!(l.output_hw().unwrap(), (56, 56));
         assert!(l.kind().is_conv_like());
@@ -323,11 +314,8 @@ mod tests {
     #[test]
     fn weight_shapes() {
         assert_eq!(conv(3, 64, 3, 1, 1, 32).weight_shape(), vec![64, 3, 3, 3]);
-        let fc = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 10, out_features: 4 },
-            (1, 1),
-        );
+        let fc =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 10, out_features: 4 }, (1, 1));
         assert_eq!(fc.weight_shape(), vec![4, 10]);
     }
 }

@@ -93,11 +93,7 @@ impl NetworkDesc {
     ///
     /// Returns [`IrError::InvalidDescriptor`] if a layer's geometry is
     /// invalid or two layers share a name.
-    pub fn new(
-        name: impl Into<String>,
-        dataset: Dataset,
-        layers: Vec<LayerDesc>,
-    ) -> Result<Self> {
+    pub fn new(name: impl Into<String>, dataset: Dataset, layers: Vec<LayerDesc>) -> Result<Self> {
         let name = name.into();
         let mut seen = std::collections::HashSet::new();
         for l in &layers {
@@ -134,10 +130,7 @@ impl NetworkDesc {
     /// Total MACs for one inference (batch 1). Layer geometries were
     /// validated at construction, so this cannot fail.
     pub fn total_macs(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| l.macs().expect("validated at construction"))
-            .sum()
+        self.layers.iter().map(|l| l.macs().expect("validated at construction")).sum()
     }
 
     /// Model size in megabytes at FP32 (the paper's `Param.` column unit).
@@ -193,11 +186,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let l = LayerDesc::new(
-            "dup",
-            LayerKind::Linear { in_features: 4, out_features: 4 },
-            (1, 1),
-        );
+        let l =
+            LayerDesc::new("dup", LayerKind::Linear { in_features: 4, out_features: 4 }, (1, 1));
         assert!(NetworkDesc::new("n", Dataset::Mnist, vec![l.clone(), l]).is_err());
     }
 

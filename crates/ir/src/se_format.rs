@@ -62,9 +62,7 @@ impl SeSlice {
     /// This is exactly the 1-bit direct index the accelerator stores to skip
     /// zero weight vectors (Section IV-B, "Coefficient matrix indexing").
     pub fn row_nonzero_mask(&self) -> Vec<bool> {
-        (0..self.ce.rows())
-            .map(|i| self.ce.row(i).iter().any(|&x| x != 0.0))
-            .collect()
+        (0..self.ce.rows()).map(|i| self.ce.row(i).iter().any(|&x| x != 0.0)).collect()
     }
 
     /// Number of rows with at least one non-zero coefficient.
@@ -201,9 +199,7 @@ impl SeLayer {
             let rows: usize = unit.iter().map(|s| s.ce().rows()).sum();
             if rows != rows_per_unit {
                 return Err(IrError::LayoutMismatch {
-                    reason: format!(
-                        "unit rows {rows} do not match layout's {rows_per_unit}"
-                    ),
+                    reason: format!("unit rows {rows} do not match layout's {rows_per_unit}"),
                 });
             }
         }
@@ -235,17 +231,13 @@ impl SeLayer {
     pub fn reconstruct_weights(&self) -> Result<Tensor> {
         match self.layout {
             SeLayout::ConvPerFilter { out_channels, in_channels, kernel, slices_per_filter } => {
-                let mut data =
-                    Vec::with_capacity(out_channels * in_channels * kernel * kernel);
+                let mut data = Vec::with_capacity(out_channels * in_channels * kernel * kernel);
                 for unit in self.slices.chunks(slices_per_filter) {
                     for slice in unit {
                         data.extend_from_slice(slice.reconstruct().data());
                     }
                 }
-                Ok(Tensor::from_vec(
-                    data,
-                    &[out_channels, in_channels, kernel, kernel],
-                )?)
+                Ok(Tensor::from_vec(data, &[out_channels, in_channels, kernel, kernel])?)
             }
             SeLayout::FcPerRow { out_features, in_features, width, slices_per_row } => {
                 let padded = in_features.div_ceil(width) * width;
@@ -330,12 +322,7 @@ mod tests {
 
     #[test]
     fn slice_row_stats() {
-        let ce = Mat::from_rows(&[
-            &[0.5, 0.0, 0.0],
-            &[0.0, 0.0, 0.0],
-            &[0.25, -0.5, 0.0],
-        ])
-        .unwrap();
+        let ce = Mat::from_rows(&[&[0.5, 0.0, 0.0], &[0.0, 0.0, 0.0], &[0.25, -0.5, 0.0]]).unwrap();
         let s = SeSlice::new(ce, Mat::identity(3), &po2()).unwrap();
         assert_eq!(s.row_nonzero_mask(), vec![true, false, true]);
         assert_eq!(s.nonzero_rows(), 2);
@@ -367,13 +354,8 @@ mod tests {
     #[test]
     fn fc_layer_reconstruction_with_padding() {
         // 1 output row, 7 inputs, width 3 -> padded to 9, 3x3 reshaped.
-        let ce = Mat::from_rows(&[
-            &[1.0, 0.0, 0.0],
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-        ])
-        .unwrap();
-        let basis = Mat::from_fn(3, 3, |i, j| ((i * 3 + j) as f32 / 8.0));
+        let ce = Mat::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0]]).unwrap();
+        let basis = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f32 / 8.0);
         let s = SeSlice::new(ce, basis.clone(), &po2()).unwrap();
         let layer = SeLayer::new(
             SeLayout::FcPerRow { out_features: 1, in_features: 7, width: 3, slices_per_row: 1 },

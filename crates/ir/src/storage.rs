@@ -114,15 +114,12 @@ pub fn se_layer_storage(layer: &SeLayer) -> SeStorage {
 /// FC layouts: a flat bit per row.
 fn index_bits(layer: &SeLayer) -> u64 {
     match *layer.layout() {
-        SeLayout::FcPerRow { .. } => {
-            layer.slices().iter().map(|s| s.ce().rows() as u64).sum()
-        }
+        SeLayout::FcPerRow { .. } => layer.slices().iter().map(|s| s.ce().rows() as u64).sum(),
         SeLayout::ConvPerFilter { kernel, slices_per_filter, .. } => {
             let mut bits = 0u64;
             for unit in layer.slices().chunks(slices_per_filter) {
                 // Concatenate the unit's row mask across its slices.
-                let mask: Vec<bool> =
-                    unit.iter().flat_map(|s| s.row_nonzero_mask()).collect();
+                let mask: Vec<bool> = unit.iter().flat_map(|s| s.row_nonzero_mask()).collect();
                 for channel in mask.chunks(kernel.max(1)) {
                     bits += 1; // channel bitmap bit
                     if channel.iter().any(|&live| live) {
@@ -186,7 +183,7 @@ mod tests {
     fn zero_rows_are_free_except_index() {
         let l = layer_with_rows(&[&[0.0, 0.0, 0.0], &[0.0, 0.0, 0.0], &[1.0, 0.0, 0.0]]);
         let s = se_layer_storage(&l);
-        assert_eq!(s.ce_bits, 1 * 3 * 4);
+        assert_eq!(s.ce_bits, 3 * 4);
         assert_eq!(s.index_bits, 4); // the single channel is still live
     }
 

@@ -133,11 +133,8 @@ mod tests {
             8,
         )
         .unwrap();
-        let d = LayerDesc::new(
-            "fc",
-            LayerKind::Linear { in_features: 16, out_features: 2 },
-            (1, 1),
-        );
+        let d =
+            LayerDesc::new("fc", LayerKind::Linear { in_features: 16, out_features: 2 }, (1, 1));
         let t = LayerTrace::new(d, WeightData::Dense(quant(32)), input).unwrap();
         assert_eq!(t.input_sparsity(), 0.5);
     }

@@ -31,12 +31,13 @@ pub struct ActivationProfile {
 /// The profile for a layer at a given depth: ReLU sparsity ~40–60%, dead
 /// channels growing from 0 toward ~25% at the end of the network
 /// (the depth trend Section IV-A describes for MobileNetV2/ResNet164).
-pub fn profile_for_depth(layer_index: usize, total_layers: usize, r: &mut StdRng) -> ActivationProfile {
-    let depth = if total_layers <= 1 {
-        0.0
-    } else {
-        layer_index as f32 / (total_layers - 1) as f32
-    };
+pub fn profile_for_depth(
+    layer_index: usize,
+    total_layers: usize,
+    r: &mut StdRng,
+) -> ActivationProfile {
+    let depth =
+        if total_layers <= 1 { 0.0 } else { layer_index as f32 / (total_layers - 1) as f32 };
     ActivationProfile {
         relu_sparsity: 0.40 + 0.20 * r.random::<f32>(),
         dead_channel_fraction: 0.25 * depth * r.random::<f32>(),

@@ -21,11 +21,7 @@ pub struct TraceOptions {
 
 impl Default for TraceOptions {
     fn default() -> Self {
-        TraceOptions {
-            base_seed: 0,
-            se_config: trace_se_config(30),
-            conv_like_only: true,
-        }
+        TraceOptions { base_seed: 0, se_config: trace_se_config(30), conv_like_only: true }
     }
 }
 
@@ -49,11 +45,7 @@ impl TraceOptions {
     ///
     /// Never panics; the static configuration is valid.
     pub fn fast() -> Self {
-        TraceOptions {
-            base_seed: 0,
-            se_config: trace_se_config(6),
-            conv_like_only: true,
-        }
+        TraceOptions { base_seed: 0, se_config: trace_se_config(6), conv_like_only: true }
     }
 
     /// Sets the base seed.
@@ -120,19 +112,104 @@ pub fn se_trace(
     Ok(LayerTrace::new(desc, WeightData::Se(parts), qa)?)
 }
 
-/// Streams matched trace pairs layer by layer (traces for ImageNet-scale
-/// layers are large; only one layer is alive at a time).
+/// Generates the matched trace pair for one layer. The synthetic weights
+/// and activations are generated once and shared by both traces (they are
+/// bit-identical to what [`dense_trace`] and [`se_trace`] produce, at half
+/// the generation cost — this is the pipeline's hot path).
+///
+/// # Errors
+///
+/// Propagates weight/activation generation, quantization, and compression
+/// failures.
+pub fn trace_pair(net: &NetworkDesc, layer_index: usize, opts: &TraceOptions) -> Result<TracePair> {
+    let desc = net.layers()[layer_index].clone();
+    let w = weights::synthetic_weights(net.name(), &desc, opts.base_seed)?;
+    let qw = QuantTensor::quantize(&w, 8)?;
+    let act = activations::synthetic_activation(net, layer_index, opts.base_seed)?;
+    let qa = QuantTensor::quantize(&act, 8)?;
+    let parts = se_core::layer::compress_layer(&desc, &w, &opts.se_config)?;
+    let dense = LayerTrace::new(desc.clone(), WeightData::Dense(qw), qa.clone())?;
+    let se = LayerTrace::new(desc, WeightData::Se(parts), qa)?;
+    Ok(TracePair { layer_index, dense, se })
+}
+
+/// Generates every eligible layer's trace pair on the parallel work queue
+/// of [`se_core::pipeline`] (worker count from the options'
+/// `se_config.parallelism()`), in network order.
+///
+/// Unlike [`TraceStream`], this holds every pair at once — use the stream
+/// for ImageNet-scale models.
+///
+/// # Errors
+///
+/// Returns the first (lowest-index) per-layer failure.
+pub fn trace_pairs(net: &NetworkDesc, opts: &TraceOptions) -> Result<Vec<TracePair>> {
+    TraceStream::new(net, opts.clone()).collect()
+}
+
+/// Maximum trace pairs generated (and therefore alive) per
+/// [`TraceStream`] batch: bounds streaming memory independently of core
+/// count; thread budget beyond this flows to the per-layer decomposition
+/// level.
+pub const MAX_BATCH_PAIRS: usize = 4;
+
+/// Streams matched trace pairs layer by layer, generating them in batches
+/// on the parallel work queue of [`se_core::pipeline`] (thread budget from
+/// the options' `se_config.parallelism()`).
+///
+/// Traces for ImageNet-scale layers are large, so batches are capped at
+/// [`MAX_BATCH_PAIRS`] pairs regardless of core count — peak memory stays
+/// a small constant, and thread budget beyond the batch width flows to the
+/// per-layer decomposition level instead. With `parallelism = 1` this
+/// degenerates to the fully lazy one-layer-at-a-time stream. Pairs are
+/// yielded in network order for every worker count.
 #[derive(Debug)]
 pub struct TraceStream<'a> {
     net: &'a NetworkDesc,
     opts: TraceOptions,
-    next: usize,
+    /// Eligible layer indices not yet generated, in network order.
+    pending: std::collections::VecDeque<usize>,
+    /// Generated pairs not yet yielded, in network order.
+    ready: std::collections::VecDeque<Result<TracePair>>,
+    /// Whether a batch has been generated yet (the first batch is a single
+    /// pair so one-pair consumers never pay for a full batch).
+    warmed: bool,
 }
 
 impl<'a> TraceStream<'a> {
     /// Creates a stream over the network's layers.
     pub fn new(net: &'a NetworkDesc, opts: TraceOptions) -> Self {
-        TraceStream { net, opts, next: 0 }
+        let pending = net
+            .layers()
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !opts.conv_like_only || d.kind().is_conv_like())
+            .map(|(i, _)| i)
+            .collect();
+        TraceStream { net, opts, pending, ready: std::collections::VecDeque::new(), warmed: false }
+    }
+
+    /// Generates the next batch of pairs on the work queue, in network
+    /// order. The first batch is a single pair (common consumers take one
+    /// pair and stop — they keep the old one-layer-alive behaviour);
+    /// subsequent batches are `min(parallelism, MAX_BATCH_PAIRS)` wide.
+    /// The total thread budget is split between this batch level and the
+    /// per-layer decomposition threads via
+    /// `se_core::pipeline::worker_config`.
+    fn refill(&mut self) {
+        let workers = self.opts.se_config.parallelism().max(1);
+        let width = if self.warmed { workers.min(MAX_BATCH_PAIRS) } else { 1 };
+        self.warmed = true;
+        let batch: Vec<usize> = (0..width).filter_map(|_| self.pending.pop_front()).collect();
+        if batch.is_empty() {
+            return;
+        }
+        let wcfg = se_core::pipeline::worker_config(&self.opts.se_config, batch.len());
+        let wopts = self.opts.clone().with_se_config(wcfg);
+        let net = self.net;
+        self.ready.extend(se_core::pipeline::run_ordered(&batch, width, |_, &i| {
+            trace_pair(net, i, &wopts)
+        }));
     }
 }
 
@@ -140,23 +217,10 @@ impl Iterator for TraceStream<'_> {
     type Item = Result<TracePair>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let i = self.next;
-            if i >= self.net.layers().len() {
-                return None;
-            }
-            self.next += 1;
-            let desc = &self.net.layers()[i];
-            if self.opts.conv_like_only && !desc.kind().is_conv_like() {
-                continue;
-            }
-            let pair = (|| {
-                let dense = dense_trace(self.net, i, self.opts.base_seed)?;
-                let se = se_trace(self.net, i, self.opts.base_seed, &self.opts.se_config)?;
-                Ok(TracePair { layer_index: i, dense, se })
-            })();
-            return Some(pair);
+        if self.ready.is_empty() {
+            self.refill();
         }
+        self.ready.pop_front()
     }
 }
 
@@ -217,6 +281,23 @@ mod tests {
     }
 
     #[test]
+    fn parallel_stream_is_bit_identical_to_serial() {
+        let net = tiny_net();
+        let serial_opts = TraceOptions::fast()
+            .with_se_config(TraceOptions::fast().se_config.with_parallelism(1).unwrap());
+        let serial: Vec<TracePair> =
+            TraceStream::new(&net, serial_opts).collect::<Result<_>>().unwrap();
+        for workers in [2usize, 4] {
+            let opts = TraceOptions::fast()
+                .with_se_config(TraceOptions::fast().se_config.with_parallelism(workers).unwrap());
+            let parallel: Vec<TracePair> =
+                TraceStream::new(&net, opts.clone()).collect::<Result<_>>().unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+            assert_eq!(trace_pairs(&net, &opts).unwrap(), serial);
+        }
+    }
+
+    #[test]
     fn fc_included_when_requested() {
         let net = tiny_net();
         let opts = TraceOptions::fast().with_fc_layers();
@@ -228,10 +309,7 @@ mod tests {
     #[test]
     fn se_weights_approximate_dense_weights() {
         let net = tiny_net();
-        let pair = TraceStream::new(&net, TraceOptions::fast())
-            .next()
-            .unwrap()
-            .unwrap();
+        let pair = TraceStream::new(&net, TraceOptions::fast()).next().unwrap().unwrap();
         let (dense_w, se_parts) = match (pair.dense.weights(), pair.se.weights()) {
             (WeightData::Dense(d), WeightData::Se(s)) => (d, s),
             other => panic!("unexpected weight kinds {other:?}"),
@@ -250,10 +328,7 @@ mod tests {
         let mut count = 0;
         for pair in TraceStream::new(&net, opts) {
             let p = pair.unwrap();
-            assert_eq!(
-                p.dense.input().len() as u64,
-                p.dense.desc().input_elems()
-            );
+            assert_eq!(p.dense.input().len() as u64, p.dense.desc().input_elems());
             count += 1;
         }
         assert_eq!(count, 3);

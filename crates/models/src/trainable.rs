@@ -139,11 +139,7 @@ pub fn weighted_layer_descs(
 /// # Errors
 ///
 /// Propagates compression failures.
-pub fn se_projection(
-    model: &mut Sequential,
-    input_shape: &[usize],
-    cfg: &SeConfig,
-) -> Result<()> {
+pub fn se_projection(model: &mut Sequential, input_shape: &[usize], cfg: &SeConfig) -> Result<()> {
     let descs = weighted_layer_descs(model, input_shape)?;
     for (i, desc) in descs {
         let w = model.layers()[i].weights().expect("desc built from weighted layer").clone();

@@ -249,9 +249,8 @@ mod tests {
         let later = &net.layers()[10]; // fan_in 512*9
         let wf = synthetic_weights(net.name(), first, 0).unwrap();
         let wl = synthetic_weights(net.name(), later, 0).unwrap();
-        let std = |t: &Tensor| {
-            (t.data().iter().map(|&x| x * x).sum::<f32>() / t.len() as f32).sqrt()
-        };
+        let std =
+            |t: &Tensor| (t.data().iter().map(|&x| x * x).sum::<f32>() / t.len() as f32).sqrt();
         assert!(std(&wf) > 3.0 * std(&wl), "{} vs {}", std(&wf), std(&wl));
     }
 }

@@ -398,10 +398,7 @@ mod tests {
         let net = vgg11();
         // Canonical torchvision VGG11 weight count: ~132.86 M.
         let params = net.total_params();
-        assert!(
-            (132_000_000..134_000_000).contains(&params),
-            "VGG11 params {params}"
-        );
+        assert!((132_000_000..134_000_000).contains(&params), "VGG11 params {params}");
         // ~7.6 GMACs.
         let g = net.total_macs() as f64 / 1e9;
         assert!((7.0..8.2).contains(&g), "VGG11 GMACs {g}");
@@ -505,10 +502,8 @@ mod tests {
 
     #[test]
     fn accelerator_set_is_the_paper_seven() {
-        let names: Vec<String> = accelerator_benchmark_models()
-            .iter()
-            .map(|n| n.name().to_string())
-            .collect();
+        let names: Vec<String> =
+            accelerator_benchmark_models().iter().map(|n| n.name().to_string()).collect();
         assert_eq!(
             names,
             vec![

@@ -95,10 +95,7 @@ impl Dataset {
                 a_lab.push(self.labels[i]);
             }
         }
-        Ok((
-            Dataset::new(a_in, a_lab, self.classes)?,
-            Dataset::new(b_in, b_lab, self.classes)?,
-        ))
+        Ok((Dataset::new(a_in, a_lab, self.classes)?, Dataset::new(b_in, b_lab, self.classes)?))
     }
 }
 

@@ -56,8 +56,6 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(NnError::InvalidLayer { reason: "bad".into() }.to_string().contains("bad"));
-        assert!(NnError::Tensor(se_tensor::TensorError::Singular)
-            .to_string()
-            .contains("singular"));
+        assert!(NnError::Tensor(se_tensor::TensorError::Singular).to_string().contains("singular"));
     }
 }

@@ -256,10 +256,7 @@ impl Layer {
     pub fn backward(&mut self, dout: &Tensor) -> Result<Tensor> {
         match self {
             Layer::Conv2d(c) => {
-                let (h, w, cols) = c
-                    .cache
-                    .take()
-                    .ok_or_else(|| no_cache("Conv2d"))?;
+                let (h, w, cols) = c.cache.take().ok_or_else(|| no_cache("Conv2d"))?;
                 let m = c.geom.out_channels;
                 let dout_mat = Mat::from_vec(dout.data().to_vec(), m, dout.len() / m)?;
                 // dW = dOut · colsᵀ
@@ -302,6 +299,7 @@ impl Layer {
                 let c = b.gamma.len();
                 let per = xhat.len() / c;
                 let mut dx = vec![0.0f32; xhat.len()];
+                #[allow(clippy::needless_range_loop)]
                 for ch in 0..c {
                     let inv_std = 1.0 / (var[ch] + b.eps).sqrt();
                     for i in 0..per {
@@ -316,12 +314,8 @@ impl Layer {
             }
             Layer::ReLU { mask } => {
                 let mask = mask.take().ok_or_else(|| no_cache("ReLU"))?;
-                let data = dout
-                    .data()
-                    .iter()
-                    .zip(&mask)
-                    .map(|(&d, &m)| if m { d } else { 0.0 })
-                    .collect();
+                let data =
+                    dout.data().iter().zip(&mask).map(|(&d, &m)| if m { d } else { 0.0 }).collect();
                 Ok(Tensor::from_vec(data, dout.shape())?)
             }
             Layer::MaxPool2d { cache, .. } => {
@@ -523,11 +517,8 @@ fn bn_forward(b: &BatchNorm2d, x: &Tensor, train: bool) -> Result<(Tensor, Vec<f
             reason: format!("batch_norm over {c} channels got {} elements", x.len()),
         });
     }
-    let (mean, var) = if train {
-        channel_stats(x, c)
-    } else {
-        (b.running_mean.clone(), b.running_var.clone())
-    };
+    let (mean, var) =
+        if train { channel_stats(x, c) } else { (b.running_mean.clone(), b.running_var.clone()) };
     let per = x.len() / c;
     let mut out = x.clone();
     for ch in 0..c {
@@ -600,9 +591,8 @@ fn global_avg_forward(x: &Tensor) -> Result<Tensor> {
     }
     let (c, h, w) = (s[0], s[1], s[2]);
     let inv = 1.0 / (h * w) as f32;
-    let out = (0..c)
-        .map(|ch| x.data()[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() * inv)
-        .collect();
+    let out =
+        (0..c).map(|ch| x.data()[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() * inv).collect();
     Ok(Tensor::from_vec(out, &[c])?)
 }
 
@@ -697,8 +687,10 @@ mod tests {
     #[test]
     fn max_pool_forward_and_backward() {
         let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
-                 16.0],
+            vec![
+                1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+                16.0,
+            ],
             &[1, 4, 4],
         )
         .unwrap();

@@ -48,10 +48,7 @@ impl Conv2dGeom {
                 ),
             });
         }
-        Ok((
-            (eff_h - self.kernel_h) / self.stride + 1,
-            (eff_w - self.kernel_w) / self.stride + 1,
-        ))
+        Ok(((eff_h - self.kernel_h) / self.stride + 1, (eff_w - self.kernel_w) / self.stride + 1))
     }
 }
 
@@ -215,7 +212,10 @@ pub fn conv2d(weights: &Tensor, input: &Tensor, geom: &Conv2dGeom) -> Result<Ten
 /// Returns [`TensorError::InvalidShape`] on dimension mismatch.
 pub fn depthwise_conv2d(weights: &Tensor, input: &Tensor, geom: &Conv2dGeom) -> Result<Tensor> {
     let ws = weights.shape();
-    if ws.len() != 3 || ws[0] != geom.in_channels || ws[1] != geom.kernel_h || ws[2] != geom.kernel_w
+    if ws.len() != 3
+        || ws[0] != geom.in_channels
+        || ws[1] != geom.kernel_h
+        || ws[2] != geom.kernel_w
     {
         return Err(TensorError::InvalidShape {
             reason: format!("depthwise weights {ws:?} do not match geometry {geom:?}"),
@@ -389,8 +389,7 @@ mod tests {
     fn strided_conv_spatial_positions() {
         let mut w = Tensor::zeros(&[1, 1, 1, 1]);
         w.set(&[0, 0, 0, 0], 1.0);
-        let input =
-            Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
+        let input = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 4, 4]).unwrap();
         let g = geom(1, 1, 1, 2, 0);
         let out = conv2d(&w, &input, &g).unwrap();
         assert_eq!(out.shape(), &[1, 2, 2]);

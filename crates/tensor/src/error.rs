@@ -58,11 +58,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::ShapeMismatch {
-            op: "matmul",
-            lhs: vec![2, 3],
-            rhs: vec![4, 5],
-        };
+        let e = TensorError::ShapeMismatch { op: "matmul", lhs: vec![2, 3], rhs: vec![4, 5] };
         let s = e.to_string();
         assert!(s.contains("matmul"));
         assert!(s.contains("[2, 3]"));

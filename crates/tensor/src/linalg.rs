@@ -339,8 +339,8 @@ mod tests {
 
     #[test]
     fn cholesky_known() {
-        let a = Mat::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
-            .unwrap();
+        let a =
+            Mat::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]).unwrap();
         let l = cholesky(&a).unwrap();
         assert_close(l.get(0, 0), 5.0, 1e-5);
         assert_close(l.get(1, 0), 3.0, 1e-5);

@@ -297,9 +297,7 @@ impl Mat {
     /// SmartExchange's vector-wise sparsity zeroes whole rows of `Ce`; this
     /// is the quantity that drives the accelerator's row-skipping.
     pub fn zero_rows(&self) -> usize {
-        (0..self.rows)
-            .filter(|&i| self.row(i).iter().all(|&x| x == 0.0))
-            .count()
+        (0..self.rows).filter(|&i| self.row(i).iter().all(|&x| x == 0.0)).count()
     }
 
     /// Extracts the sub-matrix of rows `r0..r1` (exclusive).

@@ -42,8 +42,7 @@ pub fn uniform_vec(rng: &mut StdRng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
 /// A tensor of `N(0, std²)` samples with the given shape.
 pub fn normal_tensor(rng: &mut StdRng, shape: &[usize], std: f32) -> Tensor {
     let n = shape.iter().product();
-    Tensor::from_vec(normal_vec(rng, n, 0.0, std), shape)
-        .expect("length computed from shape")
+    Tensor::from_vec(normal_vec(rng, n, 0.0, std), shape).expect("length computed from shape")
 }
 
 /// A matrix of `N(0, std²)` samples.

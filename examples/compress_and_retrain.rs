@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Layer::flatten(),
         Layer::linear(6 * 7 * 7, 10, 1001)?,
     ]);
-    let cfg = train::TrainConfig::default()
-        .with_epochs(10)
-        .with_lr(0.05)
-        .with_batch_size(4);
+    let cfg = train::TrainConfig::default().with_epochs(10).with_lr(0.05).with_batch_size(4);
     let report = train::train(&mut model, &ds, &cfg)?;
     println!("dense accuracy: {:.1}%", report.final_accuracy * 100.0);
 
@@ -41,10 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Re-training: alternate one SGD epoch with the SE projection.
     println!("re-training with per-epoch projections...");
-    let recover = train::TrainConfig::default()
-        .with_epochs(8)
-        .with_lr(0.02)
-        .with_batch_size(4);
+    let recover = train::TrainConfig::default().with_epochs(8).with_lr(0.02).with_batch_size(4);
     let se_cfg2 = se_cfg.clone();
     let report = train::retrain_with_projection(&mut model, &ds, &recover, |m| {
         trainable::se_projection(m, &input_shape, &se_cfg2)

@@ -19,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Decompose with the paper's defaults: 4-bit power-of-2 coefficients,
     // and a vector-sparsity policy keeping the strongest 50% of rows.
-    let cfg = SeConfig::default()
-        .with_vector_sparsity(VectorSparsity::KeepFraction(0.5))?;
+    let cfg = SeConfig::default().with_vector_sparsity(VectorSparsity::KeepFraction(0.5))?;
     let parts = layer::compress_layer(&desc, &w, &cfg)?;
     let se = &parts[0];
 
@@ -40,10 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Every coefficient is exactly 0 or ±2^p:
-    let all_po2 = se
-        .slices()
-        .iter()
-        .all(|sl| sl.ce().data().iter().all(|&x| cfg.po2().contains(x)));
+    let all_po2 =
+        se.slices().iter().all(|sl| sl.ce().data().iter().all(|&x| cfg.po2().contains(x)));
     println!("all coefficients power-of-2: {all_po2}");
 
     // Rebuild and measure fidelity.

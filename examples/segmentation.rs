@@ -60,15 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulate the first ASPP conv on the accelerator (dense 360x480-scale
     // feature maps are exactly the memory-bound case SE targets).
-    let aspp_index = net
-        .layers()
-        .iter()
-        .position(|l| l.name() == "aspp1")
-        .expect("DeepLabV3+ has aspp1");
+    let aspp_index =
+        net.layers().iter().position(|l| l.name() == "aspp1").expect("DeepLabV3+ has aspp1");
     let opts = TraceOptions::fast();
     let trace = traces::se_trace(&net, aspp_index, 0, &opts.se_config)?;
-    let mut hw = SeAcceleratorConfig::default();
-    hw.row_sample = 2;
+    let hw = SeAcceleratorConfig { row_sample: 2, ..Default::default() };
     let accel = SeAccelerator::new(hw.clone())?;
     let result = accel.process_layer(&trace)?;
     let e = result.energy(&EnergyModel::default(), &hw);

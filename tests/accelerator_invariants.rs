@@ -83,40 +83,29 @@ fn every_accelerator_scales_with_layer_size() {
 fn ablation_ladder_is_monotone_in_energy_efficiency() {
     // Adding each SmartExchange feature must not hurt (Section V-B).
     let net = conv_net(16, 32, 16);
-    let pair = TraceStream::new(&net, TraceOptions::fast().with_seed(3))
-        .next()
-        .unwrap()
-        .unwrap();
+    let pair = TraceStream::new(&net, TraceOptions::fast().with_seed(3)).next().unwrap().unwrap();
     let em = EnergyModel::default();
     let report_cfg = SeAcceleratorConfig::default();
 
     let base = SeAcceleratorConfig::ablation_dense_baseline();
     let mut with_index = base.clone();
     with_index.index_select = true;
-    let mut full = SeAcceleratorConfig::default();
-    full.dim_m = base.dim_m;
-    full.dim_c = base.dim_c;
-    full.dim_f = base.dim_f;
+    let full = SeAcceleratorConfig {
+        dim_m: base.dim_m,
+        dim_c: base.dim_c,
+        dim_f: base.dim_f,
+        ..Default::default()
+    };
 
     let energies: Vec<f64> = [base, with_index, full]
         .into_iter()
         .map(|cfg| {
             let accel = SeAccelerator::new(cfg).unwrap();
-            accel
-                .process_layer(&pair.se)
-                .unwrap()
-                .energy(&em, &report_cfg)
-                .total()
+            accel.process_layer(&pair.se).unwrap().energy(&em, &report_cfg).total()
         })
         .collect();
-    assert!(
-        energies[1] <= energies[0] * 1.001,
-        "index select hurt energy: {energies:?}"
-    );
-    assert!(
-        energies[2] <= energies[1] * 1.001,
-        "bit-serial lanes hurt energy: {energies:?}"
-    );
+    assert!(energies[1] <= energies[0] * 1.001, "index select hurt energy: {energies:?}");
+    assert!(energies[2] <= energies[1] * 1.001, "bit-serial lanes hurt energy: {energies:?}");
 }
 
 #[test]
@@ -124,16 +113,14 @@ fn dram_bandwidth_only_affects_latency() {
     let net = conv_net(8, 16, 12);
     let pair = TraceStream::new(&net, TraceOptions::fast()).next().unwrap().unwrap();
     let fast_cfg = SeAcceleratorConfig::default();
-    let mut slow_cfg = SeAcceleratorConfig::default();
-    slow_cfg.dram_bytes_per_cycle = 0.5;
+    let slow_cfg = SeAcceleratorConfig { dram_bytes_per_cycle: 0.5, ..Default::default() };
     let em = EnergyModel::default();
     let fast = SeAccelerator::new(fast_cfg.clone()).unwrap().process_layer(&pair.se).unwrap();
     let slow = SeAccelerator::new(slow_cfg).unwrap().process_layer(&pair.se).unwrap();
     assert!(slow.total_cycles > fast.total_cycles);
     assert_eq!(slow.mem, fast.mem, "traffic must not depend on bandwidth");
     assert!(
-        (slow.energy(&em, &fast_cfg).dram_total() - fast.energy(&em, &fast_cfg).dram_total())
-            .abs()
+        (slow.energy(&em, &fast_cfg).dram_total() - fast.energy(&em, &fast_cfg).dram_total()).abs()
             < 1e-9
     );
 }

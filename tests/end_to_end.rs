@@ -97,18 +97,13 @@ fn compress_reconstruct_simulate_pipeline() {
     let em = EnergyModel::default();
     let cfg_hw = SeAcceleratorConfig::default();
     assert!(se_run.energy_mj(&em, &cfg_hw) < dn_run.energy_mj(&em, &cfg_hw));
-    assert!(
-        se_run.mem_totals().dram_total_bytes() < dn_run.mem_totals().dram_total_bytes()
-    );
+    assert!(se_run.mem_totals().dram_total_bytes() < dn_run.mem_totals().dram_total_bytes());
 }
 
 #[test]
 fn all_five_accelerators_run_the_same_conv_trace() {
     let net = small_net();
-    let pair = TraceStream::new(&net, TraceOptions::fast())
-        .next()
-        .unwrap()
-        .unwrap();
+    let pair = TraceStream::new(&net, TraceOptions::fast()).next().unwrap().unwrap();
     let em = EnergyModel::default();
     let hw_cfg = SeAcceleratorConfig::default();
 
@@ -132,16 +127,12 @@ fn all_five_accelerators_run_the_same_conv_trace() {
 #[test]
 fn row_sampling_stays_close_to_exact() {
     let net = small_net();
-    let pair = TraceStream::new(&net, TraceOptions::fast())
-        .next()
-        .unwrap()
-        .unwrap();
+    let pair = TraceStream::new(&net, TraceOptions::fast()).next().unwrap().unwrap();
     let exact = SeAccelerator::new(SeAcceleratorConfig::default())
         .unwrap()
         .process_layer(&pair.se)
         .unwrap();
-    let mut cfg = SeAcceleratorConfig::default();
-    cfg.row_sample = 4;
+    let cfg = SeAcceleratorConfig { row_sample: 4, ..Default::default() };
     let sampled = SeAccelerator::new(cfg).unwrap().process_layer(&pair.se).unwrap();
     let ratio = sampled.compute_cycles as f64 / exact.compute_cycles as f64;
     assert!((0.8..1.2).contains(&ratio), "sampled/exact ratio {ratio}");
@@ -245,8 +236,5 @@ fn decomposition_error_beats_direct_po2_quantization() {
 
     let direct = baselines::po2_quantize(&w, &Po2Set::default()).unwrap();
     let direct_err = w.sub(&direct.weights).unwrap().norm() / w.norm();
-    assert!(
-        se_err < direct_err,
-        "SE error {se_err} should beat direct po2 error {direct_err}"
-    );
+    assert!(se_err < direct_err, "SE error {se_err} should beat direct po2 error {direct_err}");
 }

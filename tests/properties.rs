@@ -93,6 +93,39 @@ proptest! {
         prop_assert!(fitted <= identity + 1e-3);
     }
 
+    /// Parallel (4 workers) and serial (1 worker) whole-network compression
+    /// produce bit-identical results on a seeded 6-layer network: the
+    /// pipeline reassembles per-layer jobs in network order, so worker
+    /// count must never leak into the output.
+    #[test]
+    fn parallel_compression_is_bit_identical_to_serial(seed in 0u64..16) {
+        use smartexchange::core::network;
+        use smartexchange::ir::{LayerDesc, LayerKind};
+
+        let mut r = smartexchange::tensor::rng::seeded(seed);
+        let chans = [3usize, 8, 8, 16, 16, 8, 4];
+        let layers: Vec<(LayerDesc, smartexchange::tensor::Tensor)> = (0..6)
+            .map(|i| {
+                let (ci, co) = (chans[i], chans[i + 1]);
+                let desc = LayerDesc::new(
+                    format!("c{i}"),
+                    LayerKind::Conv2d { in_channels: ci, out_channels: co, kernel: 3, stride: 1, padding: 1 },
+                    (8, 8),
+                );
+                let w = smartexchange::tensor::rng::kaiming_tensor(&mut r, &[co, ci, 3, 3], ci * 9);
+                (desc, w)
+            })
+            .collect();
+        let serial_cfg = SeConfig::default()
+            .with_max_iterations(4).unwrap()
+            .with_parallelism(1).unwrap();
+        let parallel_cfg = serial_cfg.clone().with_parallelism(4).unwrap();
+        let serial = network::compress_network(&layers, &serial_cfg).unwrap();
+        let parallel = network::compress_network(&layers, &parallel_cfg).unwrap();
+        prop_assert_eq!(&serial.reports, &parallel.reports);
+        prop_assert_eq!(serial, parallel);
+    }
+
     /// Matrix transpose is an involution and matmul distributes over it.
     #[test]
     fn transpose_involution(seed in 0u64..30, rows in 1usize..12, cols in 1usize..12) {
