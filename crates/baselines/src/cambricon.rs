@@ -8,7 +8,7 @@
 //! compressed (8-bit value + 4-bit step index); activations travel dense
 //! and are selected on chip.
 
-use crate::common::{dense_stats, BaselineConfig};
+use crate::common::{dense_stats_cached, BaselineConfig, GeometryCache};
 use se_hw::{Accelerator, LayerResult, MemCounters, OpCounters, Result};
 use se_ir::LayerTrace;
 
@@ -23,6 +23,7 @@ const REPLICAS: u64 = 4;
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct CambriconX {
     cfg: BaselineConfig,
+    geometry: GeometryCache,
 }
 
 impl CambriconX {
@@ -33,7 +34,7 @@ impl CambriconX {
     /// Returns a configuration error for invalid resources.
     pub fn new(cfg: BaselineConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(CambriconX { cfg })
+        Ok(CambriconX { cfg, geometry: GeometryCache::default() })
     }
 
     /// The configuration in use.
@@ -48,7 +49,7 @@ impl Accelerator for CambriconX {
     }
 
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
-        let s = dense_stats(trace)?;
+        let s = dense_stats_cached(&self.geometry, trace)?;
 
         // Filters are distributed over PES×REPLICAS parallel filter slots;
         // each slot processes its filter's non-zeros at LANES_PER_PE per

@@ -1,7 +1,17 @@
 //! Shared baseline resources and trace statistics.
+//!
+//! The geometry-derived half of the per-layer statistics (MAC counts,
+//! element volumes, tiling shapes) is identical for every layer sharing a
+//! shape; each baseline accelerator memoizes it in a [`GeometryCache`]
+//! keyed by [`ScheduleKey::for_geometry`], so ResNet-style networks that
+//! repeat a geometry 18× per stage derive it once. The data-dependent half
+//! (weight/activation non-zero counts) is recomputed per layer.
 
+use std::sync::Arc;
+
+use se_hw::schedule::{ScheduleCache, ScheduleKey};
 use se_hw::{HwError, Result};
-use se_ir::{LayerKind, LayerTrace, QuantTensor, WeightData};
+use se_ir::{LayerDesc, LayerKind, LayerTrace, QuantTensor, WeightData};
 
 /// Equalised baseline resources (Table V): the same total on-chip SRAM as
 /// the SmartExchange accelerator and 1 K 8-bit multipliers.
@@ -62,6 +72,59 @@ impl BaselineConfig {
     }
 }
 
+/// The geometry-derived half of [`DenseLayerStats`]: a pure function of
+/// the layer descriptor, cached per shape (see [`GeometryCache`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGeometry {
+    /// Output channels / neurons (`M`).
+    pub m: usize,
+    /// Input channels / features (`C`).
+    pub c: usize,
+    /// Kernel side (1 for FC).
+    pub kernel: usize,
+    /// Output spatial positions (`E × F`; 1 for FC).
+    pub spatial_out: usize,
+    /// Total MACs of the dense layer.
+    pub macs: u64,
+    /// Total input elements.
+    pub inputs: u64,
+    /// Total output elements.
+    pub outputs: u64,
+}
+
+/// Per-accelerator memo table of [`DenseGeometry`] by layer shape.
+pub type GeometryCache = ScheduleCache<DenseGeometry>;
+
+/// Computes the geometry statistics for one layer descriptor.
+///
+/// # Errors
+///
+/// Propagates invalid layer geometry.
+pub fn dense_geometry(desc: &LayerDesc) -> Result<DenseGeometry> {
+    let (m, c, kernel) = match *desc.kind() {
+        LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
+            (out_channels, in_channels, kernel)
+        }
+        LayerKind::DepthwiseConv2d { channels, kernel, .. } => (channels, 1, kernel),
+        LayerKind::Linear { in_features, out_features } => (out_features, in_features, 1),
+        LayerKind::SqueezeExcite { channels, reduced } => (2 * reduced, channels, 1),
+    };
+    let (e, f) = desc.output_hw()?;
+    let spatial_out = match desc.kind() {
+        LayerKind::Linear { .. } => 1,
+        _ => e * f,
+    };
+    Ok(DenseGeometry {
+        m,
+        c,
+        kernel,
+        spatial_out,
+        macs: desc.macs()?,
+        inputs: desc.input_elems(),
+        outputs: desc.output_elems()?,
+    })
+}
+
 /// Dense layer statistics every baseline consumes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseLayerStats {
@@ -94,13 +157,33 @@ pub struct DenseLayerStats {
 }
 
 /// Extracts dense statistics from a trace (baselines require
-/// [`WeightData::Dense`]).
+/// [`WeightData::Dense`]), deriving the geometry half fresh.
 ///
 /// # Errors
 ///
 /// Returns [`HwError::UnsupportedTrace`] for SE-form weights or
 /// squeeze-excite layers presented to designs that cannot run them.
 pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
+    let geom = dense_geometry(trace.desc())?;
+    dense_stats_from(&geom, trace)
+}
+
+/// [`dense_stats`] with the geometry half served from a per-accelerator
+/// cache: repeated layer shapes compute it once.
+///
+/// # Errors
+///
+/// As [`dense_stats`].
+pub fn dense_stats_cached(cache: &GeometryCache, trace: &LayerTrace) -> Result<DenseLayerStats> {
+    let desc = trace.desc();
+    let geom: Arc<DenseGeometry> =
+        cache.get_or_try_build(ScheduleKey::for_geometry(desc), || dense_geometry(desc))?;
+    dense_stats_from(&geom, trace)
+}
+
+/// Combines cached geometry with the trace's data-dependent non-zero
+/// counts.
+fn dense_stats_from(geom: &DenseGeometry, trace: &LayerTrace) -> Result<DenseLayerStats> {
     let WeightData::Dense(qw) = trace.weights() else {
         return Err(HwError::UnsupportedTrace {
             reason: format!(
@@ -110,19 +193,7 @@ pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
         });
     };
     let desc = trace.desc();
-    let (m, c, kernel) = match *desc.kind() {
-        LayerKind::Conv2d { in_channels, out_channels, kernel, .. } => {
-            (out_channels, in_channels, kernel)
-        }
-        LayerKind::DepthwiseConv2d { channels, kernel, .. } => (channels, 1, kernel),
-        LayerKind::Linear { in_features, out_features } => (out_features, in_features, 1),
-        LayerKind::SqueezeExcite { channels, reduced } => (2 * reduced, channels, 1),
-    };
-    let (e, f) = desc.output_hw()?;
-    let spatial_out = match desc.kind() {
-        LayerKind::Linear { .. } => 1,
-        _ => e * f,
-    };
+    let DenseGeometry { m, c, kernel, spatial_out, macs, inputs, outputs } = *geom;
     let per_filter = qw.len() / m.max(1);
     let mut filter_nnz = Vec::with_capacity(m);
     for fi in 0..m {
@@ -168,15 +239,15 @@ pub fn dense_stats(trace: &LayerTrace) -> Result<DenseLayerStats> {
         c,
         kernel,
         spatial_out,
-        macs: desc.macs()?,
+        macs,
         weights: qw.len() as u64,
         weight_nnz,
         filter_nnz,
         channel_w_nnz,
         channel_a_nnz,
-        inputs: trace.input().len() as u64,
+        inputs,
         input_nnz,
-        outputs: desc.output_elems()?,
+        outputs,
     })
 }
 
@@ -216,6 +287,20 @@ mod tests {
         a.set(&[1, 3, 3], 0.5);
         let qa = QuantTensor::quantize(&a, 8).unwrap();
         LayerTrace::new(desc, WeightData::Dense(qw), qa).unwrap()
+    }
+
+    #[test]
+    fn cached_stats_match_uncached_and_build_once() {
+        let cache = GeometryCache::default();
+        let t = trace();
+        let fresh = dense_stats(&t).unwrap();
+        let cached = dense_stats_cached(&cache, &t).unwrap();
+        assert_eq!(fresh, cached);
+        assert_eq!(cache.len(), 1);
+        // Same shape again (different name/data does not matter): no growth.
+        let again = dense_stats_cached(&cache, &t).unwrap();
+        assert_eq!(again, fresh);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

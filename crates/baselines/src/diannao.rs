@@ -7,7 +7,7 @@
 //! like any other value — which is exactly why the sparsity-aware designs
 //! (and SmartExchange) beat it.
 
-use crate::common::{dense_stats, BaselineConfig};
+use crate::common::{dense_stats_cached, BaselineConfig, GeometryCache};
 use se_hw::{Accelerator, LayerResult, MemCounters, OpCounters, Result};
 use se_ir::LayerTrace;
 
@@ -15,6 +15,7 @@ use se_ir::LayerTrace;
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DianNao {
     cfg: BaselineConfig,
+    geometry: GeometryCache,
 }
 
 impl DianNao {
@@ -25,7 +26,7 @@ impl DianNao {
     /// Returns a configuration error for invalid resources.
     pub fn new(cfg: BaselineConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(DianNao { cfg })
+        Ok(DianNao { cfg, geometry: GeometryCache::default() })
     }
 
     /// The configuration in use.
@@ -40,7 +41,7 @@ impl Accelerator for DianNao {
     }
 
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
-        let s = dense_stats(trace)?;
+        let s = dense_stats_cached(&self.geometry, trace)?;
         let mults = self.cfg.multipliers as u64;
         let compute_cycles = s.macs.div_ceil(mults);
 

@@ -23,7 +23,7 @@
 #![forbid(unsafe_code)]
 
 mod cambricon;
-mod common;
+pub mod common;
 mod diannao;
 mod pragmatic;
 mod scnn;

@@ -6,7 +6,9 @@
 //! SmartExchange PE array (the equalised 8 K bit-serial lanes of Table V),
 //! so the model *reuses the validated SmartExchange engine* configured
 //! with: dense weights, plain essential bits (no 4-bit Booth encoder), no
-//! index selector, and no rebuild engines.
+//! index selector, and no rebuild engines. The engine's geometry-keyed
+//! schedule cache comes along for free: repeated layer shapes build their
+//! tiling skeleton once per run.
 
 use se_hw::sim::SeAccelerator;
 use se_hw::{Accelerator, HwError, LayerResult, Result, SeAcceleratorConfig};

@@ -11,7 +11,7 @@
 //! Per the paper's protocol, SCNN does not process FC or squeeze-excite
 //! layers (it is a CONV-only design), and those traces are rejected.
 
-use crate::common::{dense_stats, BaselineConfig};
+use crate::common::{dense_stats_cached, BaselineConfig, GeometryCache};
 use se_hw::{Accelerator, HwError, LayerResult, MemCounters, OpCounters, Result};
 use se_ir::{LayerKind, LayerTrace};
 
@@ -22,6 +22,7 @@ const CONTENTION: f64 = 1.25;
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Scnn {
     cfg: BaselineConfig,
+    geometry: GeometryCache,
 }
 
 impl Scnn {
@@ -32,7 +33,7 @@ impl Scnn {
     /// Returns a configuration error for invalid resources.
     pub fn new(cfg: BaselineConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(Scnn { cfg })
+        Ok(Scnn { cfg, geometry: GeometryCache::default() })
     }
 
     /// The configuration in use.
@@ -59,7 +60,7 @@ impl Accelerator for Scnn {
             }
             LayerKind::Conv2d { .. } | LayerKind::DepthwiseConv2d { .. } => {}
         }
-        let s = dense_stats(trace)?;
+        let s = dense_stats_cached(&self.geometry, trace)?;
 
         // Useful multiplications: per input channel, every non-zero weight
         // pairs with every non-zero activation of that channel.

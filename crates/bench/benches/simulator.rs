@@ -1,12 +1,16 @@
 //! Criterion benches for the accelerator simulators: per-layer simulation
-//! throughput for the SmartExchange engine and the four baselines.
+//! throughput for the SmartExchange engine and the four baselines, plus
+//! the serial-vs-parallel five-accelerator comparison grid on a
+//! repeated-geometry (ResNet164-profile) network.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
+use se_bench::runner::{compare_pairs, RunnerOptions};
 use se_hw::sim::SeAccelerator;
 use se_hw::{Accelerator, SeAcceleratorConfig};
 use se_ir::{Dataset, LayerDesc, LayerKind, NetworkDesc};
 use se_models::traces::{self, TraceOptions};
+use se_models::zoo;
 use std::hint::black_box;
 
 fn test_net() -> NetworkDesc {
@@ -71,5 +75,33 @@ fn bench_simulators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulators);
+/// Serial vs parallel five-accelerator simulation on a repeated-geometry
+/// network: the first stage of ResNet164 (conv1 + 12 bottlenecks — the
+/// same three layer shapes repeated 12×, exercising the schedule caches).
+/// Traces are generated once outside the measurement, so this isolates the
+/// `(layer, accelerator)` simulation grid of `se_bench::runner`. Outputs
+/// are bit-identical across worker counts; on an N-core machine the
+/// parallel run should show a clear wall-clock win over the serial one.
+fn bench_simulation_grid_parallel(c: &mut Criterion) {
+    let full = zoo::resnet164();
+    let profile: Vec<LayerDesc> = full.layers()[..37].to_vec();
+    let net = NetworkDesc::new("ResNet164-stage1", Dataset::Cifar10, profile).unwrap();
+    let opts = RunnerOptions::fast();
+    let pairs = traces::trace_pairs(&net, &opts.traces).unwrap();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut group = c.benchmark_group("simulation_grid_resnet164_stage1");
+    group.sample_size(10);
+    for (label, workers) in
+        [("serial_1_worker".to_string(), 1), (format!("parallel_{cores}_workers"), cores)]
+    {
+        let opts = opts.clone().with_sim_parallelism(workers).unwrap();
+        group.bench_function(&label, |b| {
+            b.iter(|| black_box(compare_pairs(net.name(), black_box(&pairs), &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators, bench_simulation_grid_parallel);
 criterion_main!(benches);

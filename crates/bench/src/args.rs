@@ -1,5 +1,8 @@
 //! Minimal CLI-flag reading for the experiment binaries.
 
+use crate::runner::RunnerOptions;
+use crate::Result;
+
 /// Parsed common flags.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Flags {
@@ -11,14 +14,25 @@ pub struct Flags {
     pub seed: u64,
     /// `--models a,b,c`: restrict to a subset of model names.
     pub models: Option<Vec<String>>,
+    /// `--sim-parallelism N`: worker threads for the `(layer, accelerator)`
+    /// simulation grid (see `se_bench::runner`). Results are bit-identical
+    /// for every value; absent means the default (the `SE_PARALLELISM`
+    /// environment variable, else all cores).
+    pub sim_parallelism: Option<usize>,
 }
 
 impl Flags {
     /// Parses flags from `std::env::args`, ignoring unknown arguments.
     pub fn parse() -> Flags {
+        Flags::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses flags from an explicit argument list (testable core of
+    /// [`Flags::parse`]).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Flags {
+        let args: Vec<String> = args.into_iter().collect();
         let mut flags = Flags::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
                 "--fast" => flags.fast = true,
@@ -29,6 +43,10 @@ impl Flags {
                 "--models" if i + 1 < args.len() => {
                     flags.models =
                         Some(args[i + 1].split(',').map(|s| s.trim().to_string()).collect());
+                    i += 1;
+                }
+                "--sim-parallelism" if i + 1 < args.len() => {
+                    flags.sim_parallelism = args[i + 1].parse().ok().filter(|&n| n >= 1);
                     i += 1;
                 }
                 _ => {}
@@ -46,17 +64,39 @@ impl Flags {
             Some(list) => list.iter().any(|m| m.eq_ignore_ascii_case(name)),
         }
     }
+
+    /// Builds the comparison-runner options these flags describe: the
+    /// `--fast` profile, the `--seed`, and `--sim-parallelism` applied on
+    /// top of the defaults — the shared entry point of the per-figure
+    /// binaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid parallelism configuration.
+    pub fn runner_options(&self) -> Result<RunnerOptions> {
+        let mut opts = if self.fast { RunnerOptions::fast() } else { RunnerOptions::default() };
+        opts.traces = opts.traces.with_seed(self.seed);
+        if let Some(n) = self.sim_parallelism {
+            opts = opts.with_sim_parallelism(n)?;
+        }
+        Ok(opts)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Flags {
+        Flags::from_args(args.iter().map(|s| (*s).to_string()))
+    }
+
     #[test]
     fn default_selects_everything() {
         let f = Flags::default();
         assert!(f.selects("VGG11"));
         assert!(!f.fast);
+        assert!(f.sim_parallelism.is_none());
     }
 
     #[test]
@@ -64,5 +104,24 @@ mod tests {
         let f = Flags { models: Some(vec!["vgg11".into()]), ..Flags::default() };
         assert!(f.selects("VGG11"));
         assert!(!f.selects("ResNet50"));
+    }
+
+    #[test]
+    fn sim_parallelism_parses_and_rejects_zero() {
+        assert_eq!(parse(&["--sim-parallelism", "4"]).sim_parallelism, Some(4));
+        assert_eq!(parse(&["--sim-parallelism", "0"]).sim_parallelism, None);
+        assert_eq!(parse(&["--sim-parallelism"]).sim_parallelism, None);
+        assert_eq!(parse(&["--fast", "--sim-parallelism", "2"]).sim_parallelism, Some(2));
+    }
+
+    #[test]
+    fn runner_options_apply_all_flags() {
+        let f = parse(&["--fast", "--seed", "7", "--sim-parallelism", "3"]);
+        let opts = f.runner_options().unwrap();
+        assert_eq!(opts.se_cfg.row_sample, 4, "--fast samples output rows");
+        assert_eq!(opts.traces.base_seed, 7);
+        assert_eq!(opts.sim_parallelism, 3);
+        let plain = Flags::default().runner_options().unwrap();
+        assert_eq!(plain.se_cfg.row_sample, 1);
     }
 }

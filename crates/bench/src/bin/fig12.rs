@@ -6,13 +6,13 @@
 //! 2.0× over SCNN / Cambricon-X / Bit-pragmatic.
 
 use se_bench::args::Flags;
-use se_bench::runner::{compare_models, RunnerOptions, ACCEL_NAMES};
+use se_bench::runner::{compare_models, ACCEL_NAMES};
 use se_bench::{table, Result};
 use se_models::zoo;
 
 fn main() -> Result<()> {
     let flags = Flags::parse();
-    let opts = if flags.fast { RunnerOptions::fast() } else { RunnerOptions::default() };
+    let opts = flags.runner_options()?;
     let models: Vec<_> = zoo::accelerator_benchmark_models()
         .into_iter()
         .filter(|m| flags.selects(m.name()))

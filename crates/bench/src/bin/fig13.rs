@@ -8,32 +8,19 @@
 //! index selector < 0.05% of the total.
 
 use se_bench::args::Flags;
+use se_bench::runner;
 use se_bench::{table, Result};
-use se_hw::sim::SeAccelerator;
-use se_hw::{Accelerator, EnergyModel, RunResult, SeAcceleratorConfig};
-use se_models::traces::{TraceOptions, TraceStream};
+use se_hw::{EnergyModel, RunResult, SeAcceleratorConfig};
 use se_models::zoo;
 
-fn run_model(
-    net: &se_ir::NetworkDesc,
-    include_fc: bool,
-    fast: bool,
-    seed: u64,
-) -> Result<RunResult> {
-    let mut topts = TraceOptions::fast().with_seed(seed);
+fn run_model(net: &se_ir::NetworkDesc, include_fc: bool, flags: &Flags) -> Result<RunResult> {
+    // `runner_options` already uses the fast trace profile with the
+    // requested seed; `--fast` additionally samples output rows.
+    let mut opts = flags.runner_options()?;
     if include_fc {
-        topts = topts.with_fc_layers();
+        opts.traces = opts.traces.with_fc_layers();
     }
-    let mut cfg = SeAcceleratorConfig::default();
-    if fast {
-        cfg.row_sample = 4;
-    }
-    let accel = SeAccelerator::new(cfg)?;
-    let mut run = RunResult::default();
-    for pair in TraceStream::new(net, topts) {
-        run.layers.push(accel.process_layer(&pair?.se)?);
-    }
-    Ok(run)
+    runner::run_se_model(net, &opts)
 }
 
 fn main() -> Result<()> {
@@ -52,7 +39,7 @@ fn main() -> Result<()> {
         let mut rows = Vec::new();
         for net in &models {
             eprintln!("  {} {title}...", net.name());
-            let run = run_model(net, include_fc, flags.fast, flags.seed)?;
+            let run = run_model(net, include_fc, &flags)?;
             let e = run.energy(&em, &cfg);
             let total = e.total();
             let mut row = vec![net.name().to_string(), format!("{:.3}", total * 1e-9)];

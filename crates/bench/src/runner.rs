@@ -7,19 +7,38 @@
 //! exclude them for fairness to SCNN) unless requested; SCNN skips models
 //! containing squeeze-excite layers (EfficientNet-B0), as in the paper.
 //!
-//! Trace generation — the dominant cost (it runs the SmartExchange
-//! decomposition per layer) — executes on the parallel work queue of
-//! `se_core::pipeline` via [`TraceStream`]'s batched prefetch; the worker
-//! count comes from `RunnerOptions::traces.se_config.parallelism()`.
-//! Results are reassembled in network order, so a comparison sweep is
-//! bit-identical for every worker count.
+//! # Two-level parallelism
+//!
+//! Both halves of a sweep run on the deterministic work queue of
+//! [`se_core::pipeline`]:
+//!
+//! 1. **Trace generation** — the SmartExchange decomposition per layer —
+//!    executes in parallel batches via [`TraceStream`]'s prefetch; the
+//!    worker count comes from `RunnerOptions::traces.se_config
+//!    .parallelism()`.
+//! 2. **Simulation** — each [`TracePair`] fans out as five `(layer,
+//!    accelerator)` grid jobs drained by `RunnerOptions::sim_parallelism`
+//!    workers ([`se_core::pipeline::try_run_grid`]).
+//!
+//! Results are reassembled in network order at both levels, so a
+//! comparison sweep is **bit-identical for every worker count** at either
+//! level (enforced by tests). Every job is a pure function of its trace —
+//! no shared mutable state — which is what makes the guarantee hold.
+//!
+//! On top of the fan-out, every accelerator memoizes the data-independent
+//! tiling/cycle skeleton of each distinct layer *geometry* in a per-run
+//! schedule cache ([`se_hw::schedule`]): ResNet164 repeats each bottleneck
+//! shape 18× per stage, so the skeleton is derived once and only the
+//! data-dependent terms (zero rows, Booth digits, rebuild costs) are
+//! re-evaluated per layer.
 
 use crate::Result;
 use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
+use se_core::pipeline;
 use se_hw::sim::SeAccelerator;
-use se_hw::{Accelerator, EnergyModel, HwError, RunResult, SeAcceleratorConfig};
+use se_hw::{Accelerator, EnergyModel, HwError, LayerResult, RunResult, SeAcceleratorConfig};
 use se_ir::NetworkDesc;
-use se_models::traces::{TraceOptions, TraceStream};
+use se_models::traces::{TraceOptions, TracePair, TraceStream, MAX_BATCH_PAIRS};
 
 /// Names of the five accelerators in presentation order.
 pub const ACCEL_NAMES: [&str; 5] =
@@ -73,14 +92,21 @@ pub struct RunnerOptions {
     pub se_cfg: SeAcceleratorConfig,
     /// Baseline resources.
     pub baseline_cfg: BaselineConfig,
+    /// Worker threads draining the `(layer, accelerator)` simulation grid
+    /// (results are bit-identical for every value). Defaults to the trace
+    /// generator's worker count.
+    pub sim_parallelism: usize,
 }
 
 impl Default for RunnerOptions {
     fn default() -> Self {
+        let traces = TraceOptions::fast();
+        let sim_parallelism = traces.se_config.parallelism();
         RunnerOptions {
-            traces: TraceOptions::fast(),
+            traces,
             se_cfg: SeAcceleratorConfig::default(),
             baseline_cfg: BaselineConfig::default(),
+            sim_parallelism,
         }
     }
 }
@@ -94,15 +120,148 @@ impl RunnerOptions {
         o
     }
 
-    /// Sets the worker-thread count for trace generation (results are
-    /// bit-identical for every value).
+    /// Sets the worker-thread count for **both** levels — trace generation
+    /// and the simulation grid (results are bit-identical for every value).
     ///
     /// # Errors
     ///
     /// Propagates the configuration error for `n == 0`.
     pub fn with_parallelism(mut self, n: usize) -> Result<Self> {
         self.traces.se_config = self.traces.se_config.with_parallelism(n)?;
+        self.sim_parallelism = n;
         Ok(self)
+    }
+
+    /// Sets the worker-thread count for the simulation grid alone, leaving
+    /// trace generation untouched.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `n == 0`.
+    pub fn with_sim_parallelism(mut self, n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err("sim parallelism must be at least 1".into());
+        }
+        self.sim_parallelism = n;
+        Ok(self)
+    }
+}
+
+/// The five accelerator instances of one comparison run. Each carries its
+/// per-run geometry/schedule cache, shared across the run's grid jobs.
+struct AccelSet {
+    diannao: DianNao,
+    scnn: Scnn,
+    cambricon: CambriconX,
+    pragmatic: BitPragmatic,
+    se: SeAccelerator,
+}
+
+impl AccelSet {
+    fn new(opts: &RunnerOptions) -> Result<Self> {
+        Ok(AccelSet {
+            diannao: DianNao::new(opts.baseline_cfg.clone())?,
+            scnn: Scnn::new(opts.baseline_cfg.clone())?,
+            cambricon: CambriconX::new(opts.baseline_cfg.clone())?,
+            pragmatic: BitPragmatic::new(opts.se_cfg.clone())?,
+            se: SeAccelerator::new(opts.se_cfg.clone())?,
+        })
+    }
+
+    /// One `(layer, accelerator)` grid job: a pure function of the trace
+    /// pair, so grid scheduling can never leak into the results. `Ok(None)`
+    /// marks a design that cannot run the layer (`UnsupportedTrace`, e.g.
+    /// SCNN on squeeze-excite); real failures propagate. The SmartExchange
+    /// lane supports every layer, so all its errors propagate.
+    fn simulate(&self, pair: &TracePair, lane: usize) -> se_hw::Result<Option<LayerResult>> {
+        let accel: &dyn Accelerator = match lane {
+            0 => &self.diannao,
+            1 => &self.scnn,
+            2 => &self.cambricon,
+            3 => &self.pragmatic,
+            _ => return self.se.process_layer(&pair.se).map(Some),
+        };
+        match accel.process_layer(&pair.dense) {
+            Ok(layer) => Ok(Some(layer)),
+            Err(HwError::UnsupportedTrace { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn fresh_runs() -> [Option<RunResult>; 5] {
+    [
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+        Some(RunResult::default()),
+    ]
+}
+
+/// Fans one chunk of trace pairs out as `(layer, accelerator)` grid jobs
+/// and folds the results into `runs` in network order. An unsupported
+/// layer turns its whole lane to `None`; lanes already dead when the chunk
+/// starts are skipped entirely (the serial protocol never simulated them),
+/// which keeps every job a pure function of `(chunk, dead-lane set)` — the
+/// set only changes at chunk boundaries, so worker scheduling still cannot
+/// leak into the results.
+fn simulate_chunk(
+    accels: &AccelSet,
+    chunk: &[TracePair],
+    workers: usize,
+    runs: &mut [Option<RunResult>; 5],
+) -> Result<()> {
+    let dead: Vec<bool> = runs.iter().map(Option::is_none).collect();
+    let grid = pipeline::try_run_grid(chunk, ACCEL_NAMES.len(), workers, |_, pair, lane| {
+        if dead[lane] {
+            return Ok(None);
+        }
+        accels.simulate(pair, lane)
+    })?;
+    for per_pair in grid {
+        for (lane, result) in per_pair.into_iter().enumerate() {
+            match result {
+                Some(layer) => {
+                    if let Some(run) = runs[lane].as_mut() {
+                        run.layers.push(layer);
+                    }
+                }
+                None => runs[lane] = None,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Pairs per simulation chunk: enough grid jobs to feed the workers while
+/// keeping the number of trace pairs alive at once bounded.
+fn chunk_pairs(sim_parallelism: usize) -> usize {
+    MAX_BATCH_PAIRS.max(sim_parallelism.div_ceil(ACCEL_NAMES.len()))
+}
+
+/// Drains the network's trace stream in chunks of up to `chunk_len` pairs,
+/// invoking `consume` on each — the shared generation half of
+/// [`compare_model`] and [`run_se_model`].
+fn for_each_chunk(
+    net: &NetworkDesc,
+    traces: &TraceOptions,
+    chunk_len: usize,
+    mut consume: impl FnMut(&[TracePair]) -> Result<()>,
+) -> Result<()> {
+    let mut stream = TraceStream::new(net, traces.clone());
+    loop {
+        let mut chunk = Vec::with_capacity(chunk_len);
+        while chunk.len() < chunk_len {
+            match stream.next() {
+                Some(pair) => chunk.push(pair?),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        consume(&chunk)?;
     }
 }
 
@@ -113,51 +272,71 @@ impl RunnerOptions {
 /// Propagates trace-generation failures and unexpected simulator errors
 /// (`UnsupportedTrace` is converted into a `None` run instead).
 pub fn compare_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<ModelComparison> {
-    let diannao = DianNao::new(opts.baseline_cfg.clone())?;
-    let scnn = Scnn::new(opts.baseline_cfg.clone())?;
-    let cambricon = CambriconX::new(opts.baseline_cfg.clone())?;
-    let pragmatic = BitPragmatic::new(opts.se_cfg.clone())?;
-    let se = SeAccelerator::new(opts.se_cfg.clone())?;
-
-    let mut runs: [Option<RunResult>; 5] = [
-        Some(RunResult::default()),
-        Some(RunResult::default()),
-        Some(RunResult::default()),
-        Some(RunResult::default()),
-        Some(RunResult::default()),
-    ];
-    for pair in TraceStream::new(net, opts.traces.clone()) {
-        let pair = pair?;
-        let dense_targets: [(usize, &dyn Accelerator); 4] =
-            [(0, &diannao), (1, &scnn), (2, &cambricon), (3, &pragmatic)];
-        for (idx, accel) in dense_targets {
-            if runs[idx].is_none() {
-                continue;
-            }
-            match accel.process_layer(&pair.dense) {
-                Ok(layer) => {
-                    runs[idx].as_mut().expect("checked above").layers.push(layer);
-                }
-                Err(HwError::UnsupportedTrace { .. }) => runs[idx] = None,
-                Err(e) => return Err(e.into()),
-            }
-        }
-        let layer = se.process_layer(&pair.se)?;
-        runs[4].as_mut().expect("SE always supported").layers.push(layer);
-    }
+    let accels = AccelSet::new(opts)?;
+    let mut runs = fresh_runs();
+    for_each_chunk(net, &opts.traces, chunk_pairs(opts.sim_parallelism), |chunk| {
+        simulate_chunk(&accels, chunk, opts.sim_parallelism, &mut runs)
+    })?;
     Ok(ModelComparison { model: net.name().to_string(), runs })
+}
+
+/// Runs pre-generated trace pairs through all five accelerators on the
+/// simulation grid — [`compare_model`] without the trace-generation half.
+/// Useful when traces are reused across sweeps (and for benchmarking the
+/// simulation fan-out in isolation); results are bit-identical to
+/// [`compare_model`] on the same pairs.
+///
+/// # Errors
+///
+/// Propagates unexpected simulator errors.
+pub fn compare_pairs(
+    model: &str,
+    pairs: &[TracePair],
+    opts: &RunnerOptions,
+) -> Result<ModelComparison> {
+    let accels = AccelSet::new(opts)?;
+    let mut runs = fresh_runs();
+    simulate_chunk(&accels, pairs, opts.sim_parallelism, &mut runs)?;
+    Ok(ModelComparison { model: model.to_string(), runs })
+}
+
+/// Runs one model through the SmartExchange accelerator alone, with the
+/// same two-level parallelism as [`compare_model`] (a single-lane grid) —
+/// the engine behind the energy-breakdown binaries.
+///
+/// # Errors
+///
+/// Propagates trace-generation and simulator failures.
+pub fn run_se_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<RunResult> {
+    let se = SeAccelerator::new(opts.se_cfg.clone())?;
+    let mut run = RunResult::default();
+    for_each_chunk(net, &opts.traces, chunk_pairs(opts.sim_parallelism), |chunk| {
+        let layers = pipeline::try_run_ordered(chunk, opts.sim_parallelism, |_, pair| {
+            se.process_layer(&pair.se)
+        })?;
+        run.layers.extend(layers);
+        Ok(())
+    })?;
+    Ok(run)
 }
 
 /// Runs a set of models through all five accelerators.
 ///
 /// # Errors
 ///
-/// Propagates the first model failure.
+/// Propagates the first model failure, naming the failing model in the
+/// error (completed models' work is discarded with it — a sweep is
+/// all-or-nothing).
 pub fn compare_models(
     models: &[NetworkDesc],
     opts: &RunnerOptions,
 ) -> Result<Vec<ModelComparison>> {
-    models.iter().map(|m| compare_model(m, opts)).collect()
+    models
+        .iter()
+        .map(|m| {
+            compare_model(m, opts).map_err(|e| format!("model {} failed: {e}", m.name()).into())
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -187,6 +366,37 @@ mod tests {
         .unwrap()
     }
 
+    /// Repeated geometries (to exercise the schedule caches) plus a
+    /// squeeze-excite layer (to exercise the SCNN `None` lane).
+    fn multi_geometry() -> NetworkDesc {
+        let conv = |name: &str, ci: usize, co: usize, hw: usize| {
+            LayerDesc::new(
+                name,
+                LayerKind::Conv2d {
+                    in_channels: ci,
+                    out_channels: co,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                (hw, hw),
+            )
+        };
+        NetworkDesc::new(
+            "multi",
+            Dataset::Cifar10,
+            vec![
+                conv("a1", 3, 8, 8),
+                conv("b1", 8, 8, 8),
+                conv("b2", 8, 8, 8),
+                LayerDesc::new("se1", LayerKind::SqueezeExcite { channels: 8, reduced: 2 }, (8, 8)),
+                conv("b3", 8, 8, 8),
+                conv("c1", 8, 4, 8),
+            ],
+        )
+        .unwrap()
+    }
+
     #[test]
     fn scnn_drops_squeeze_excite_models() {
         let cmp = compare_model(&tiny(), &RunnerOptions::default()).unwrap();
@@ -200,12 +410,43 @@ mod tests {
 
     #[test]
     fn parallel_comparison_is_bit_identical_to_serial() {
-        let net = tiny();
-        let serial_opts = RunnerOptions::default().with_parallelism(1).unwrap();
-        let serial = compare_model(&net, &serial_opts).unwrap();
-        let parallel_opts = RunnerOptions::default().with_parallelism(4).unwrap();
-        let parallel = compare_model(&net, &parallel_opts).unwrap();
-        assert_eq!(serial.runs, parallel.runs);
+        // Worker counts {1, 4, 8} at both levels, on a network with
+        // repeated geometries (schedule-cache hits) and an unsupported
+        // SCNN lane — all runs must be bit-identical.
+        let net = multi_geometry();
+        let serial =
+            compare_model(&net, &RunnerOptions::default().with_parallelism(1).unwrap()).unwrap();
+        assert!(serial.runs[1].is_none(), "SCNN lane must be None");
+        for workers in [4usize, 8] {
+            let parallel =
+                compare_model(&net, &RunnerOptions::default().with_parallelism(workers).unwrap())
+                    .unwrap();
+            assert_eq!(serial.runs, parallel.runs, "workers = {workers}");
+        }
+        // Mixed levels: serial generation, parallel simulation.
+        let mixed_opts =
+            RunnerOptions::default().with_parallelism(1).unwrap().with_sim_parallelism(4).unwrap();
+        let mixed = compare_model(&net, &mixed_opts).unwrap();
+        assert_eq!(serial.runs, mixed.runs);
+    }
+
+    #[test]
+    fn compare_pairs_matches_compare_model() {
+        let net = multi_geometry();
+        let opts = RunnerOptions::default().with_parallelism(2).unwrap();
+        let streamed = compare_model(&net, &opts).unwrap();
+        let pairs = se_models::traces::trace_pairs(&net, &opts.traces).unwrap();
+        let batched = compare_pairs(net.name(), &pairs, &opts).unwrap();
+        assert_eq!(streamed.runs, batched.runs);
+    }
+
+    #[test]
+    fn run_se_model_matches_the_comparison_lane() {
+        let net = multi_geometry();
+        let opts = RunnerOptions::default().with_parallelism(4).unwrap();
+        let cmp = compare_model(&net, &opts).unwrap();
+        let se_only = run_se_model(&net, &opts).unwrap();
+        assert_eq!(cmp.runs[4].as_ref().unwrap(), &se_only);
     }
 
     #[test]
@@ -215,5 +456,32 @@ mod tests {
         let cfg = SeAcceleratorConfig::default();
         let e = cmp.energies_mj(&em, &cfg);
         assert!(e[4].unwrap() < e[0].unwrap(), "SE {} !< DianNao {}", e[4].unwrap(), e[0].unwrap());
+    }
+
+    #[test]
+    fn zero_sim_parallelism_is_rejected() {
+        assert!(RunnerOptions::default().with_sim_parallelism(0).is_err());
+        assert!(RunnerOptions::default().with_parallelism(0).is_err());
+    }
+
+    #[test]
+    fn compare_models_names_the_failing_model() {
+        // A squeeze-excite bottleneck of width 0 passes geometry checks but
+        // fails compression during trace generation.
+        let good = tiny();
+        let bad = NetworkDesc::new(
+            "badnet",
+            Dataset::Cifar10,
+            vec![LayerDesc::new(
+                "se0",
+                LayerKind::SqueezeExcite { channels: 8, reduced: 0 },
+                (8, 8),
+            )],
+        )
+        .unwrap();
+        let err = compare_models(&[good, bad], &RunnerOptions::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("badnet"), "error must name the failing model: {msg}");
+        assert!(!msg.contains("tiny"), "error must not blame a passing model: {msg}");
     }
 }

@@ -98,10 +98,16 @@ impl Default for SeConfig {
     }
 }
 
-/// The default worker count for whole-network compression: every available
-/// core (layers are independent jobs; see [`crate::pipeline`]).
+/// The default worker count for the parallel work queue: the
+/// `SE_PARALLELISM` environment variable when set to a positive integer
+/// (CI pins it to enforce bit-identical results across worker counts),
+/// otherwise every available core (layers are independent jobs; see
+/// [`crate::pipeline`]).
 fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    match std::env::var("SE_PARALLELISM").ok().and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
 }
 
 impl SeConfig {

@@ -1,14 +1,19 @@
-//! Deterministic parallel execution of per-layer compression jobs.
+//! Deterministic parallel execution of independent per-item jobs.
+//!
+//! The primitives here — [`run_ordered`], [`try_run_ordered`], and the 2-D
+//! [`try_run_grid`] — run a batch of independent jobs on a shared work
+//! queue drained by [`std::thread::scope`] workers and reassemble the
+//! results **in item order**, which makes the parallel output bit-identical
+//! to a serial run: every job's work happens on exactly one thread with
+//! exactly the same inputs regardless of the worker count, and only the
+//! reassembly order is fixed, not the completion order. Three subsystems
+//! ride this queue: whole-network compression (the [`LayerJob`] batch of
+//! this module), trace generation (`se-models`), and the five-accelerator
+//! simulation grid (`se-bench`'s `(layer, accelerator)` fan-out).
 //!
 //! SmartExchange compresses each layer independently — the decomposition
 //! of Algorithm 1 never looks across layers — so whole-network compression
-//! is an embarrassingly parallel batch of [`LayerJob`]s. This module runs
-//! that batch on a shared work queue drained by [`std::thread::scope`]
-//! workers and reassembles the results **in network order**, which makes
-//! the parallel output bit-identical to a serial run: every layer's
-//! floating-point work happens on exactly one thread with exactly the same
-//! inputs regardless of the worker count, and only the reassembly order is
-//! fixed, not the completion order.
+//! is an embarrassingly parallel batch of [`LayerJob`]s.
 //!
 //! The worker count comes from [`SeConfig::parallelism`] (default: all
 //! available cores); `parallelism = 1` degenerates to an inline loop with
@@ -166,14 +171,22 @@ where
 /// observed); the minimal failing index is always computed because an item
 /// is only skipped when a *lower* index has already failed.
 ///
+/// Generic over the error type so any subsystem (compression, trace
+/// generation, simulation) can put its own jobs on the queue.
+///
 /// # Errors
 ///
 /// The lowest-indexed failure of `f`.
-pub fn try_run_ordered<I, O, F>(items: &[I], workers: usize, f: F) -> Result<Vec<O>>
+pub fn try_run_ordered<I, O, E, F>(
+    items: &[I],
+    workers: usize,
+    f: F,
+) -> std::result::Result<Vec<O>, E>
 where
     I: Sync,
     O: Send,
-    F: Fn(usize, &I) -> Result<O> + Sync,
+    E: Send,
+    F: Fn(usize, &I) -> std::result::Result<O, E> + Sync,
 {
     // Lowest failing index observed so far; items behind it are skipped.
     let failed_at = AtomicUsize::new(usize::MAX);
@@ -198,6 +211,39 @@ where
         }
     }
     Ok(done)
+}
+
+/// Fans a 2-D grid of jobs — every `(item, lane)` pair — onto the work
+/// queue and reassembles the outputs **item-major** (`out[i][l]` is item
+/// `i` through lane `l`). This is the five-accelerator simulation shape:
+/// items are layer traces, lanes are accelerators, and every job is
+/// independent of every other, so results are bit-identical for every
+/// worker count.
+///
+/// # Errors
+///
+/// The failure of the lowest `(item, lane)` coordinate in item-major
+/// order — the same error a serial item-then-lane loop reports.
+pub fn try_run_grid<I, O, E, F>(
+    items: &[I],
+    lanes: usize,
+    workers: usize,
+    f: F,
+) -> std::result::Result<Vec<Vec<O>>, E>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(usize, &I, usize) -> std::result::Result<O, E> + Sync,
+{
+    if lanes == 0 {
+        return Ok(items.iter().map(|_| Vec::new()).collect());
+    }
+    let coords: Vec<(usize, usize)> =
+        (0..items.len()).flat_map(|i| (0..lanes).map(move |l| (i, l))).collect();
+    let flat = try_run_ordered(&coords, workers, |_, &(i, l)| f(i, &items[i], l))?;
+    let mut flat = flat.into_iter();
+    Ok((0..items.len()).map(|_| flat.by_ref().take(lanes).collect()).collect())
 }
 
 /// The configuration each worker compresses its layers with: the total
@@ -332,6 +378,50 @@ mod tests {
         assert!(run_ordered(&empty, 4, |_, &x| x).is_empty());
         let one = vec![7u32];
         assert_eq!(run_ordered(&one, 16, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn grid_is_item_major_and_order_preserving() {
+        let items: Vec<usize> = (0..9).collect();
+        for workers in [1usize, 3, 8] {
+            let grid: Vec<Vec<(usize, usize)>> =
+                try_run_grid::<_, _, CoreError, _>(&items, 4, workers, |i, &item, lane| {
+                    assert_eq!(i, item);
+                    Ok((item, lane))
+                })
+                .unwrap();
+            assert_eq!(grid.len(), 9);
+            for (i, row) in grid.iter().enumerate() {
+                assert_eq!(row, &[(i, 0), (i, 1), (i, 2), (i, 3)], "workers = {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_handles_degenerate_shapes() {
+        let none: Vec<u32> = vec![];
+        let empty = try_run_grid::<_, u32, CoreError, _>(&none, 3, 4, |_, &x, _| Ok(x)).unwrap();
+        assert!(empty.is_empty());
+        let lanes0 =
+            try_run_grid::<_, u32, CoreError, _>(&[1u32, 2], 0, 4, |_, &x, _| Ok(x)).unwrap();
+        assert_eq!(lanes0, vec![Vec::<u32>::new(), Vec::new()]);
+    }
+
+    #[test]
+    fn grid_reports_the_item_major_lowest_error() {
+        let items: Vec<usize> = (0..6).collect();
+        // Fail at (1, 2) and (3, 0): item-major order makes (1, 2) first.
+        for workers in [1usize, 2, 8] {
+            let err = try_run_grid::<_, (), String, _>(&items, 3, workers, |i, _, lane| {
+                if (i, lane) == (1, 2) || (i, lane) == (3, 0) {
+                    Err(format!("fail at ({i}, {lane})"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "fail at (1, 2)", "workers = {workers}");
+        }
     }
 
     #[test]

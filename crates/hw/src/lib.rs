@@ -38,6 +38,7 @@ pub mod accelerator;
 pub mod config;
 pub mod energy;
 pub mod golden;
+pub mod schedule;
 pub mod sim;
 pub mod stats;
 pub mod window;
@@ -46,6 +47,7 @@ pub use accelerator::Accelerator;
 pub use config::SeAcceleratorConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HwError;
+pub use schedule::{ScheduleCache, ScheduleKey};
 pub use stats::{LayerResult, MemCounters, OpCounters, RunResult};
 
 /// Crate-wide result alias.

@@ -1,0 +1,273 @@
+//! Geometry-keyed schedule reuse.
+//!
+//! ResNet-style networks repeat identical layer geometries many times
+//! (ResNet164 repeats each bottleneck shape 18× per stage), and the
+//! data-independent part of a simulator pass — which output rows are
+//! sampled, where every kernel row reads its input row, how output pixels
+//! group onto MAC lanes, how filters tile onto PE slices — depends only on
+//! the layer *geometry* and the accelerator *configuration*, never on the
+//! weights or activations. This module provides the two pieces that let
+//! every simulator compute that skeleton once per distinct shape and reuse
+//! it across repeats:
+//!
+//! * [`ScheduleKey`] — a hashable key derived from [`LayerDesc`] geometry
+//!   plus the configuration fields a schedule may depend on. The layer
+//!   *name* is deliberately excluded: two layers with different names but
+//!   the same shape share a schedule.
+//! * [`ScheduleCache`] — a thread-safe per-run memo table from key to an
+//!   immutable, shared schedule value.
+//!
+//! Correctness note: cached values must be **pure functions of their key**.
+//! Under that contract a cache is observationally transparent — hits and
+//! misses produce bit-identical simulation results, for any worker count
+//! and any layer order — which is what keeps the parallel five-accelerator
+//! runner's output independent of scheduling (see `se_bench::runner`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::SeAcceleratorConfig;
+use se_ir::{LayerDesc, LayerKind};
+
+/// Cache key for a layer's simulation schedule: the full layer geometry
+/// (kind with all its dimensions, plus the input feature-map size) and the
+/// configuration fields that shape a schedule (PE-array tile dimensions,
+/// output-row sampling, and the feature toggles).
+///
+/// Two keys compare equal exactly when every geometry and configuration
+/// field matches; any differing field — kernel, stride, padding, channel
+/// counts, input size, tile dimensions, `row_sample`, or a feature toggle —
+/// produces a distinct key, so schedules can never silently collide across
+/// shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduleKey {
+    kind: LayerKind,
+    input_hw: (usize, usize),
+    dim_m: usize,
+    dim_c: usize,
+    dim_f: usize,
+    row_sample: usize,
+    bit_serial: bool,
+    booth_encoder: bool,
+    index_select: bool,
+    compact_dedicated: bool,
+}
+
+impl ScheduleKey {
+    /// Key for a schedule that depends on the SmartExchange accelerator
+    /// configuration (the SE engine and Bit-pragmatic, which reuses it).
+    pub fn for_config(desc: &LayerDesc, cfg: &SeAcceleratorConfig) -> Self {
+        ScheduleKey {
+            kind: *desc.kind(),
+            input_hw: desc.input_hw(),
+            dim_m: cfg.dim_m,
+            dim_c: cfg.dim_c,
+            dim_f: cfg.dim_f,
+            row_sample: cfg.row_sample,
+            bit_serial: cfg.bit_serial,
+            booth_encoder: cfg.booth_encoder,
+            index_select: cfg.index_select,
+            compact_dedicated: cfg.compact_dedicated,
+        }
+    }
+
+    /// Key for a configuration-independent cached value (the baseline
+    /// accelerators' geometry statistics): configuration fields are pinned
+    /// to neutral values so the key is pure geometry.
+    ///
+    /// Each accelerator owns its own cache, so geometry-only keys can never
+    /// collide with configuration-bearing keys from another design.
+    pub fn for_geometry(desc: &LayerDesc) -> Self {
+        ScheduleKey {
+            kind: *desc.kind(),
+            input_hw: desc.input_hw(),
+            dim_m: 0,
+            dim_c: 0,
+            dim_f: 0,
+            row_sample: 0,
+            bit_serial: false,
+            booth_encoder: false,
+            index_select: false,
+            compact_dedicated: false,
+        }
+    }
+}
+
+/// A thread-safe per-run memo table from [`ScheduleKey`] to a shared,
+/// immutable schedule value.
+///
+/// Values are built at most a handful of times per distinct geometry (a
+/// concurrent miss on the same key may build twice; the first insert wins
+/// and both results are identical because values are pure functions of the
+/// key) and shared via [`Arc`] afterwards. Cloning an accelerator shares
+/// its cache — the memoized schedules stay valid because they depend only
+/// on the configuration captured in the key.
+#[derive(Debug)]
+pub struct ScheduleCache<T> {
+    inner: Arc<Mutex<HashMap<ScheduleKey, Arc<T>>>>,
+}
+
+impl<T> Default for ScheduleCache<T> {
+    fn default() -> Self {
+        ScheduleCache { inner: Arc::new(Mutex::new(HashMap::new())) }
+    }
+}
+
+impl<T> Clone for ScheduleCache<T> {
+    fn clone(&self) -> Self {
+        ScheduleCache { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Caches memoize pure functions of their key, so two caches are always
+/// observationally equivalent: equality ignores contents. This keeps
+/// accelerator types that embed a cache `PartialEq` on their configuration
+/// alone.
+impl<T> PartialEq for ScheduleCache<T> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl<T> ScheduleCache<T> {
+    /// Returns the cached value for `key`, building it with `build` on a
+    /// miss. The lock is not held while building, so concurrent simulator
+    /// workers never serialize on schedule construction; a racing build for
+    /// the same key keeps the first inserted value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `build` failure (nothing is cached in that case).
+    pub fn get_or_try_build<E>(
+        &self,
+        key: ScheduleKey,
+        build: impl FnOnce() -> std::result::Result<T, E>,
+    ) -> std::result::Result<Arc<T>, E> {
+        if let Some(hit) = self.inner.lock().expect("schedule cache never poisoned").get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let value = Arc::new(build()?);
+        let mut map = self.inner.lock().expect("schedule cache never poisoned");
+        Ok(Arc::clone(map.entry(key).or_insert(value)))
+    }
+
+    /// Number of distinct geometries cached so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("schedule cache never poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn conv_desc(name: &str) -> LayerDesc {
+        LayerDesc::new(
+            name,
+            LayerKind::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+            (16, 16),
+        )
+    }
+
+    fn hash_of(k: &ScheduleKey) -> u64 {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_geometry_and_config_hash_equal() {
+        let cfg = SeAcceleratorConfig::default();
+        // Different layer names, identical geometry: same key, same hash.
+        let a = ScheduleKey::for_config(&conv_desc("stage1_block3"), &cfg);
+        let b = ScheduleKey::for_config(&conv_desc("stage1_block17"), &cfg);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn any_differing_geometry_field_changes_the_key() {
+        let cfg = SeAcceleratorConfig::default();
+        let base = ScheduleKey::for_config(&conv_desc("c"), &cfg);
+        let variants = [
+            LayerKind::Conv2d { in_channels: 5, out_channels: 8, kernel: 3, stride: 1, padding: 1 },
+            LayerKind::Conv2d { in_channels: 4, out_channels: 9, kernel: 3, stride: 1, padding: 1 },
+            LayerKind::Conv2d { in_channels: 4, out_channels: 8, kernel: 5, stride: 1, padding: 1 },
+            LayerKind::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 2, padding: 1 },
+            LayerKind::Conv2d { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 0 },
+            LayerKind::DepthwiseConv2d { channels: 4, kernel: 3, stride: 1, padding: 1 },
+        ];
+        for kind in variants {
+            let k = ScheduleKey::for_config(&LayerDesc::new("c", kind, (16, 16)), &cfg);
+            assert_ne!(base, k, "kind {kind:?} must produce a distinct key");
+        }
+        // Input feature-map size is part of the geometry too.
+        let resized =
+            ScheduleKey::for_config(&LayerDesc::new("c", *conv_desc("c").kind(), (8, 16)), &cfg);
+        assert_ne!(base, resized);
+    }
+
+    #[test]
+    fn any_differing_config_field_changes_the_key() {
+        let desc = conv_desc("c");
+        let base = ScheduleKey::for_config(&desc, &SeAcceleratorConfig::default());
+        let variants: [SeAcceleratorConfig; 8] = [
+            SeAcceleratorConfig { dim_m: 32, ..Default::default() },
+            SeAcceleratorConfig { dim_c: 8, ..Default::default() },
+            SeAcceleratorConfig { dim_f: 4, ..Default::default() },
+            SeAcceleratorConfig { row_sample: 4, ..Default::default() },
+            SeAcceleratorConfig { bit_serial: false, ..Default::default() },
+            SeAcceleratorConfig { booth_encoder: false, ..Default::default() },
+            SeAcceleratorConfig { index_select: false, ..Default::default() },
+            SeAcceleratorConfig { compact_dedicated: false, ..Default::default() },
+        ];
+        for (i, cfg) in variants.iter().enumerate() {
+            let k = ScheduleKey::for_config(&desc, cfg);
+            assert_ne!(base, k, "config variant {i} must produce a distinct key");
+        }
+    }
+
+    #[test]
+    fn geometry_key_ignores_config() {
+        let desc = conv_desc("c");
+        let a = ScheduleKey::for_geometry(&desc);
+        let b = ScheduleKey::for_geometry(&conv_desc("other_name"));
+        assert_eq!(a, b);
+        // But geometry still distinguishes.
+        let c = ScheduleKey::for_geometry(&LayerDesc::new("c", *desc.kind(), (8, 8)));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cache_builds_once_per_key_and_shares() {
+        let cache: ScheduleCache<u64> = ScheduleCache::default();
+        let cfg = SeAcceleratorConfig::default();
+        let key = ScheduleKey::for_config(&conv_desc("c"), &cfg);
+        let a = cache.get_or_try_build::<()>(key, || Ok(7)).unwrap();
+        // Second lookup must not rebuild (a panicking builder proves it).
+        let b = cache.get_or_try_build::<()>(key, || panic!("cache hit expected")).unwrap();
+        assert_eq!(*a, *b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // Clones share the memo table.
+        let clone = cache.clone();
+        clone.get_or_try_build::<()>(key, || panic!("clone shares the cache")).unwrap();
+    }
+
+    #[test]
+    fn cache_build_errors_are_not_cached() {
+        let cache: ScheduleCache<u64> = ScheduleCache::default();
+        let key = ScheduleKey::for_geometry(&conv_desc("c"));
+        assert!(cache.get_or_try_build(key, || Err("boom")).is_err());
+        assert!(cache.is_empty());
+        let v = cache.get_or_try_build::<&str>(key, || Ok(3)).unwrap();
+        assert_eq!(*v, 3);
+    }
+}

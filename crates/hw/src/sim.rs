@@ -36,17 +36,37 @@
 //! rows no filter needs are never fetched. Outputs are written once.
 //! Compute and DRAM transfers overlap through double buffering:
 //! `total_cycles = max(compute, DRAM bytes / bandwidth)`.
+//!
+//! # Schedule reuse
+//!
+//! The data-independent skeleton of a layer pass — which output rows are
+//! sampled under `row_sample`, the input row each kernel row reads, the
+//! `(f0, nf)` output-pixel groups, and the slice-fold width — is a pure
+//! function of the layer geometry and the accelerator configuration. It is
+//! captured in a [`Schedule`], memoized per [`crate::schedule::ScheduleKey`]
+//! in a per-run [`crate::schedule::ScheduleCache`], and shared across
+//! layers with identical shapes (ResNet164 repeats each bottleneck geometry
+//! 18× per stage). Only the data-dependent terms — zero activation rows,
+//! Booth-digit window costs, coefficient-row masks, rebuild costs — are
+//! re-evaluated per layer, so cache hits are bit-identical to cold builds.
 
+use std::sync::Arc;
+
+use crate::schedule::{ScheduleCache, ScheduleKey};
 use crate::window::{self, SerialMode};
 use crate::{
     Accelerator, HwError, LayerResult, MemCounters, OpCounters, Result, SeAcceleratorConfig,
 };
-use se_ir::{LayerKind, LayerTrace, QuantTensor, SeLayer, SeLayout, WeightData};
+use se_ir::{LayerDesc, LayerKind, LayerTrace, QuantTensor, SeLayer, SeLayout, WeightData};
 
 /// The SmartExchange accelerator (Section IV).
+///
+/// Holds a per-run schedule cache (see the module docs); cloning shares the
+/// cache, and equality compares the configuration only.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeAccelerator {
     cfg: SeAcceleratorConfig,
+    schedules: ScheduleCache<Schedule>,
 }
 
 impl SeAccelerator {
@@ -57,12 +77,25 @@ impl SeAccelerator {
     /// Returns [`HwError::InvalidConfig`] for invalid configurations.
     pub fn new(cfg: SeAcceleratorConfig) -> Result<Self> {
         cfg.validate()?;
-        Ok(SeAccelerator { cfg })
+        Ok(SeAccelerator { cfg, schedules: ScheduleCache::default() })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &SeAcceleratorConfig {
         &self.cfg
+    }
+
+    /// Distinct layer geometries scheduled so far (diagnostic: repeated
+    /// shapes hit the cache instead of growing this).
+    pub fn cached_schedules(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The geometry schedule for `desc`, built once per distinct shape.
+    fn schedule_for(&self, desc: &LayerDesc) -> Result<Arc<Schedule>> {
+        self.schedules.get_or_try_build(ScheduleKey::for_config(desc, &self.cfg), || {
+            Schedule::build(desc, &self.cfg)
+        })
     }
 }
 
@@ -72,13 +105,103 @@ impl Accelerator for SeAccelerator {
     }
 
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
-        match *trace.desc().kind() {
-            LayerKind::Conv2d { kernel, .. } if kernel > 1 => conv_layer(&self.cfg, trace),
-            LayerKind::Conv2d { .. } => pointwise_layer(&self.cfg, trace),
-            LayerKind::DepthwiseConv2d { .. } => depthwise_layer(&self.cfg, trace),
+        let desc = trace.desc();
+        match *desc.kind() {
+            LayerKind::Conv2d { kernel, .. } if kernel > 1 => {
+                let sched = self.schedule_for(desc)?;
+                conv_layer(&self.cfg, trace, &sched)
+            }
+            LayerKind::Conv2d { .. } => {
+                let sched = self.schedule_for(desc)?;
+                pointwise_layer(&self.cfg, trace, &sched)
+            }
+            LayerKind::DepthwiseConv2d { .. } => {
+                let sched = self.schedule_for(desc)?;
+                depthwise_layer(&self.cfg, trace, &sched)
+            }
             LayerKind::Linear { .. } => fc_layer(&self.cfg, trace),
             LayerKind::SqueezeExcite { .. } => squeeze_excite_layer(&self.cfg, trace),
         }
+    }
+}
+
+/// The data-independent skeleton of one simulator pass over a spatial
+/// (CONV / 1×1 CONV / depth-wise) layer: everything derivable from the
+/// layer geometry and the accelerator configuration alone, computed once
+/// per distinct shape and reused across repeats.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Schedule {
+    /// Output rows simulated under `row_sample`.
+    e_rows: Vec<usize>,
+    /// Factor scaling sampled totals back to the full layer.
+    e_scale: f64,
+    /// Kernel rows tracked per output row (`R` for CONV/depth-wise, 1 for
+    /// 1×1 CONV).
+    r: usize,
+    /// `row_iy[ei * r + kr]`: the input row kernel row `kr` reads at
+    /// sampled output row `e_rows[ei]`, or `None` for pure padding rows.
+    row_iy: Vec<Option<usize>>,
+    /// Output-pixel groups `(f0, nf)` with `nf <= eff_f`.
+    f_groups: Vec<(usize, usize)>,
+    /// Output feature-map height.
+    e_out: usize,
+    /// Output feature-map width.
+    f_out: usize,
+}
+
+impl Schedule {
+    /// Builds the schedule for a spatial layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid output geometry; FC-style layers have no spatial
+    /// schedule (the dispatch never requests one).
+    fn build(desc: &LayerDesc, cfg: &SeAcceleratorConfig) -> Result<Schedule> {
+        let (h, _) = desc.input_hw();
+        let (e_out, f_out) = desc.output_hw()?;
+        // Narrow layers (fewer filters than slices) fold spare slices into
+        // wider output-pixel groups, as the compiler's dataflow selection
+        // (Section IV-B) would; depth-wise layers map channels to slices
+        // directly and do not fold.
+        let (r, stride, padding, eff_f) = match *desc.kind() {
+            LayerKind::Conv2d { out_channels: m, kernel, stride, padding, .. } => {
+                let fold = if m < cfg.dim_m { (cfg.dim_m / m.max(1)).clamp(1, 8) } else { 1 };
+                (kernel.max(1), stride, padding, cfg.dim_f * fold)
+            }
+            LayerKind::DepthwiseConv2d { kernel, stride, padding, .. } => {
+                (kernel, stride, padding, cfg.dim_f)
+            }
+            LayerKind::Linear { .. } | LayerKind::SqueezeExcite { .. } => {
+                return Err(HwError::UnsupportedTrace {
+                    reason: format!(
+                        "layer {}: FC-style layers have no spatial schedule",
+                        desc.name()
+                    ),
+                })
+            }
+        };
+        let (e_rows, e_scale) = sampled_rows(e_out, cfg.row_sample);
+        let mut row_iy = Vec::with_capacity(e_rows.len() * r);
+        for &e in &e_rows {
+            for kr in 0..r {
+                let iy = (e * stride + kr) as isize - padding as isize;
+                row_iy.push(if iy < 0 || iy as usize >= h { None } else { Some(iy as usize) });
+            }
+        }
+        let mut f_groups = Vec::new();
+        let mut f0 = 0;
+        while f0 < f_out {
+            f_groups.push((f0, eff_f.min(f_out - f0)));
+            f0 += eff_f;
+        }
+        Ok(Schedule { e_rows, e_scale, r, row_iy, f_groups, e_out, f_out })
+    }
+
+    /// The input row kernel row `kr` reads at sampled output row index
+    /// `ei`, or `None` for pure padding rows.
+    #[inline]
+    fn input_row(&self, ei: usize, kr: usize) -> Option<usize> {
+        self.row_iy[ei * self.r + kr]
     }
 }
 
@@ -272,7 +395,11 @@ fn weight_form(trace: &LayerTrace) -> Result<Option<&SeLayer>> {
 }
 
 /// Standard CONV path (`R = S > 1`).
-fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResult> {
+fn conv_layer(
+    cfg: &SeAcceleratorConfig,
+    trace: &LayerTrace,
+    sched: &Schedule,
+) -> Result<LayerResult> {
     let desc = trace.desc();
     let LayerKind::Conv2d { in_channels: c, out_channels: m, kernel, stride, padding } =
         *desc.kind()
@@ -280,7 +407,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
         unreachable!("dispatch guarantees Conv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = desc.output_hw()?;
+    let (e_out, f_out) = (sched.e_out, sched.f_out);
     let r = kernel;
     let s = kernel;
 
@@ -306,12 +433,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
     let sc = window::serial_counts(q, mode);
     let act_nz = window::activation_row_nonzero(q);
 
-    let (dim_m, dim_c, dim_f) = (cfg.dim_m, cfg.dim_c, cfg.dim_f);
-    // Narrow layers (fewer filters than slices) fold spare slices into
-    // wider output-pixel groups, as the compiler's dataflow selection
-    // (Section IV-B) would.
-    let fold = if m < dim_m { (dim_m / m.max(1)).clamp(1, 8) } else { 1 };
-    let eff_f = dim_f * fold;
+    let (dim_m, dim_c) = (cfg.dim_m, cfg.dim_c);
     let mut compute: u64 = 0;
     let mut pe_busy: u64 = 0;
     let mut acc_adds: u64 = 0;
@@ -323,7 +445,7 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
     let mut e_row = vec![0u64; c * r];
     let mut processed = vec![false; c * r];
 
-    let (e_rows, e_scale) = sampled_rows(e_out, cfg.row_sample);
+    let e_scale = sched.e_scale;
     // Per-filter pooled work for one output row: the index selector
     // dispatches (coefficient row, pixel group) pairs from the layer-wide
     // index to whichever PE line is free, so a slice's work pools across
@@ -331,25 +453,22 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
     let mut slice_work = vec![0u64; m];
     let mut slice_longest = vec![0u64; m];
     let mut line_total = vec![0u64; c];
-    for &e in &e_rows {
+    for ei in 0..sched.e_rows.len() {
         slice_work.fill(0);
         slice_longest.fill(0);
         line_total.fill(0);
-        for f0 in (0..f_out).step_by(eff_f) {
-            let nf = eff_f.min(f_out - f0);
+        for &(f0, nf) in &sched.f_groups {
             // Phase 1: per-(channel, kernel-row) costs, shared by all slices.
             for ci in 0..c {
                 for kr in 0..r {
                     let idx = ci * r + kr;
-                    let iy = (e * stride + kr) as isize - padding as isize;
-                    if iy < 0 || iy as usize >= h {
+                    let Some(iy) = sched.input_row(ei, kr) else {
                         // Pure padding row: no hardware iterates it.
                         t_row[idx] = 0;
                         e_row[idx] = 0;
                         processed[idx] = false;
                         continue;
-                    }
-                    let iy = iy as usize;
+                    };
                     let act_live = act_nz[ci * h + iy];
                     // Index selector: zero activation rows are skipped for
                     // every filter; one compare per considered row.
@@ -518,14 +637,18 @@ fn conv_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResu
 
 /// 1×1 CONV path: FC-style coefficient rows (groups of `fc_width` input
 /// channels) mapped onto PE lines, output pixels onto MACs.
-fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResult> {
+fn pointwise_layer(
+    cfg: &SeAcceleratorConfig,
+    trace: &LayerTrace,
+    sched: &Schedule,
+) -> Result<LayerResult> {
     let desc = trace.desc();
     let LayerKind::Conv2d { in_channels: c, out_channels: m, stride, padding, .. } = *desc.kind()
     else {
         unreachable!("dispatch guarantees Conv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = desc.output_hw()?;
+    let (e_out, f_out) = (sched.e_out, sched.f_out);
 
     let (pw, group) = match weight_form(trace)? {
         Some(layer) => {
@@ -545,9 +668,7 @@ fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
     let sc = window::serial_counts(q, mode);
     let act_nz = window::activation_row_nonzero(q);
 
-    let (dim_m, dim_c, dim_f) = (cfg.dim_m, cfg.dim_c, cfg.dim_f);
-    let fold = if m < dim_m { (dim_m / m.max(1)).clamp(1, 8) } else { 1 };
-    let eff_f = dim_f * fold;
+    let (dim_m, dim_c) = (cfg.dim_m, cfg.dim_c);
     let mut compute: u64 = 0;
     let mut pe_busy: u64 = 0;
     let mut acc_adds: u64 = 0;
@@ -559,15 +680,12 @@ fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
     let mut live = vec![false; groups];
     let mut lanes = vec![0u64; groups];
 
-    let (e_rows, e_scale) = sampled_rows(e_out, cfg.row_sample);
-    for &e in &e_rows {
-        let iy = (e * stride) as isize - padding as isize;
-        if iy < 0 || iy as usize >= h {
+    let e_scale = sched.e_scale;
+    for ei in 0..sched.e_rows.len() {
+        let Some(iy) = sched.input_row(ei, 0) else {
             continue;
-        }
-        let iy = iy as usize;
-        for f0 in (0..f_out).step_by(eff_f) {
-            let nf = eff_f.min(f_out - f0);
+        };
+        for &(f0, nf) in &sched.f_groups {
             for g in 0..groups {
                 let c_lo = g * group;
                 let c_hi = (c_lo + group).min(c);
@@ -698,13 +816,17 @@ fn pointwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
 /// Depth-wise CONV: with the dedicated design, kernel rows run on parallel
 /// PE lines and channels map across slices; without it, one line per
 /// channel processes the rows sequentially (Fig. 15 ablation).
-fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<LayerResult> {
+fn depthwise_layer(
+    cfg: &SeAcceleratorConfig,
+    trace: &LayerTrace,
+    sched: &Schedule,
+) -> Result<LayerResult> {
     let desc = trace.desc();
     let LayerKind::DepthwiseConv2d { channels: c, kernel, stride, padding } = *desc.kind() else {
         unreachable!("dispatch guarantees DepthwiseConv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = desc.output_hw()?;
+    let (e_out, f_out) = (sched.e_out, sched.f_out);
     let r = kernel;
     let s = kernel;
 
@@ -718,17 +840,16 @@ fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
     let sc = window::serial_counts(q, mode);
     let act_nz = window::activation_row_nonzero(q);
 
-    let (dim_m, dim_f) = (cfg.dim_m, cfg.dim_f);
+    let dim_m = cfg.dim_m;
     let mut compute: u64 = 0;
     let mut pe_busy: u64 = 0;
     let mut acc_adds: u64 = 0;
     let mut gb_in_read: u64 = 0;
     let mut index_compares: u64 = 0;
 
-    let (e_rows, e_scale) = sampled_rows(e_out, cfg.row_sample);
-    for &e in &e_rows {
-        for f0 in (0..f_out).step_by(dim_f) {
-            let nf = dim_f.min(f_out - f0);
+    let e_scale = sched.e_scale;
+    for ei in 0..sched.e_rows.len() {
+        for &(f0, nf) in &sched.f_groups {
             let seg_bytes = ((nf - 1) * stride + s) as u64;
             for c0 in (0..c).step_by(dim_m) {
                 let c_hi = (c0 + dim_m).min(c);
@@ -738,11 +859,9 @@ fn depthwise_layer(cfg: &SeAcceleratorConfig, trace: &LayerTrace) -> Result<Laye
                     debug_assert!(r <= 16, "kernel rows exceed scratch");
                     #[allow(clippy::needless_range_loop)]
                     for kr in 0..r {
-                        let iy = (e * stride + kr) as isize - padding as isize;
-                        if iy < 0 || iy as usize >= h {
+                        let Some(iy) = sched.input_row(ei, kr) else {
                             continue;
-                        }
-                        let iy = iy as usize;
+                        };
                         if cfg.index_select {
                             index_compares += 1;
                         }
@@ -1242,6 +1361,25 @@ mod tests {
         let a = accel().process_layer(&t).unwrap();
         let b = accel().process_layer(&t).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_geometries_share_one_schedule() {
+        // Two layers with the same shape but different data, one distinct
+        // shape: the cache holds two schedules, and every warm (cache-hit)
+        // result is bit-identical to a cold single-layer run.
+        let traces =
+            [se_trace(4, 8, 8, 0.5, 21), se_trace(4, 8, 8, 0.7, 22), se_trace(8, 16, 16, 0.5, 23)];
+        let shared = accel();
+        let warm: Vec<_> = traces.iter().map(|t| shared.process_layer(t).unwrap()).collect();
+        assert_eq!(shared.cached_schedules(), 2, "repeated shapes must reuse the schedule");
+        for (t, w) in traces.iter().zip(&warm) {
+            assert_eq!(&accel().process_layer(t).unwrap(), w, "cache hit differs from cold build");
+        }
+        // Clones share the per-run cache.
+        let clone = shared.clone();
+        clone.process_layer(&traces[0]).unwrap();
+        assert_eq!(clone.cached_schedules(), 2);
     }
 
     #[test]

@@ -134,3 +134,67 @@ proptest! {
         prop_assert_eq!(a.transpose().transpose(), a);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// For randomized CONV geometries, the fast simulator's compute-cycle
+    /// count equals the brute-force golden model's — the randomized
+    /// extension of the fixed-grid validation in `se_hw::golden` (which
+    /// only checks hand-picked cases). Every geometry drawn here is valid
+    /// by construction: `hw >= 6` and `kernel <= 5`, so `hw + 2·padding >=
+    /// kernel` always holds.
+    #[test]
+    fn simulator_matches_golden_on_random_conv_geometries(
+        seed in 0u64..1000,
+        c in 1usize..5,
+        m in 1usize..7,
+        hw in 6usize..12,
+        kidx in 0usize..3,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        keep in 0.3f32..1.0,
+        index_select in any::<bool>(),
+        bit_serial in any::<bool>(),
+    ) {
+        use smartexchange::core::{layer as se_layer, SeConfig, VectorSparsity};
+        use smartexchange::hw::sim::SeAccelerator;
+        use smartexchange::hw::{golden, Accelerator, SeAcceleratorConfig};
+        use smartexchange::ir::{LayerDesc, LayerKind, LayerTrace, QuantTensor, WeightData};
+        use smartexchange::tensor::rng;
+
+        let k = [2usize, 3, 5][kidx];
+        let desc = LayerDesc::new(
+            "g",
+            LayerKind::Conv2d { in_channels: c, out_channels: m, kernel: k, stride, padding },
+            (hw, hw),
+        );
+        let mut r = rng::seeded(seed);
+        let w = rng::kaiming_tensor(&mut r, &[m, c, k, k], c * k * k);
+        let se_cfg = SeConfig::default()
+            .with_max_iterations(3).unwrap()
+            .with_vector_sparsity(VectorSparsity::KeepFraction(keep)).unwrap();
+        let parts = se_layer::compress_layer(&desc, &w, &se_cfg).unwrap();
+        let act = rng::normal_tensor(&mut r, &[c, hw, hw], 1.0)
+            .map(|v| if v < 0.3 { 0.0 } else { v });
+        let q = QuantTensor::quantize(&act, 8).unwrap();
+        let trace = LayerTrace::new(desc, WeightData::Se(parts), q).unwrap();
+
+        let cfg = SeAcceleratorConfig {
+            dim_m: 2,
+            dim_c: 2,
+            dim_f: 4,
+            index_select,
+            bit_serial,
+            ..Default::default()
+        };
+        let sim = SeAccelerator::new(cfg.clone()).unwrap();
+        let fast = sim.process_layer(&trace).unwrap().compute_cycles;
+        let golden = golden::golden_conv_cycles(&cfg, &trace).unwrap();
+        prop_assert!(
+            fast == golden,
+            "fast {} vs golden {}: c={} m={} hw={} k={} stride={} pad={} idx={} serial={}",
+            fast, golden, c, m, hw, k, stride, padding, index_select, bit_serial
+        );
+    }
+}
