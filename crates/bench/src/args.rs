@@ -19,6 +19,15 @@ pub struct Flags {
     /// for every value; absent means the default (the `SE_PARALLELISM`
     /// environment variable, else all cores).
     pub sim_parallelism: Option<usize>,
+    /// `--traces-dir DIR`: directory of persisted trace artifacts
+    /// (`*.setrace`, built by `se trace build`). Subcommands that consume
+    /// traces replay matching artifacts from here instead of regenerating
+    /// the decompositions; cached and direct runs are bit-identical. A
+    /// missing artifact silently falls back to direct generation.
+    pub traces_dir: Option<std::path::PathBuf>,
+    /// `--with-fc`: include FC layers in the generated traces (the
+    /// Fig. 13(b) protocol) — consumed by `se trace build`.
+    pub with_fc: bool,
 }
 
 impl Flags {
@@ -49,6 +58,11 @@ impl Flags {
                     flags.sim_parallelism = args[i + 1].parse().ok().filter(|&n| n >= 1);
                     i += 1;
                 }
+                "--traces-dir" if i + 1 < args.len() => {
+                    flags.traces_dir = Some(std::path::PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--with-fc" => flags.with_fc = true,
                 _ => {}
             }
             i += 1;
@@ -112,6 +126,16 @@ mod tests {
         assert_eq!(parse(&["--sim-parallelism", "0"]).sim_parallelism, None);
         assert_eq!(parse(&["--sim-parallelism"]).sim_parallelism, None);
         assert_eq!(parse(&["--fast", "--sim-parallelism", "2"]).sim_parallelism, Some(2));
+    }
+
+    #[test]
+    fn traces_dir_and_with_fc_parse() {
+        let f = parse(&["--traces-dir", "/tmp/t", "--with-fc"]);
+        assert_eq!(f.traces_dir.as_deref(), Some(std::path::Path::new("/tmp/t")));
+        assert!(f.with_fc);
+        let f = parse(&["--traces-dir"]); // missing value: ignored
+        assert!(f.traces_dir.is_none());
+        assert!(!f.with_fc);
     }
 
     #[test]

@@ -1,130 +1,6 @@
-//! Section V-B component ablation: the SmartExchange accelerator vs a
-//! similar dense baseline accelerator (non-bit-serial, 16×8×8, same
-//! resources) on ResNet50, and the contribution of each component.
-//!
-//! Paper: 3.65× better energy efficiency (DRAM savings split 23.99% from
-//! compression, 12.48% from vector-wise sparsity, 36.14% from bit-level
-//! sparsity) and 7.41× speedup assuming sufficient DRAM bandwidth.
+//! Deprecated shim: forwards to `se ablation_components` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::{table, Result};
-use se_hw::sim::SeAccelerator;
-use se_hw::{Accelerator, EnergyModel, RunResult, SeAcceleratorConfig};
-use se_models::traces::{TraceOptions, TraceStream};
-use se_models::zoo;
-
-fn run(
-    cfg: SeAcceleratorConfig,
-    net: &se_ir::NetworkDesc,
-    opts: &TraceOptions,
-    use_se_weights: bool,
-) -> Result<RunResult> {
-    let accel = SeAccelerator::new(cfg)?;
-    let mut run = RunResult::default();
-    for pair in TraceStream::new(net, opts.clone()) {
-        let pair = pair?;
-        let trace = if use_se_weights { &pair.se } else { &pair.dense };
-        run.layers.push(accel.process_layer(trace)?);
-    }
-    Ok(run)
-}
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let net = zoo::resnet50();
-    let opts = TraceOptions::fast().with_seed(flags.seed);
-    let em = EnergyModel::default();
-    let report_cfg = SeAcceleratorConfig::default();
-
-    let mut sample = SeAcceleratorConfig::default();
-    if flags.fast {
-        sample.row_sample = 4;
-    }
-
-    // The ablation ladder: dense baseline accel -> +compression ->
-    // +vector-sparsity skipping -> +bit-serial lanes (full design).
-    let steps: Vec<(&str, SeAcceleratorConfig, bool)> = vec![
-        (
-            "baseline accel, dense weights",
-            {
-                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-                c.row_sample = sample.row_sample;
-                c
-            },
-            false,
-        ),
-        (
-            "+ SE compression (weights only)",
-            {
-                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-                c.row_sample = sample.row_sample;
-                c
-            },
-            true,
-        ),
-        (
-            "+ vector-wise sparsity (index select)",
-            {
-                let mut c = SeAcceleratorConfig::ablation_dense_baseline();
-                c.index_select = true;
-                c.row_sample = sample.row_sample;
-                c
-            },
-            true,
-        ),
-        (
-            "+ bit-level sparsity (full SmartExchange)",
-            SeAcceleratorConfig { row_sample: sample.row_sample, ..Default::default() },
-            true,
-        ),
-    ];
-
-    println!("Section V-B component ablation on ResNet50\n");
-    let mut rows = Vec::new();
-    let mut base: Option<(f64, u64, u64)> = None;
-    let mut prev_dram: Option<u64> = None;
-    let mut base_dram_total = 0u64;
-    for (name, cfg, use_se) in steps {
-        eprintln!("  {name}...");
-        let r = run(cfg, &net, &opts, use_se)?;
-        let energy = r.energy(&em, &report_cfg).total();
-        let cycles = r.total_cycles();
-        let dram = r.mem_totals().dram_total_bytes();
-        let (e0, c0, d0) = *base.get_or_insert((energy, cycles, dram));
-        if base_dram_total == 0 {
-            base_dram_total = d0;
-        }
-        let dram_step_saving = prev_dram
-            .map(|p| (p.saturating_sub(dram)) as f64 / base_dram_total as f64 * 100.0)
-            .unwrap_or(0.0);
-        prev_dram = Some(dram);
-        rows.push(vec![
-            name.to_string(),
-            format!("{:.3}", energy * 1e-9),
-            format!("{:.2}x", e0 / energy),
-            format!("{:.2}x", c0 as f64 / cycles as f64),
-            format!("{:.1}%", dram as f64 / d0 as f64 * 100.0),
-            format!("{dram_step_saving:.1}%"),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &[
-                "configuration",
-                "energy (mJ)",
-                "energy eff",
-                "speedup",
-                "DRAM vs baseline",
-                "DRAM saved by step",
-            ],
-            &rows,
-        )
-    );
-    println!(
-        "paper: full design reaches 3.65x energy efficiency and 7.41x speedup over\n\
-         the baseline accelerator; DRAM savings split 24.0% / 12.5% / 36.1% across\n\
-         compression / vector-wise / bit-level steps."
-    );
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("ablation_components")
 }

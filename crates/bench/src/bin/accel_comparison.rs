@@ -1,72 +1,6 @@
-//! Combined Figs. 10 + 11 + 12: one sweep of the seven benchmark models
-//! through all five accelerators, printing all three normalized views
-//! (energy efficiency, DRAM accesses, speedup) — the individual `fig10`,
-//! `fig11`, `fig12` binaries regenerate each figure separately.
+//! Deprecated shim: forwards to `se accel_comparison` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::runner::{compare_models, ACCEL_NAMES};
-use se_bench::{table, Result};
-use se_hw::{EnergyModel, SeAcceleratorConfig};
-use se_models::zoo;
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let opts = flags.runner_options()?;
-    let models: Vec<_> = zoo::accelerator_benchmark_models()
-        .into_iter()
-        .filter(|m| flags.selects(m.name()))
-        .collect();
-    eprintln!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
-    let comparisons = compare_models(&models, &opts)?;
-    let em = EnergyModel::default();
-    let cfg = SeAcceleratorConfig::default();
-    let headers: Vec<&str> = std::iter::once("model").chain(ACCEL_NAMES).collect();
-
-    let mut views: Vec<(&str, Vec<Vec<String>>)> = vec![
-        ("Fig. 10: normalized energy efficiency (over DianNao)", Vec::new()),
-        ("Fig. 11: normalized DRAM accesses (over SmartExchange)", Vec::new()),
-        ("Fig. 12: normalized speedup (over DianNao)", Vec::new()),
-    ];
-    let mut geo: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); 5]; 3];
-    for cmp in &comparisons {
-        let e = cmp.energies_mj(&em, &cfg);
-        let d = cmp.dram_bytes();
-        let c = cmp.cycles();
-        let e0 = e[0].expect("DianNao runs everything");
-        let d_se = d[4].expect("SE runs everything") as f64;
-        let c0 = c[0].expect("DianNao runs everything") as f64;
-        let mut rows: Vec<Vec<String>> = (0..3).map(|_| vec![cmp.model.clone()]).collect();
-        for i in 0..5 {
-            let vals =
-                [e[i].map(|x| e0 / x), d[i].map(|x| x as f64 / d_se), c[i].map(|x| c0 / x as f64)];
-            for (v, (row, g)) in
-                vals.iter().zip(rows.iter_mut().zip(geo.iter_mut().map(|gg| &mut gg[i])))
-            {
-                match v {
-                    Some(x) => {
-                        g.push(*x);
-                        row.push(format!("{x:.2}"));
-                    }
-                    None => row.push("n/a".into()),
-                }
-            }
-        }
-        for (view, row) in views.iter_mut().zip(rows) {
-            view.1.push(row);
-        }
-    }
-    for (vi, (title, mut rows)) in views.into_iter().enumerate() {
-        let mut geo_row = vec!["Geomean".to_string()];
-        for g in &geo[vi] {
-            geo_row.push(format!("{:.2}", table::geomean(g)));
-        }
-        rows.push(geo_row);
-        println!("{title}\n");
-        println!("{}", table::render(&headers, &rows));
-    }
-    println!("paper rows for SmartExchange:");
-    println!("  Fig. 10: 6.7 3.4 2.3 2.0 5.0 3.3 5.2 (geomean 3.7)");
-    println!("  Fig. 11: baselines at 1.1x-3.5x of SmartExchange");
-    println!("  Fig. 12: 9.7 14.5 15.7 8.8 19.2 13.7 12.6 (geomean 13.0)");
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("accel_comparison")
 }

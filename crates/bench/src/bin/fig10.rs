@@ -1,55 +1,6 @@
-//! Fig. 10: normalized energy efficiency (over DianNao) of the five
-//! accelerators on seven DNN models and three datasets.
-//!
-//! Paper's SmartExchange series: 6.7 / 3.4 / 2.3 / 2.0 / 5.0 / 3.3 / 5.2,
-//! geometric mean 3.7× over DianNao (and 2.0×–6.7× over the best
-//! baseline per model).
+//! Deprecated shim: forwards to `se fig10` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::runner::{compare_models, ACCEL_NAMES};
-use se_bench::{table, Result};
-use se_hw::{EnergyModel, SeAcceleratorConfig};
-use se_models::zoo;
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let opts = flags.runner_options()?;
-    let models: Vec<_> = zoo::accelerator_benchmark_models()
-        .into_iter()
-        .filter(|m| flags.selects(m.name()))
-        .collect();
-    eprintln!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
-    let comparisons = compare_models(&models, &opts)?;
-
-    let em = EnergyModel::default();
-    let cfg = SeAcceleratorConfig::default();
-    println!("Fig. 10: normalized energy efficiency (over DianNao)\n");
-    let mut rows = Vec::new();
-    let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for cmp in &comparisons {
-        let e = cmp.energies_mj(&em, &cfg);
-        let base = e[0].expect("DianNao runs everything");
-        let mut row = vec![cmp.model.clone()];
-        for (i, v) in e.iter().enumerate() {
-            match v {
-                Some(energy) => {
-                    let eff = base / energy;
-                    per_accel[i].push(eff);
-                    row.push(format!("{eff:.2}"));
-                }
-                None => row.push("n/a".to_string()),
-            }
-        }
-        rows.push(row);
-    }
-    let mut geo_row = vec!["Geomean".to_string()];
-    for effs in &per_accel {
-        geo_row.push(format!("{:.2}", table::geomean(effs)));
-    }
-    rows.push(geo_row);
-    let headers: Vec<&str> = std::iter::once("model").chain(ACCEL_NAMES).collect();
-    println!("{}", table::render(&headers, &rows));
-    println!("paper SmartExchange row: 6.7 3.4 2.3 2.0 5.0 3.3 5.2 (geomean 3.7)");
-    println!("shape checks: SmartExchange highest on every model; DianNao = 1.0.");
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("fig10")
 }

@@ -1,52 +1,6 @@
-//! Fig. 11: normalized number of DRAM accesses (over the SmartExchange
-//! accelerator) for the five accelerators on seven models.
-//!
-//! Paper's range: the baselines need 1.1×–3.5× the DRAM accesses of
-//! SmartExchange (geometric means 1.8 / 1.6 / 1.8 / 2.0 for DianNao /
-//! SCNN / Cambricon-X / Bit-pragmatic).
+//! Deprecated shim: forwards to `se fig11` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::runner::{compare_models, ACCEL_NAMES};
-use se_bench::{table, Result};
-use se_models::zoo;
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let opts = flags.runner_options()?;
-    let models: Vec<_> = zoo::accelerator_benchmark_models()
-        .into_iter()
-        .filter(|m| flags.selects(m.name()))
-        .collect();
-    eprintln!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
-    let comparisons = compare_models(&models, &opts)?;
-
-    println!("Fig. 11: normalized DRAM accesses (over SmartExchange)\n");
-    let mut rows = Vec::new();
-    let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for cmp in &comparisons {
-        let d = cmp.dram_bytes();
-        let se = d[4].expect("SE runs everything") as f64;
-        let mut row = vec![cmp.model.clone()];
-        for (i, v) in d.iter().enumerate() {
-            match v {
-                Some(bytes) => {
-                    let norm = *bytes as f64 / se;
-                    per_accel[i].push(norm);
-                    row.push(format!("{norm:.2}"));
-                }
-                None => row.push("n/a".to_string()),
-            }
-        }
-        rows.push(row);
-    }
-    let mut geo_row = vec!["Geomean".to_string()];
-    for xs in &per_accel {
-        geo_row.push(format!("{:.2}", table::geomean(xs)));
-    }
-    rows.push(geo_row);
-    let headers: Vec<&str> = std::iter::once("model").chain(ACCEL_NAMES).collect();
-    println!("{}", table::render(&headers, &rows));
-    println!("paper: baselines at 1.1x-3.5x of SmartExchange; SmartExchange = 1.0.");
-    println!("shape check: every baseline >= 1.0 on every model.");
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("fig11")
 }

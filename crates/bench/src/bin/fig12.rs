@@ -1,52 +1,6 @@
-//! Fig. 12: normalized speedup (over DianNao) of the five accelerators on
-//! seven models, batch size 1.
-//!
-//! Paper's SmartExchange series: 9.7 / 14.5 / 15.7 / 8.8 / 19.2 / 13.7 /
-//! 12.6 (geometric mean 13.0×), with average advantages of 3.8× / 2.5× /
-//! 2.0× over SCNN / Cambricon-X / Bit-pragmatic.
+//! Deprecated shim: forwards to `se fig12` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::runner::{compare_models, ACCEL_NAMES};
-use se_bench::{table, Result};
-use se_models::zoo;
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let opts = flags.runner_options()?;
-    let models: Vec<_> = zoo::accelerator_benchmark_models()
-        .into_iter()
-        .filter(|m| flags.selects(m.name()))
-        .collect();
-    eprintln!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
-    let comparisons = compare_models(&models, &opts)?;
-
-    println!("Fig. 12: normalized speedup (over DianNao), batch 1\n");
-    let mut rows = Vec::new();
-    let mut per_accel: Vec<Vec<f64>> = vec![Vec::new(); 5];
-    for cmp in &comparisons {
-        let c = cmp.cycles();
-        let base = c[0].expect("DianNao runs everything") as f64;
-        let mut row = vec![cmp.model.clone()];
-        for (i, v) in c.iter().enumerate() {
-            match v {
-                Some(cycles) => {
-                    let speedup = base / *cycles as f64;
-                    per_accel[i].push(speedup);
-                    row.push(format!("{speedup:.2}"));
-                }
-                None => row.push("n/a".to_string()),
-            }
-        }
-        rows.push(row);
-    }
-    let mut geo_row = vec!["Geomean".to_string()];
-    for xs in &per_accel {
-        geo_row.push(format!("{:.2}", table::geomean(xs)));
-    }
-    rows.push(geo_row);
-    let headers: Vec<&str> = std::iter::once("model").chain(ACCEL_NAMES).collect();
-    println!("{}", table::render(&headers, &rows));
-    println!("paper SmartExchange row: 9.7 14.5 15.7 8.8 19.2 13.7 12.6 (geomean 13.0)");
-    println!("shape checks: SmartExchange fastest everywhere; DianNao = 1.0.");
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("fig12")
 }

@@ -1,61 +1,6 @@
-//! Fig. 4: bit-level sparsity in activations, with and without 4-bit Booth
-//! encoding, for six models on three datasets.
-//!
-//! Paper series — w/o Booth: 86.5 / 85.2 / 79.8 / 86.8 / 84.1 / 86.7 %,
-//! w/ 4-bit Booth: 76.6 / 73.9 / 66.0 / 76.9 / 73.0 / 76.1 % for
-//! VGG11, ResNet50, MBV2 (ImageNet), VGG19, ResNet164 (CIFAR-10),
-//! DeepLabV3+ (CamVid).
+//! Deprecated shim: forwards to `se fig4` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::{table, Result};
-use se_models::{activations, zoo};
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    // Fig. 4's six models (EfficientNet-B0 is not in this figure).
-    let models = [
-        zoo::vgg11(),
-        zoo::resnet50(),
-        zoo::mobilenet_v2(),
-        zoo::vgg19_cifar(),
-        zoo::resnet164(),
-        zoo::deeplab_v3plus(),
-    ];
-    let paper_plain = [86.5, 85.2, 79.8, 86.8, 84.1, 86.7];
-    let paper_booth = [76.6, 73.9, 66.0, 76.9, 73.0, 76.1];
-
-    println!("Fig. 4: bit-level activation sparsity (8-bit activations)\n");
-    let mut rows = Vec::new();
-    for (i, net) in models.iter().enumerate() {
-        if !flags.selects(net.name()) {
-            continue;
-        }
-        let s = activations::network_bit_sparsity(net, flags.seed)?;
-        rows.push(vec![
-            net.name().to_string(),
-            format!("{}", net.dataset()),
-            format!("{:.1}%", s.plain * 100.0),
-            format!("{:.1}%", paper_plain[i]),
-            format!("{:.1}%", s.booth * 100.0),
-            format!("{:.1}%", paper_booth[i]),
-            format!("{:.1}%", s.element * 100.0),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &[
-                "model",
-                "dataset",
-                "w/o Booth (ours)",
-                "w/o Booth (paper)",
-                "w/ Booth (ours)",
-                "w/ Booth (paper)",
-                "element sparsity",
-            ],
-            &rows,
-        )
-    );
-    println!("Shape checks: plain > Booth for every model; both in the paper's band.");
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("fig4")
 }

@@ -1,55 +1,6 @@
-//! Section III-C post-processing experiment: applying the SmartExchange
-//! algorithm to a pre-trained VGG19 on CIFAR-10 *without re-training*.
-//!
-//! Paper: ~30 seconds end-to-end, >10× compression, 3.21% accuracy drop
-//! (θ = 4e-3, tol = 1e-10, 30 iterations max). Accuracy requires CIFAR-10
-//! training (gated); the reconstruction-error column stands in as the
-//! fidelity measure, and `fig8` covers accuracy on the synthetic task.
+//! Deprecated shim: forwards to `se post_processing` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::{table, Result};
-use se_core::{network, SeConfig, VectorSparsity};
-use se_ir::storage;
-use se_models::{weights, zoo};
-use std::time::Instant;
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let net = zoo::vgg19_cifar();
-    let cfg = SeConfig::default()
-        .with_max_iterations(if flags.fast { 8 } else { 30 })?
-        .with_vector_sparsity(VectorSparsity::RelativeThreshold(0.4))?;
-
-    println!("Section III-C: SmartExchange as post-processing on VGG19/CIFAR-10\n");
-    let start = Instant::now();
-    let descs: Vec<_> = net.layers().to_vec();
-    let reports = network::compress_network_reports(&descs, &cfg, |d| {
-        Ok(weights::synthetic_weights(net.name(), d, flags.seed)
-            .expect("synthetic weights are infallible"))
-    })?;
-    let elapsed = start.elapsed();
-
-    let mut total = storage::SeStorage::default();
-    let mut params = 0u64;
-    let mut err = 0f64;
-    for r in &reports {
-        total.accumulate(&r.storage);
-        params += r.params;
-        err += f64::from(r.recon_error) * r.params as f64;
-    }
-    let rows = vec![
-        vec!["runtime (s)".to_string(), format!("{:.1}", elapsed.as_secs_f64()), "~30".into()],
-        vec![
-            "compression rate".to_string(),
-            format!("{:.1}x", storage::compression_rate(params, &total)),
-            ">10x".into(),
-        ],
-        vec![
-            "mean relative reconstruction error".to_string(),
-            format!("{:.3}", err / params as f64),
-            "(3.21% accuracy drop)".into(),
-        ],
-    ];
-    println!("{}", table::render(&["metric", "ours", "paper"], &rows));
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("post_processing")
 }

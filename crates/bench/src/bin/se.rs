@@ -1,0 +1,7 @@
+//! The unified SmartExchange experiment CLI: every paper table/figure as a
+//! subcommand plus trace-artifact management. `se help` lists everything;
+//! the full reference is `docs/CLI.md`.
+
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::main()
+}

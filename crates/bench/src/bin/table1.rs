@@ -1,38 +1,6 @@
-//! Table I: unit energy cost per 8-bit extracted from a commercial 28 nm
-//! technology — the premise motivating SmartExchange (memory access costs
-//! ≥ 9.5× the corresponding MAC computation).
+//! Deprecated shim: forwards to `se table1` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::table;
-use se_hw::EnergyModel;
-
-fn main() {
-    let m = EnergyModel::default();
-    println!("Table I: unit energy cost per 8-bit (pJ), 28 nm commercial technology\n");
-    let rows = vec![
-        vec!["DRAM".to_string(), format!("{:.3}", m.dram_pj_per_byte)],
-        vec![
-            "SRAM (2 KB - 64 KB macro)".to_string(),
-            format!("{:.2} - {:.2}", m.sram_min_pj_per_byte, m.sram_max_pj_per_byte),
-        ],
-        vec!["MAC".to_string(), format!("{:.3}", m.mac_pj)],
-        vec!["multiplier".to_string(), format!("{:.3}", m.mult_pj)],
-        vec!["adder".to_string(), format!("{:.3}", m.add_pj)],
-    ];
-    println!("{}", table::render(&["component", "pJ / 8-bit"], &rows));
-
-    println!("Derived units used by the simulators (recorded assumptions, DESIGN.md):");
-    let rows = vec![
-        vec!["register file (per byte)".to_string(), format!("{:.3}", m.rf_pj_per_byte)],
-        vec!["RE shift-and-add".to_string(), format!("{:.3}", m.shift_add_pj)],
-        vec!["bit-serial digit-cycle".to_string(), format!("{:.3}", m.bit_serial_cycle_pj)],
-        vec!["index-selector compare".to_string(), format!("{:.4}", m.index_compare_pj)],
-        vec!["idle lane-cycle".to_string(), format!("{:.5}", m.lane_idle_pj)],
-    ];
-    println!("{}", table::render(&["component", "pJ"], &rows));
-
-    let ratio = m.dram_pj_per_byte / m.sram_pj_per_byte(16.0);
-    println!(
-        "DRAM / SRAM(16KB) ratio: {ratio:.1}x  (paper: >= 9.5x vs MAC: {:.1}x)",
-        m.dram_pj_per_byte / m.mac_pj
-    );
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("table1")
 }

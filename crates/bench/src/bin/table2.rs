@@ -1,153 +1,6 @@
-//! Table II: SmartExchange with re-training — compression rate (CR),
-//! compressed parameter size, basis/coefficient split, and sparsity for
-//! VGG11, ResNet50 (×2 sparsity points), VGG19 (×2), ResNet164 (×2),
-//! MLP-1, and MLP-2.
-//!
-//! Storage/CR columns are computed on the full-size architectures with
-//! synthetic weights (see DESIGN.md for the substitution); the paper's
-//! accuracy columns require ImageNet/CIFAR training and are reported as
-//! paper values for reference, with synthetic-task accuracy deltas covered
-//! by the `fig8` experiment.
+//! Deprecated shim: forwards to `se table2` on the unified CLI (docs/CLI.md),
+//! keeping existing scripts working with byte-identical stdout.
 
-use se_bench::args::Flags;
-use se_bench::{table, Result};
-use se_core::{network, SeConfig, VectorSparsity};
-use se_ir::{storage, NetworkDesc};
-use se_models::{weights, zoo};
-
-struct Row {
-    model: &'static str,
-    paper_cr: &'static str,
-    paper_param: &'static str,
-    paper_spar: &'static str,
-    net: NetworkDesc,
-    sparsity_target: Option<f32>,
-}
-
-fn main() -> Result<()> {
-    let flags = Flags::parse();
-    let entries = vec![
-        Row {
-            model: "VGG11",
-            paper_cr: "47.04",
-            paper_param: "17.98",
-            paper_spar: "86.0",
-            net: zoo::vgg11(),
-            sparsity_target: None, // natural 86%
-        },
-        Row {
-            model: "ResNet50",
-            paper_cr: "11.53",
-            paper_param: "8.88",
-            paper_spar: "45.0",
-            net: zoo::resnet50(),
-            sparsity_target: Some(0.45),
-        },
-        Row {
-            model: "ResNet50",
-            paper_cr: "14.24",
-            paper_param: "7.19",
-            paper_spar: "58.6",
-            net: zoo::resnet50(),
-            sparsity_target: Some(0.586),
-        },
-        Row {
-            model: "VGG19",
-            paper_cr: "80.94",
-            paper_param: "0.99",
-            paper_spar: "93.7",
-            net: zoo::vgg19_cifar(),
-            sparsity_target: None, // natural 93%
-        },
-        Row {
-            model: "ResNet164",
-            paper_cr: "10.55",
-            paper_param: "0.64",
-            paper_spar: "61.0",
-            net: zoo::resnet164(),
-            sparsity_target: Some(0.61),
-        },
-        Row {
-            model: "MLP-1",
-            paper_cr: "130",
-            paper_param: "0.11",
-            paper_spar: "82.3",
-            net: zoo::mlp1(),
-            sparsity_target: None,
-        },
-        Row {
-            model: "MLP-2",
-            paper_cr: "45.03",
-            paper_param: "0.024",
-            paper_spar: "93.3",
-            net: zoo::mlp2(),
-            sparsity_target: None,
-        },
-    ];
-
-    println!("Table II: SmartExchange compression on the benchmark networks\n");
-    let iterations = if flags.fast { 4 } else { 8 };
-    let mut rows = Vec::new();
-    for entry in &entries {
-        if !flags.selects(entry.net.name()) {
-            continue;
-        }
-        eprintln!("  compressing {} ...", entry.model);
-        let se_cfg = match entry.sparsity_target {
-            Some(sp) => SeConfig::default()
-                .with_max_iterations(iterations)?
-                .with_vector_sparsity(VectorSparsity::KeepFraction(1.0 - sp))?,
-            None => SeConfig::default()
-                .with_max_iterations(iterations)?
-                .with_vector_sparsity(VectorSparsity::RelativeThreshold(0.4))?,
-        };
-        let descs: Vec<_> = entry.net.layers().to_vec();
-        let reports = network::compress_network_reports(&descs, &se_cfg, |d| {
-            Ok(weights::synthetic_weights(entry.net.name(), d, flags.seed)
-                .expect("synthetic weights are infallible"))
-        })?;
-        let mut total = storage::SeStorage::default();
-        let mut params = 0u64;
-        let mut pruned = 0f64;
-        for r in &reports {
-            total.accumulate(&r.storage);
-            params += r.params;
-            pruned += f64::from(r.vector_sparsity) * r.params as f64;
-        }
-        let cr = storage::compression_rate(params, &total);
-        rows.push(vec![
-            entry.model.to_string(),
-            format!("{cr:.2}"),
-            entry.paper_cr.to_string(),
-            format!("{:.2}", total.total_megabytes()),
-            entry.paper_param.to_string(),
-            format!("{:.2}", total.basis_megabytes()),
-            format!("{:.2}", total.ce_megabytes()),
-            format!("{:.1}%", pruned / params as f64 * 100.0),
-            format!("{}%", entry.paper_spar),
-        ]);
-    }
-    println!(
-        "{}",
-        table::render(
-            &[
-                "model",
-                "CR (ours)",
-                "CR (paper)",
-                "Param MB (ours)",
-                "(paper)",
-                "B MB",
-                "Ce MB",
-                "Spar (ours)",
-                "(paper)",
-            ],
-            &rows,
-        )
-    );
-    println!(
-        "accuracy columns: gated on ImageNet/CIFAR training — see fig8 for the\n\
-         synthetic-task accuracy-vs-compression trade-off and EXPERIMENTS.md\n\
-         for the paper's reported accuracies."
-    );
-    Ok(())
+fn main() -> se_bench::Result<()> {
+    se_bench::cli::deprecated_shim("table2")
 }

@@ -1,0 +1,95 @@
+//! Fig. 14: SmartExchange energy breakdown and latency on ResNet50 at four
+//! vector-wise weight sparsity ratios (45.0 / 51.7 / 57.5 / 60.0 %).
+//!
+//! Each sparsity point regenerates the model's weights at that sparsity
+//! (keeping the paper's channel/vector structure, so input-activation
+//! skipping scales with the sweep) and re-compresses them — the sweep
+//! deliberately bypasses the trace cache, since every point uses different
+//! weights.
+//!
+//! Paper: raising sparsity from 45% to 60% cuts input DRAM+GB energy by
+//! 18.33% and latency by 41.83%; normalized energy-efficiency/speedup
+//! improve 1.00/1.00 → 1.16/1.42.
+
+use crate::args::Flags;
+use crate::{table, Result};
+use se_core::{layer as se_layer, SeConfig, VectorSparsity};
+use se_hw::sim::SeAccelerator;
+use se_hw::{Accelerator, EnergyModel, RunResult, SeAcceleratorConfig};
+use se_ir::{LayerTrace, QuantTensor, WeightData};
+use se_models::{activations, weights, zoo};
+use std::io::Write;
+
+/// Runs the sparsity sweep.
+///
+/// # Errors
+///
+/// Propagates compression, simulation, and I/O failures.
+pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let net = zoo::resnet50();
+    let em = EnergyModel::default();
+    let mut hw_cfg = SeAcceleratorConfig::default();
+    if flags.fast {
+        hw_cfg.row_sample = 4;
+    }
+    let accel = SeAccelerator::new(hw_cfg.clone())?;
+
+    let ratios = [0.45f32, 0.517, 0.575, 0.60];
+    writeln!(out, "Fig. 14: ResNet50 vs vector-wise weight sparsity\n")?;
+    let mut rows = Vec::new();
+    let mut base: Option<(f64, f64)> = None;
+    for &sp in &ratios {
+        eprintln!("  sparsity {:.1}%...", sp * 100.0);
+        // Near-zero rows of the regenerated weights are what the relative
+        // threshold prunes, so the Ce sparsity tracks the weight sparsity.
+        let se_cfg = SeConfig::default()
+            .with_max_iterations(6)?
+            .with_vector_sparsity(VectorSparsity::RelativeThreshold(0.4))?;
+        let mut run = RunResult::default();
+        for (li, desc) in net.layers().iter().enumerate() {
+            if !desc.kind().is_conv_like() {
+                continue;
+            }
+            let w = weights::synthetic_weights_with_sparsity(net.name(), desc, flags.seed, sp)?;
+            let parts = se_layer::compress_layer(desc, &w, &se_cfg)?;
+            let act = activations::synthetic_activation(&net, li, flags.seed)?;
+            let qa = QuantTensor::quantize(&act, 8)?;
+            let trace = LayerTrace::new(desc.clone(), WeightData::Se(parts), qa)?;
+            run.layers.push(accel.process_layer(&trace)?);
+        }
+        let e = run.energy(&em, &hw_cfg);
+        let energy_mj = e.total() * 1e-9;
+        let latency_ms = run.latency_ms(&hw_cfg);
+        let input_energy = (e.dram_input + e.input_gb_read + e.input_gb_write) * 1e-9;
+        let (e0, l0) = *base.get_or_insert((energy_mj, latency_ms));
+        rows.push(vec![
+            format!("{:.1}%", sp * 100.0),
+            format!("{energy_mj:.3}"),
+            format!("{input_energy:.3}"),
+            format!("{latency_ms:.3}"),
+            format!("{:.2}", e0 / energy_mj),
+            format!("{:.2}", l0 / latency_ms),
+        ]);
+    }
+    writeln!(
+        out,
+        "{}",
+        table::render(
+            &[
+                "sparsity",
+                "energy (mJ)",
+                "input DRAM+GB (mJ)",
+                "latency (ms)",
+                "norm. energy eff",
+                "norm. speedup",
+            ],
+            &rows,
+        )
+    )?;
+    writeln!(
+        out,
+        "paper: input DRAM+GB energy -18.3%, latency -41.8% from 45% to 60% sparsity;\n\
+         normalized energy efficiency / speedup reach 1.16 / 1.42."
+    )?;
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Fig. 9: evolution of the SmartExchange decomposition on one weight
+//! matrix `W ∈ R^{192×3}` from the second CONV layer of the second block of
+//! ResNet164 (CIFAR-10): reconstruction error, `‖B − I‖`, and `Ce` sparsity
+//! per iteration.
+
+use crate::args::Flags;
+use crate::{table, Result};
+use se_core::{algorithm, SeConfig, VectorSparsity};
+use se_models::{weights, zoo};
+use se_tensor::Mat;
+use std::io::Write;
+
+/// Runs the figure (`--seed`/`--fast` do not apply: the paper fixes one
+/// dense matrix and a 20-iteration trace).
+///
+/// # Errors
+///
+/// Propagates decomposition and I/O failures.
+pub fn run(_flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let net = zoo::resnet164();
+    // Second block of stage 1: its middle (3x3) conv. Layers are
+    // [conv1, block1(conv2,conv3,conv4,proj5), block2(conv6,conv7,conv8)...]
+    // so the second block's 3x3 conv is "conv7".
+    let desc = net.layers().iter().find(|l| l.name() == "conv7").expect("ResNet164 has conv7");
+    // Fig. 9 decomposes a *dense* trained matrix (the evolution shows
+    // sparsity being discovered); bypass the zoo's natural pre-pruning by
+    // seeding plain Kaiming weights for this layer.
+    let mut r = se_tensor::rng::seeded(weights::layer_seed(net.name(), desc.name(), 0));
+    let w_full = se_tensor::rng::kaiming_tensor(&mut r, &desc.weight_shape(), 16 * 9);
+    // One filter's reshaped (C*R, S) = (48, 3) matrix... the paper slices a
+    // 192x3 matrix; we take four filters' worth of rows to match 192x3.
+    let s = 3usize;
+    let rows = 192usize;
+    let data: Vec<f32> = w_full.data()[..rows * s].to_vec();
+    let w = Mat::from_vec(data, rows, s)?;
+
+    // The paper tunes the hard threshold per layer; synthetic Kaiming
+    // weights sit at a different scale than trained ResNet164 weights, so
+    // the threshold is chosen relative to the weight RMS to land in the
+    // same ~25–30% sparsity band Fig. 9 shows.
+    let rms = (w.data().iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>() / w.len() as f64)
+        .sqrt() as f32;
+    let cfg = SeConfig::default()
+        .with_max_iterations(20)?
+        .with_vector_sparsity(VectorSparsity::Threshold(0.35 * rms))?
+        .with_quantize_basis(false);
+    let (dec, trace) = algorithm::decompose_traced(&w, &cfg)?;
+
+    writeln!(out, "Fig. 9: SmartExchange evolution on W (192x3) from ResNet164 (CIFAR-10)\n")?;
+    let rows: Vec<Vec<String>> = trace
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.iteration.to_string(),
+                format!("{:.4}", r.recon_error),
+                format!("{:.4}", r.basis_identity_dist),
+                format!("{:.1}%", r.ce_sparsity * 100.0),
+                format!("{:.1}%", r.ce_row_sparsity * 100.0),
+                format!("{:.3e}", r.quant_delta),
+            ]
+        })
+        .collect();
+    writeln!(
+        out,
+        "{}",
+        table::render(
+            &["iter", "|W-CeB|/|W|", "|B-I|/|I|", "Ce sparsity", "row sparsity", "|delta(Ce)|"],
+            &rows,
+        )
+    )?;
+
+    let final_err = dec.reconstruction_error(&w)?;
+    writeln!(out, "final reconstruction error after re-quantize + re-fit: {final_err:.4}")?;
+    writeln!(
+        out,
+        "paper shape: sparsity rises early at the cost of an error spike,\n\
+         the fitting then remedies the error while sparsity is maintained,\n\
+         and B drifts away from its identity initialisation."
+    )?;
+    Ok(())
+}

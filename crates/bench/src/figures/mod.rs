@@ -1,0 +1,24 @@
+//! Implementations of the paper's tables and figures, one module per
+//! experiment — the bodies behind the `se` subcommands (`se_bench::cli`)
+//! and the deprecated standalone binaries.
+//!
+//! Every experiment is a `run(flags, out)` function writing its tables to
+//! an arbitrary sink, which is what lets tests assert cached (`--traces-dir`)
+//! and direct runs produce byte-identical output.
+
+pub mod ablation;
+pub mod compare;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig4;
+pub mod fig8;
+pub mod fig9;
+pub mod postproc;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod trace;

@@ -1,0 +1,47 @@
+//! Table I: unit energy cost per 8-bit extracted from a commercial 28 nm
+//! technology — the premise motivating SmartExchange (memory access costs
+//! ≥ 9.5× the corresponding MAC computation).
+
+use crate::args::Flags;
+use crate::{table, Result};
+use se_hw::EnergyModel;
+use std::io::Write;
+
+/// Runs the table (flags do not apply: the energy model is static).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn run(_flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let m = EnergyModel::default();
+    writeln!(out, "Table I: unit energy cost per 8-bit (pJ), 28 nm commercial technology\n")?;
+    let rows = vec![
+        vec!["DRAM".to_string(), format!("{:.3}", m.dram_pj_per_byte)],
+        vec![
+            "SRAM (2 KB - 64 KB macro)".to_string(),
+            format!("{:.2} - {:.2}", m.sram_min_pj_per_byte, m.sram_max_pj_per_byte),
+        ],
+        vec!["MAC".to_string(), format!("{:.3}", m.mac_pj)],
+        vec!["multiplier".to_string(), format!("{:.3}", m.mult_pj)],
+        vec!["adder".to_string(), format!("{:.3}", m.add_pj)],
+    ];
+    writeln!(out, "{}", table::render(&["component", "pJ / 8-bit"], &rows))?;
+
+    writeln!(out, "Derived units used by the simulators (recorded assumptions, DESIGN.md):")?;
+    let rows = vec![
+        vec!["register file (per byte)".to_string(), format!("{:.3}", m.rf_pj_per_byte)],
+        vec!["RE shift-and-add".to_string(), format!("{:.3}", m.shift_add_pj)],
+        vec!["bit-serial digit-cycle".to_string(), format!("{:.3}", m.bit_serial_cycle_pj)],
+        vec!["index-selector compare".to_string(), format!("{:.4}", m.index_compare_pj)],
+        vec!["idle lane-cycle".to_string(), format!("{:.5}", m.lane_idle_pj)],
+    ];
+    writeln!(out, "{}", table::render(&["component", "pJ"], &rows))?;
+
+    let ratio = m.dram_pj_per_byte / m.sram_pj_per_byte(16.0);
+    writeln!(
+        out,
+        "DRAM / SRAM(16KB) ratio: {ratio:.1}x  (paper: >= 9.5x vs MAC: {:.1}x)",
+        m.dram_pj_per_byte / m.mac_pj
+    )?;
+    Ok(())
+}

@@ -1,0 +1,122 @@
+//! `se trace` — build and inspect persisted trace artifacts.
+//!
+//! `se trace build --traces-dir DIR [--models a,b] [--seed N] [--with-fc]`
+//! compresses each selected benchmark model once and persists its trace
+//! pairs (`*.setrace`, format in `docs/TRACE_FORMAT.md`); every subsequent
+//! `--traces-dir` subcommand replays the artifacts bit-identically instead
+//! of regenerating the decompositions. `se trace info --traces-dir DIR`
+//! lists what a directory holds.
+
+use crate::args::Flags;
+use crate::{cli, table, Result};
+use se_models::traces::{self, TRACE_FILE_EXT};
+use std::io::Write;
+
+/// Dispatches the `trace` subcommand's action (`build` or `info`).
+///
+/// # Errors
+///
+/// Fails without a valid action or `--traces-dir`, and propagates build
+/// and I/O failures.
+pub fn run(rest: &[String], flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    // The action is the first positional argument after `trace`, in any
+    // position relative to flags (values of value-taking flags are not
+    // positionals: `se trace --traces-dir d build` must find `build`).
+    const VALUE_FLAGS: [&str; 4] = ["--seed", "--models", "--sim-parallelism", "--traces-dir"];
+    let mut action = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            iter.next(); // skip the flag's value
+        } else if !arg.starts_with("--") {
+            action = Some(arg.as_str());
+            break;
+        }
+    }
+    match action {
+        Some("build") => build(flags, out),
+        Some("info") => info(flags, out),
+        other => Err(format!(
+            "usage: se trace <build|info> --traces-dir DIR (got {:?}); see docs/CLI.md",
+            other.unwrap_or("no action")
+        )
+        .into()),
+    }
+}
+
+fn traces_dir(flags: &Flags) -> Result<&std::path::Path> {
+    flags
+        .traces_dir
+        .as_deref()
+        .ok_or_else(|| "se trace requires --traces-dir DIR (see docs/CLI.md)".into())
+}
+
+/// `se trace build`: generates and persists trace artifacts for the
+/// selected models under the exact options the figure subcommands use
+/// (`--with-fc` additionally covers the Fig. 13(b) all-layers protocol).
+fn build(flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let dir = traces_dir(flags)?;
+    let mut opts = flags.runner_options()?.traces;
+    if flags.with_fc {
+        opts = opts.with_fc_layers();
+    }
+    let models = cli::selected_models(flags);
+    if models.is_empty() {
+        return Err("no models selected (check --models)".into());
+    }
+    let mut rows = Vec::new();
+    for net in &models {
+        eprintln!("  building traces for {} (with_fc={})...", net.name(), flags.with_fc);
+        let (path, pairs) = traces::build_trace_file(net, &opts, dir)?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        rows.push(vec![
+            net.name().to_string(),
+            pairs.to_string(),
+            format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string(),
+        ]);
+    }
+    writeln!(out, "trace artifacts built in {}\n", dir.display())?;
+    writeln!(out, "{}", table::render(&["model", "pairs", "MB", "file"], &rows))?;
+    writeln!(
+        out,
+        "replay with any trace-consuming subcommand, e.g.\n  \
+         se fig10 --traces-dir {} {}",
+        dir.display(),
+        if flags.fast { "--fast" } else { "" }
+    )?;
+    Ok(())
+}
+
+/// `se trace info`: decodes every artifact in the directory and tabulates
+/// its contents.
+fn info(flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let dir = traces_dir(flags)?;
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(TRACE_FILE_EXT))
+        .collect();
+    paths.sort();
+    writeln!(out, "trace artifacts in {}\n", dir.display())?;
+    let mut rows = Vec::new();
+    for path in &paths {
+        let file = traces::read_trace_file(path)?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let with_fc = file.pairs.iter().any(|p| !p.dense.desc().kind().is_conv_like());
+        rows.push(vec![
+            file.net_name,
+            format!("{:016x}", file.digest),
+            file.pairs.len().to_string(),
+            if with_fc { "yes" } else { "no" }.to_string(),
+            format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string(),
+        ]);
+    }
+    writeln!(
+        out,
+        "{}",
+        table::render(&["model", "options digest", "pairs", "FC", "MB", "file"], &rows)
+    )?;
+    Ok(())
+}

@@ -1,14 +1,20 @@
-//! Experiment harness shared by the per-table / per-figure binaries.
+//! Experiment harness behind the unified `se` CLI.
 //!
-//! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md's experiment index); this library holds the pieces
-//! they share: the five-accelerator comparison runner, text-table
-//! formatting, and a tiny CLI-flag reader.
+//! The `se` binary regenerates the paper's tables and figures as
+//! subcommands (`se fig10`, `se table2`, …; reference in `docs/CLI.md`);
+//! each experiment lives in [`figures`], dispatched by [`cli`]. The old
+//! per-figure binaries under `src/bin/` remain as deprecated shims that
+//! forward here. The library also holds the shared pieces: the
+//! five-accelerator comparison runner (with `--traces-dir` replay of
+//! persisted trace artifacts), text-table formatting, and the CLI-flag
+//! reader.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod args;
+pub mod cli;
+pub mod figures;
 pub mod runner;
 pub mod table;
 

@@ -39,6 +39,7 @@ use se_hw::sim::SeAccelerator;
 use se_hw::{Accelerator, EnergyModel, HwError, LayerResult, RunResult, SeAcceleratorConfig};
 use se_ir::NetworkDesc;
 use se_models::traces::{TraceOptions, TracePair, TraceStream, MAX_BATCH_PAIRS};
+use std::path::Path;
 
 /// Names of the five accelerators in presentation order.
 pub const ACCEL_NAMES: [&str; 5] =
@@ -320,6 +321,65 @@ pub fn run_se_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<RunResult
     Ok(run)
 }
 
+/// Runs pre-generated trace pairs through the SmartExchange accelerator
+/// alone — [`run_se_model`] without the trace-generation half; results are
+/// bit-identical to it on the same pairs.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_se_pairs(pairs: &[TracePair], opts: &RunnerOptions) -> Result<RunResult> {
+    let se = SeAccelerator::new(opts.se_cfg.clone())?;
+    let layers = pipeline::try_run_ordered(pairs, opts.sim_parallelism, |_, pair| {
+        se.process_layer(&pair.se)
+    })?;
+    Ok(RunResult { layers })
+}
+
+/// [`compare_model`] with an optional persisted-trace cache: when
+/// `traces_dir` holds an artifact for this network and these trace options
+/// (built by `se trace build`; see `se_models::traces`), the expensive
+/// decompositions are replayed from disk instead of regenerated. Cached
+/// and direct runs are **bit-identical** — traces round-trip exactly and
+/// the simulation grid is a pure function of the pairs (enforced by
+/// tests). A cache miss falls back to the streaming path untouched.
+///
+/// # Errors
+///
+/// Propagates trace-generation/load failures and unexpected simulator
+/// errors (a corrupt or mismatched artifact is an error, not a miss).
+pub fn compare_model_cached(
+    net: &NetworkDesc,
+    opts: &RunnerOptions,
+    traces_dir: Option<&Path>,
+) -> Result<ModelComparison> {
+    if let Some(dir) = traces_dir {
+        if let Some(pairs) = se_models::traces::cached_trace_pairs(net, &opts.traces, dir)? {
+            return compare_pairs(net.name(), &pairs, opts);
+        }
+    }
+    compare_model(net, opts)
+}
+
+/// [`run_se_model`] with the optional persisted-trace cache of
+/// [`compare_model_cached`] (same hit/miss and bit-identity semantics).
+///
+/// # Errors
+///
+/// Propagates trace-generation/load and simulator failures.
+pub fn run_se_model_cached(
+    net: &NetworkDesc,
+    opts: &RunnerOptions,
+    traces_dir: Option<&Path>,
+) -> Result<RunResult> {
+    if let Some(dir) = traces_dir {
+        if let Some(pairs) = se_models::traces::cached_trace_pairs(net, &opts.traces, dir)? {
+            return run_se_pairs(&pairs, opts);
+        }
+    }
+    run_se_model(net, opts)
+}
+
 /// Runs a set of models through all five accelerators.
 ///
 /// # Errors
@@ -331,10 +391,25 @@ pub fn compare_models(
     models: &[NetworkDesc],
     opts: &RunnerOptions,
 ) -> Result<Vec<ModelComparison>> {
+    compare_models_cached(models, opts, None)
+}
+
+/// [`compare_models`] with the optional persisted-trace cache of
+/// [`compare_model_cached`].
+///
+/// # Errors
+///
+/// Propagates the first model failure, naming the failing model.
+pub fn compare_models_cached(
+    models: &[NetworkDesc],
+    opts: &RunnerOptions,
+    traces_dir: Option<&Path>,
+) -> Result<Vec<ModelComparison>> {
     models
         .iter()
         .map(|m| {
-            compare_model(m, opts).map_err(|e| format!("model {} failed: {e}", m.name()).into())
+            compare_model_cached(m, opts, traces_dir)
+                .map_err(|e| format!("model {} failed: {e}", m.name()).into())
         })
         .collect()
 }
@@ -447,6 +522,30 @@ mod tests {
         let cmp = compare_model(&net, &opts).unwrap();
         let se_only = run_se_model(&net, &opts).unwrap();
         assert_eq!(cmp.runs[4].as_ref().unwrap(), &se_only);
+    }
+
+    #[test]
+    fn cached_runs_are_bit_identical_to_direct_runs() {
+        let net = multi_geometry();
+        let opts = RunnerOptions::default().with_parallelism(2).unwrap();
+        let dir = std::env::temp_dir().join(format!("se-runner-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold cache: falls back to the streaming path.
+        let direct = compare_model(&net, &opts).unwrap();
+        let cold = compare_model_cached(&net, &opts, Some(&dir)).unwrap();
+        assert_eq!(direct.runs, cold.runs);
+
+        // Warm cache: write → read → re-simulate must be bit-identical.
+        se_models::traces::build_trace_file(&net, &opts.traces, &dir).unwrap();
+        let warm = compare_model_cached(&net, &opts, Some(&dir)).unwrap();
+        assert_eq!(direct.runs, warm.runs);
+
+        let se_direct = run_se_model(&net, &opts).unwrap();
+        let se_warm = run_se_model_cached(&net, &opts, Some(&dir)).unwrap();
+        assert_eq!(se_direct, se_warm);
+        assert_eq!(&se_warm, warm.runs[4].as_ref().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

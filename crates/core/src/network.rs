@@ -78,6 +78,75 @@ impl CompressedNetwork {
         self.reports.iter().map(|r| f64::from(r.recon_error) * r.params as f64).sum::<f64>()
             / total as f64
     }
+
+    /// Serializes the compressed network to the versioned binary format of
+    /// [`se_ir::serialize`] (payload kind `CompressedNetwork`; layout in
+    /// `docs/TRACE_FORMAT.md`). `Ce` matrices are stored as compact
+    /// power-of-2 codes, so the file is within a small factor of the
+    /// paper's CR accounting rather than FP32 size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ir`] if a field exceeds its layout width.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        use se_ir::serialize as ser;
+        let mut w = ser::ByteWriter::new();
+        ser::write_header(&mut w, ser::PayloadKind::CompressedNetwork);
+        let layers = u32::try_from(self.parts.len())
+            .map_err(|_| CoreError::InvalidConfig { reason: "more than u32::MAX layers".into() })?;
+        w.put_u32(layers);
+        for (parts, report) in self.parts.iter().zip(&self.reports) {
+            w.put_str(&report.name).map_err(CoreError::from)?;
+            w.put_u64(report.params);
+            w.put_u64(report.storage.ce_bits);
+            w.put_u64(report.storage.basis_bits);
+            w.put_u64(report.storage.index_bits);
+            w.put_f32(report.vector_sparsity);
+            w.put_f32(report.recon_error);
+            w.put_u32(parts.len() as u32);
+            for part in parts {
+                ser::write_se_layer(&mut w, part).map_err(CoreError::from)?;
+            }
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Deserializes a compressed network written by
+    /// [`CompressedNetwork::to_bytes`]; the round trip is bit-identical
+    /// (every `f32`, every report field).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Ir`] on malformed bytes (bad magic, version or
+    /// payload-kind mismatch, truncation, or failed re-validation).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        use se_ir::serialize as ser;
+        let mut r = ser::ByteReader::new(bytes);
+        ser::expect_header(&mut r, ser::PayloadKind::CompressedNetwork).map_err(CoreError::from)?;
+        let layers = r.get_u32().map_err(CoreError::from)? as usize;
+        let mut parts = Vec::with_capacity(layers.min(r.remaining()));
+        let mut reports = Vec::with_capacity(layers.min(r.remaining()));
+        for _ in 0..layers {
+            let name = r.get_str().map_err(CoreError::from)?;
+            let params = r.get_u64().map_err(CoreError::from)?;
+            let storage = storage::SeStorage {
+                ce_bits: r.get_u64().map_err(CoreError::from)?,
+                basis_bits: r.get_u64().map_err(CoreError::from)?,
+                index_bits: r.get_u64().map_err(CoreError::from)?,
+            };
+            let vector_sparsity = r.get_f32().map_err(CoreError::from)?;
+            let recon_error = r.get_f32().map_err(CoreError::from)?;
+            let n = r.get_u32().map_err(CoreError::from)? as usize;
+            let mut layer_parts = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                layer_parts.push(ser::read_se_layer(&mut r).map_err(CoreError::from)?);
+            }
+            parts.push(layer_parts);
+            reports.push(LayerReport { name, params, storage, vector_sparsity, recon_error });
+        }
+        r.expect_end().map_err(CoreError::from)?;
+        Ok(CompressedNetwork { parts, reports })
+    }
 }
 
 /// Compresses one layer and produces its report alongside the parts.
@@ -255,6 +324,21 @@ mod tests {
         layers[1].1 = Tensor::zeros(&[3, 3]); // wrong shape
         let err = compress_network(&layers, &cfg()).unwrap_err();
         assert!(err.to_string().contains("fc"), "error was {err}");
+    }
+
+    #[test]
+    fn serialized_roundtrip_is_bit_identical() {
+        let net = compress_network(&small_net(), &cfg()).unwrap();
+        let bytes = net.to_bytes().unwrap();
+        let back = CompressedNetwork::from_bytes(&bytes).unwrap();
+        assert_eq!(net, back);
+        // Parts decode to working SE layers.
+        assert_eq!(back.parts[0][0].reconstruct_weights().unwrap().shape(), &[8, 3, 3, 3]);
+        // Wrong payload kind and corrupt headers are rejected.
+        assert!(CompressedNetwork::from_bytes(&bytes[..10]).is_err());
+        let mut wrong = bytes.clone();
+        wrong[6] = 1; // TraceSet tag
+        assert!(CompressedNetwork::from_bytes(&wrong).is_err());
     }
 
     #[test]

@@ -43,7 +43,8 @@
 //! sampled under `row_sample`, the input row each kernel row reads, the
 //! `(f0, nf)` output-pixel groups, and the slice-fold width — is a pure
 //! function of the layer geometry and the accelerator configuration. It is
-//! captured in a [`Schedule`], memoized per [`crate::schedule::ScheduleKey`]
+//! captured in a `Schedule` (private to this module), memoized per
+//! [`crate::schedule::ScheduleKey`]
 //! in a per-run [`crate::schedule::ScheduleCache`], and shared across
 //! layers with identical shapes (ResNet164 repeats each bottleneck geometry
 //! 18× per stage). Only the data-dependent terms — zero activation rows,

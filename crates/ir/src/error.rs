@@ -23,6 +23,12 @@ pub enum IrError {
     },
     /// An underlying tensor operation failed.
     Tensor(se_tensor::TensorError),
+    /// Serialized bytes were malformed (bad magic, unsupported version,
+    /// truncation, unknown tag, or trailing garbage).
+    Serialize {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
 }
 
 impl fmt::Display for IrError {
@@ -32,6 +38,7 @@ impl fmt::Display for IrError {
             IrError::InvalidPo2 { reason } => write!(f, "invalid power-of-2 data: {reason}"),
             IrError::LayoutMismatch { reason } => write!(f, "layout mismatch: {reason}"),
             IrError::Tensor(e) => write!(f, "tensor error: {e}"),
+            IrError::Serialize { reason } => write!(f, "serialization error: {reason}"),
         }
     }
 }

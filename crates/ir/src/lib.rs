@@ -14,7 +14,9 @@
 //! * [`storage`] — bit-exact storage/compression-rate accounting
 //!   (the CR definition of Section III-C);
 //! * [`LayerTrace`] — the per-layer record (geometry + weights +
-//!   activations) that the cycle-accurate simulators consume.
+//!   activations) that the cycle-accurate simulators consume;
+//! * [`serialize`] — the versioned binary codec behind the persisted
+//!   trace artifacts (`docs/TRACE_FORMAT.md`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +30,7 @@ mod se_format;
 mod trace;
 
 pub mod booth;
+pub mod serialize;
 pub mod storage;
 
 pub use error::IrError;

@@ -61,6 +61,45 @@ impl QuantTensor {
         Ok(QuantTensor { shape: t.shape().to_vec(), data, scale, bits })
     }
 
+    /// Reassembles a tensor from its raw parts — the exact inverse of
+    /// reading back [`QuantTensor::shape`], [`QuantTensor::data`],
+    /// [`QuantTensor::scale`], and [`QuantTensor::bits`] — used by the
+    /// on-disk codec (`se_ir::serialize`) for bit-identical round trips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidDescriptor`] if `bits` is outside `2..=8`,
+    /// the data length does not match the shape volume, a code exceeds the
+    /// `bits`-bit signed range, or the scale is not finite and positive.
+    pub fn from_parts(shape: Vec<usize>, data: Vec<i8>, scale: f32, bits: u32) -> Result<Self> {
+        if !(2..=8).contains(&bits) {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!("quantization bits must be in 2..=8, got {bits}"),
+            });
+        }
+        let volume: usize = shape.iter().product();
+        if data.len() != volume {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!(
+                    "{} codes cannot form a tensor of shape {shape:?} ({volume} elements)",
+                    data.len()
+                ),
+            });
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!("scale {scale} must be finite and positive"),
+            });
+        }
+        let qmax = ((1i32 << (bits - 1)) - 1) as i8;
+        if let Some(&q) = data.iter().find(|&&q| q > qmax || q < -qmax) {
+            return Err(IrError::InvalidDescriptor {
+                reason: format!("code {q} exceeds the {bits}-bit signed range ±{qmax}"),
+            });
+        }
+        Ok(QuantTensor { shape, data, scale, bits })
+    }
+
     /// The tensor shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape

@@ -17,6 +17,14 @@ pub enum ModelError {
     Nn(se_nn::NnError),
     /// An underlying compression operation failed.
     Core(se_core::CoreError),
+    /// A trace-artifact file could not be read or written.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The rendered `std::io::Error` (kept as a string so the error
+        /// type stays `Clone + PartialEq`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -27,6 +35,7 @@ impl fmt::Display for ModelError {
             ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
             ModelError::Nn(e) => write!(f, "nn error: {e}"),
             ModelError::Core(e) => write!(f, "compression error: {e}"),
+            ModelError::Io { path, reason } => write!(f, "io error on {path}: {reason}"),
         }
     }
 }
@@ -39,6 +48,7 @@ impl std::error::Error for ModelError {
             ModelError::Tensor(e) => Some(e),
             ModelError::Nn(e) => Some(e),
             ModelError::Core(e) => Some(e),
+            ModelError::Io { .. } => None,
         }
     }
 }
