@@ -48,6 +48,10 @@ impl Accelerator for CambriconX {
         "Cambricon-X"
     }
 
+    fn dram_bytes_per_cycle(&self) -> f64 {
+        self.cfg.dram_bytes_per_cycle
+    }
+
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
         let s = dense_stats_cached(&self.geometry, trace)?;
 
@@ -152,6 +156,19 @@ mod tests {
         assert!(sparse.compute_cycles < dense.compute_cycles);
         assert!(sparse.mem.dram_weight_bytes < dense.mem.dram_weight_bytes);
         assert!(sparse.mem.dram_index_bytes > 0);
+    }
+
+    #[test]
+    fn dense_batch_accounting_amortizes_weight_fetch() {
+        let cx = CambriconX::default();
+        let t = trace_with_sparsity(0.5, 2);
+        let one = cx.process_layer(&t).unwrap();
+        assert_eq!(cx.process_batch(&t, 1).unwrap(), one);
+        let b = cx.process_batch(&t, 4).unwrap();
+        assert_eq!(b.mem.dram_weight_bytes, one.mem.dram_weight_bytes);
+        assert_eq!(b.mem.dram_index_bytes, one.mem.dram_index_bytes);
+        assert_eq!(b.mem.dram_input_bytes, 4 * one.mem.dram_input_bytes);
+        assert_eq!(b.compute_cycles, 4 * one.compute_cycles);
     }
 
     #[test]

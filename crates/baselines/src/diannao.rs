@@ -40,6 +40,10 @@ impl Accelerator for DianNao {
         "DianNao"
     }
 
+    fn dram_bytes_per_cycle(&self) -> f64 {
+        self.cfg.dram_bytes_per_cycle
+    }
+
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
         let s = dense_stats_cached(&self.geometry, trace)?;
         let mults = self.cfg.multipliers as u64;
@@ -120,6 +124,21 @@ mod tests {
         let r = DianNao::default().process_layer(&t).unwrap();
         assert_eq!(r.mem.dram_weight_bytes, 8 * 4 * 9);
         assert_eq!(r.mem.dram_index_bytes, 0);
+    }
+
+    #[test]
+    fn dense_batch_accounting_amortizes_weight_fetch() {
+        let t = trace(8, 16, 16, 4);
+        let d = DianNao::default();
+        let one = d.process_layer(&t).unwrap();
+        assert_eq!(d.process_batch(&t, 1).unwrap(), one);
+        let b = d.process_batch(&t, 8).unwrap();
+        // Dense weights fetched once per batch; activations per image.
+        assert_eq!(b.mem.dram_weight_bytes, one.mem.dram_weight_bytes);
+        assert_eq!(b.mem.dram_input_bytes, 8 * one.mem.dram_input_bytes);
+        assert_eq!(b.ops.macs, 8 * one.ops.macs);
+        assert_eq!(b.compute_cycles, 8 * one.compute_cycles);
+        assert!(b.mem.dram_total_bytes() < 8 * one.mem.dram_total_bytes());
     }
 
     #[test]

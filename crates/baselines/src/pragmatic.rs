@@ -54,6 +54,10 @@ impl Accelerator for BitPragmatic {
         "Bit-pragmatic"
     }
 
+    fn dram_bytes_per_cycle(&self) -> f64 {
+        self.engine.dram_bytes_per_cycle()
+    }
+
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
         if !matches!(trace.weights(), WeightData::Dense(_)) {
             return Err(HwError::UnsupportedTrace {
@@ -96,6 +100,18 @@ mod tests {
         assert!(r.compute_cycles > 0);
         assert_eq!(r.ops.rebuild_shift_adds, 0);
         assert_eq!(r.mem.dram_weight_bytes, 8 * 4 * 9);
+    }
+
+    #[test]
+    fn dense_batch_accounting_amortizes_weight_fetch() {
+        let bp = BitPragmatic::default();
+        let t = trace(1.0, 4);
+        let one = bp.process_layer(&t).unwrap();
+        assert_eq!(bp.process_batch(&t, 1).unwrap(), one);
+        let b = bp.process_batch(&t, 4).unwrap();
+        assert_eq!(b.mem.dram_weight_bytes, one.mem.dram_weight_bytes);
+        assert_eq!(b.mem.dram_input_bytes, 4 * one.mem.dram_input_bytes);
+        assert_eq!(b.ops.pe_lane_cycles, 4 * one.ops.pe_lane_cycles);
     }
 
     #[test]

@@ -47,6 +47,10 @@ impl Accelerator for Scnn {
         "SCNN"
     }
 
+    fn dram_bytes_per_cycle(&self) -> f64 {
+        self.cfg.dram_bytes_per_cycle
+    }
+
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
         match trace.desc().kind() {
             LayerKind::Linear { .. } | LayerKind::SqueezeExcite { .. } => {
@@ -170,6 +174,20 @@ mod tests {
         let dense = scnn.process_layer(&trace(1.0, 1.0, 2)).unwrap();
         let sparse = scnn.process_layer(&trace(1.0, 0.3, 2)).unwrap();
         assert!(sparse.mem.dram_input_bytes < dense.mem.dram_input_bytes);
+    }
+
+    #[test]
+    fn dense_batch_accounting_amortizes_weight_fetch() {
+        let scnn = Scnn::default();
+        let t = trace(0.6, 0.5, 3);
+        let one = scnn.process_layer(&t).unwrap();
+        assert_eq!(scnn.process_batch(&t, 1).unwrap(), one);
+        let b = scnn.process_batch(&t, 4).unwrap();
+        // Compressed weights and their coordinates fetched once per batch.
+        assert_eq!(b.mem.dram_weight_bytes, one.mem.dram_weight_bytes);
+        assert_eq!(b.mem.dram_index_bytes, one.mem.dram_index_bytes);
+        assert_eq!(b.mem.dram_input_bytes, 4 * one.mem.dram_input_bytes);
+        assert_eq!(b.ops.macs, 4 * one.ops.macs);
     }
 
     #[test]

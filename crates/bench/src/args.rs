@@ -28,7 +28,48 @@ pub struct Flags {
     /// `--with-fc`: include FC layers in the generated traces (the
     /// Fig. 13(b) protocol) — consumed by `se trace build`.
     pub with_fc: bool,
+    /// `--batch-sizes 1,4,16`: batch sizes swept by `se batch`.
+    pub batch_sizes: Option<Vec<usize>>,
+    /// `--max-batch N`: maximum images per batch for `se serve`'s
+    /// aggregator.
+    pub max_batch: Option<usize>,
+    /// `--max-wait-us F`: maximum microseconds the oldest queued request
+    /// waits before `se serve`'s aggregator closes the batch short.
+    pub max_wait_us: Option<f64>,
+    /// `--arrival uniform|burst|closed`: `se serve` workload shape.
+    pub arrival: Option<String>,
+    /// `--requests N`: total requests issued by the `se serve` workload.
+    pub requests: Option<usize>,
+    /// `--rate F`: open-loop arrival rate in requests per second (default:
+    /// derived from the model's single-image service rate).
+    pub rate: Option<f64>,
+    /// `--queue-cap N`: bounded request-queue capacity for `se serve`.
+    pub queue_cap: Option<usize>,
+    /// `--concurrency N`: closed-loop clients for `--arrival closed`.
+    pub concurrency: Option<usize>,
+    /// `--burst N`: requests per burst for `--arrival burst`.
+    pub burst: Option<usize>,
 }
+
+/// Every flag that consumes the next argument as its value — the single
+/// inventory shared by the parser below (a flag not listed here
+/// structurally cannot take a value) and by `se trace`'s positional-action
+/// scan, which must skip flag values when looking for `build`/`info`.
+pub const VALUE_FLAGS: &[&str] = &[
+    "--seed",
+    "--models",
+    "--sim-parallelism",
+    "--traces-dir",
+    "--batch-sizes",
+    "--max-batch",
+    "--max-wait-us",
+    "--arrival",
+    "--requests",
+    "--rate",
+    "--burst",
+    "--queue-cap",
+    "--concurrency",
+];
 
 impl Flags {
     /// Parses flags from `std::env::args`, ignoring unknown arguments.
@@ -43,31 +84,55 @@ impl Flags {
         let mut flags = Flags::default();
         let mut i = 0;
         while i < args.len() {
-            match args[i].as_str() {
-                "--fast" => flags.fast = true,
-                "--seed" if i + 1 < args.len() => {
-                    flags.seed = args[i + 1].parse().unwrap_or(0);
+            let arg = args[i].as_str();
+            if VALUE_FLAGS.contains(&arg) {
+                // A value flag with no value left is ignored, like any
+                // unknown argument.
+                if let Some(value) = args.get(i + 1) {
+                    flags.apply_value(arg, value);
                     i += 1;
                 }
-                "--models" if i + 1 < args.len() => {
-                    flags.models =
-                        Some(args[i + 1].split(',').map(|s| s.trim().to_string()).collect());
-                    i += 1;
+            } else {
+                match arg {
+                    "--fast" => flags.fast = true,
+                    "--with-fc" => flags.with_fc = true,
+                    _ => {}
                 }
-                "--sim-parallelism" if i + 1 < args.len() => {
-                    flags.sim_parallelism = args[i + 1].parse().ok().filter(|&n| n >= 1);
-                    i += 1;
-                }
-                "--traces-dir" if i + 1 < args.len() => {
-                    flags.traces_dir = Some(std::path::PathBuf::from(&args[i + 1]));
-                    i += 1;
-                }
-                "--with-fc" => flags.with_fc = true,
-                _ => {}
             }
             i += 1;
         }
         flags
+    }
+
+    /// Applies one value-taking flag (listed in [`VALUE_FLAGS`]) to the
+    /// parsed set; degenerate values (zero sizes, negative rates,
+    /// non-numerics) leave the field at its default.
+    fn apply_value(&mut self, flag: &str, value: &str) {
+        match flag {
+            "--seed" => self.seed = value.parse().unwrap_or(0),
+            "--models" => {
+                self.models = Some(value.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--sim-parallelism" => self.sim_parallelism = value.parse().ok().filter(|&n| n >= 1),
+            "--traces-dir" => self.traces_dir = Some(std::path::PathBuf::from(value)),
+            "--batch-sizes" => {
+                let sizes: Vec<usize> = value
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .filter(|&n| n >= 1)
+                    .collect();
+                self.batch_sizes = Some(sizes).filter(|v| !v.is_empty());
+            }
+            "--max-batch" => self.max_batch = value.parse().ok().filter(|&n| n >= 1),
+            "--max-wait-us" => self.max_wait_us = value.parse().ok().filter(|&w: &f64| w >= 0.0),
+            "--arrival" => self.arrival = Some(value.to_string()),
+            "--requests" => self.requests = value.parse().ok().filter(|&n| n >= 1),
+            "--rate" => self.rate = value.parse().ok().filter(|&r: &f64| r > 0.0),
+            "--queue-cap" => self.queue_cap = value.parse().ok().filter(|&n| n >= 1),
+            "--concurrency" => self.concurrency = value.parse().ok().filter(|&n| n >= 1),
+            "--burst" => self.burst = value.parse().ok().filter(|&n| n >= 1),
+            other => unreachable!("VALUE_FLAGS entry {other} not handled"),
+        }
     }
 
     /// Whether `name` is selected by `--models` (everything is when the
@@ -136,6 +201,43 @@ mod tests {
         let f = parse(&["--traces-dir"]); // missing value: ignored
         assert!(f.traces_dir.is_none());
         assert!(!f.with_fc);
+    }
+
+    #[test]
+    fn serving_flags_parse_and_reject_degenerates() {
+        let f = parse(&[
+            "--batch-sizes",
+            "1,4,16",
+            "--max-batch",
+            "8",
+            "--max-wait-us",
+            "25.5",
+            "--arrival",
+            "burst",
+            "--burst",
+            "4",
+            "--requests",
+            "100",
+            "--rate",
+            "5000",
+            "--queue-cap",
+            "32",
+            "--concurrency",
+            "6",
+        ]);
+        assert_eq!(f.batch_sizes, Some(vec![1, 4, 16]));
+        assert_eq!(f.max_batch, Some(8));
+        assert_eq!(f.max_wait_us, Some(25.5));
+        assert_eq!(f.arrival.as_deref(), Some("burst"));
+        assert_eq!(f.burst, Some(4));
+        assert_eq!(f.requests, Some(100));
+        assert_eq!(f.rate, Some(5000.0));
+        assert_eq!(f.queue_cap, Some(32));
+        assert_eq!(f.concurrency, Some(6));
+        assert_eq!(parse(&["--batch-sizes", "a,b"]).batch_sizes, None);
+        assert_eq!(parse(&["--max-batch", "0"]).max_batch, None);
+        assert_eq!(parse(&["--rate", "-1"]).rate, None);
+        assert_eq!(parse(&["--queue-cap"]).queue_cap, None);
     }
 
     #[test]

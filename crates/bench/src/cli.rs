@@ -1,12 +1,12 @@
 //! The unified `se` command-line interface.
 //!
-//! One binary subsumes the fifteen per-figure/per-table experiment
-//! binaries as subcommands on the shared [`Flags`] flag
-//! surface (`se fig10`, `se table2`, `se compare`, …) and adds trace
-//! artifact management (`se trace build` / `se trace info`). The old
-//! binaries still exist as thin deprecated shims that forward here via
-//! [`deprecated_shim`], so scripts keep working; the full subcommand and
-//! flag reference lives in `docs/CLI.md`.
+//! One binary hosts every experiment as a subcommand on the shared
+//! [`Flags`] flag surface (`se fig10`, `se table2`, `se compare`, …),
+//! trace artifact management (`se trace build` / `se trace info`), and the
+//! serving subsystem (`se batch`, `se serve`). The old standalone
+//! per-figure binaries went through a deprecation window as forwarding
+//! shims and have been removed; the full subcommand and flag reference
+//! lives in `docs/CLI.md`.
 //!
 //! This module also hosts the output boilerplate the per-figure binaries
 //! used to duplicate: model selection ([`selected_models`]), the
@@ -21,7 +21,7 @@ use se_models::zoo;
 use std::io::Write;
 
 /// Subcommand inventory: `(canonical name, aliases, one-line summary)`.
-/// Aliases keep the old binary names working through the shims.
+/// Aliases keep the old standalone-binary names working as subcommands.
 pub const SUBCOMMANDS: &[(&str, &[&str], &str)] = &[
     ("table1", &[], "Table I: unit energy costs (28 nm) behind the simulators"),
     ("table2", &[], "Table II: compression rate / storage split on the benchmark networks"),
@@ -39,6 +39,8 @@ pub const SUBCOMMANDS: &[(&str, &[&str], &str)] = &[
     ("ablation", &["ablation_components", "ablation-components"], "Section V-B component ablation"),
     ("postproc", &["post_processing", "post-processing"], "Section III-C post-processing on VGG19"),
     ("trace", &[], "build/inspect persisted trace artifacts (se trace build|info)"),
+    ("batch", &[], "batch-size sweep: weight-fetch amortization per image"),
+    ("serve", &[], "request-driven batched serving simulation (queue + aggregator)"),
 ];
 
 /// Resolves a user-supplied subcommand name (alias-aware) to its canonical
@@ -65,8 +67,18 @@ pub fn usage() -> String {
          --seed N             base seed for synthetic weights/activations (default 0)\n  \
          --models a,b,c       restrict to a subset of model names\n  \
          --sim-parallelism N  worker threads for the simulation grid (bit-identical)\n  \
-         --traces-dir DIR     replay persisted trace artifacts (se trace build)\n  \
+         --traces-dir DIR     replay persisted trace/compression artifacts (se trace build)\n  \
          --with-fc            include FC layers when building traces\n\n\
+         SERVING FLAGS (se batch / se serve):\n  \
+         --batch-sizes 1,4,16 batch sizes swept by se batch\n  \
+         --max-batch N        aggregator batch-size cap (default 8)\n  \
+         --max-wait-us F      aggregator max wait for the oldest request (default 50)\n  \
+         --arrival KIND       uniform | burst | closed (default uniform)\n  \
+         --requests N         total requests in the workload (default 256)\n  \
+         --rate F             open-loop arrival rate in req/s (default: 1.5x service rate)\n  \
+         --burst N            requests per burst for --arrival burst\n  \
+         --queue-cap N        bounded request-queue capacity (default 256)\n  \
+         --concurrency N      clients for --arrival closed (default 2x max batch)\n\n\
          ENVIRONMENT:\n  \
          SE_PARALLELISM       default worker count for all parallel stages\n",
     );
@@ -129,24 +141,10 @@ pub fn run_subcommand(name: &str, rest: &[String], out: &mut dyn Write) -> Resul
         "ablation" => figures::ablation::run(&flags, out),
         "postproc" => figures::postproc::run(&flags, out),
         "trace" => figures::trace::run(rest, &flags, out),
+        "batch" => figures::batch::run(&flags, out),
+        "serve" => figures::serve::run(&flags, out),
         _ => unreachable!("canonical() only returns inventory names"),
     }
-}
-
-/// Forwards a deprecated per-figure binary to its `se` subcommand with the
-/// process's own arguments, printing a deprecation note on stderr (stdout
-/// stays byte-identical to `se <name>`).
-///
-/// # Errors
-///
-/// Propagates the subcommand's failure.
-pub fn deprecated_shim(name: &str) -> Result<()> {
-    eprintln!(
-        "note: the standalone `{name}` binary is deprecated; use `se {name}` \
-         (cargo run --release -p se-bench --bin se -- {name}). See docs/CLI.md."
-    );
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    run_subcommand(name, &args, &mut std::io::stdout().lock())
 }
 
 /// The accelerator-comparison model set (Figs. 10–13) restricted by

@@ -7,6 +7,7 @@
 //! and direct runs produce byte-identical output.
 
 pub mod ablation;
+pub mod batch;
 pub mod compare;
 pub mod fig10;
 pub mod fig11;
@@ -18,6 +19,7 @@ pub mod fig4;
 pub mod fig8;
 pub mod fig9;
 pub mod postproc;
+pub mod serve;
 pub mod table1;
 pub mod table2;
 pub mod table3;

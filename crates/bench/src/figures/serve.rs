@@ -1,0 +1,168 @@
+//! `se serve` — the request-driven serving simulation: a bounded request
+//! queue with a batch aggregator (max-batch-size + max-wait policies) in
+//! front of the SmartExchange accelerator, driven by a synthetic arrival
+//! workload (uniform / burst / closed-loop).
+//!
+//! The model is simulated once per image (replaying `--traces-dir`
+//! artifacts when present); batch execution times come from `se_serve`'s
+//! weight-fetch-amortized accounting, and the queue runs as a serial
+//! discrete-event loop — so the whole report is **bit-identical for every
+//! worker count** given the same flags (the determinism contract of
+//! `docs/SERVING.md`).
+
+use crate::args::Flags;
+use crate::figures::batch::pairs_for;
+use crate::{cli, table, Result};
+use se_hw::{EnergyModel, SeAcceleratorConfig};
+use se_ir::NetworkDesc;
+use se_serve::queue::{self, BatchPolicy};
+use se_serve::workload::{self, ArrivalPattern};
+use se_serve::{BatchEngine, SE_LANE};
+use std::io::Write;
+
+/// The serving scenario derived from the common flags.
+#[derive(Debug, Clone, PartialEq)]
+struct Scenario {
+    policy: BatchPolicy,
+    requests: usize,
+    /// `None` = closed loop with `concurrency` clients.
+    open_loop: Option<ArrivalPattern>,
+    /// Absolute arrival rate; `None` derives 1.5× the model's single-image
+    /// service rate (enough pressure to form batches, deterministic).
+    rate_hz: Option<f64>,
+    concurrency: usize,
+}
+
+fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
+    let max_batch = flags.max_batch.unwrap_or(8);
+    let max_wait_us = flags.max_wait_us.unwrap_or(50.0);
+    let policy = BatchPolicy {
+        max_batch,
+        max_wait: (max_wait_us * 1e-6 * frequency_hz).round() as u64,
+        queue_cap: flags.queue_cap.unwrap_or(256),
+    };
+    policy.validate()?;
+    let open_loop = match flags.arrival.as_deref().unwrap_or("uniform") {
+        "uniform" => Some(ArrivalPattern::Uniform),
+        "burst" => Some(ArrivalPattern::Burst { size: flags.burst.unwrap_or(max_batch) }),
+        "closed" | "closed-loop" => None,
+        other => {
+            return Err(format!(
+                "unknown arrival pattern `{other}` (expected uniform|burst|closed)"
+            )
+            .into())
+        }
+    };
+    Ok(Scenario {
+        policy,
+        requests: flags.requests.unwrap_or(256),
+        open_loop,
+        rate_hz: flags.rate,
+        concurrency: flags.concurrency.unwrap_or(2 * max_batch),
+    })
+}
+
+/// Runs the serving simulation on the selected benchmark models.
+///
+/// # Errors
+///
+/// Propagates trace, simulation, policy, and I/O failures.
+pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    run_with_models(flags, &cli::selected_models(flags), out)
+}
+
+/// [`run`] on an explicit model set (the testable core: bit-identity
+/// across worker counts is asserted on small networks).
+///
+/// # Errors
+///
+/// Propagates trace, simulation, policy, and I/O failures.
+pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Write) -> Result<()> {
+    let opts = flags.runner_options()?;
+    let freq = SeAcceleratorConfig::default().frequency_hz;
+    let sc = scenario(flags, freq)?;
+    let em = EnergyModel::default();
+    let ecfg = SeAcceleratorConfig::default();
+    writeln!(out, "se serve: batched serving on the SmartExchange accelerator\n")?;
+    writeln!(
+        out,
+        "policy: max batch {}, max wait {} cycles, queue cap {}; {} requests, {}",
+        sc.policy.max_batch,
+        sc.policy.max_wait,
+        sc.policy.queue_cap,
+        sc.requests,
+        match sc.open_loop {
+            Some(ArrivalPattern::Uniform) => "uniform arrivals".to_string(),
+            Some(ArrivalPattern::Burst { size }) => format!("bursts of {size}"),
+            None => format!("closed loop x{}", sc.concurrency),
+        }
+    )?;
+    writeln!(out)?;
+
+    for net in models {
+        eprintln!("  serving {}...", net.name());
+        let pairs = pairs_for(net, flags, &opts)?;
+        let engine = BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())?;
+        let per_image = engine.per_image_se(&pairs, opts.sim_parallelism)?;
+        let exec = engine.latency_table(SE_LANE, &per_image, sc.policy.max_batch);
+
+        let report = match sc.open_loop {
+            Some(pattern) => {
+                // Default pressure: 1.5x the single-image service rate —
+                // enough to keep the aggregator busy without unbounded
+                // queueing at sane max-batch settings.
+                let rate = sc.rate_hz.unwrap_or_else(|| 1.5 * freq / exec[0] as f64);
+                let arrivals = workload::open_loop_arrivals(sc.requests, rate, freq, pattern)?;
+                queue::simulate_open_loop(&arrivals, &exec, &sc.policy)?
+            }
+            None => queue::simulate_closed_loop(sc.requests, sc.concurrency, &exec, &sc.policy)?,
+        };
+
+        // Energy and weight-traffic totals from the executed batch mix.
+        let hist = report.batch_histogram(sc.policy.max_batch);
+        let mut energy_mj = 0.0;
+        let mut weight_dram = 0.0;
+        for (k, &count) in hist.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let b = engine.batched(SE_LANE, &per_image, k + 1);
+            let m = b.mem_totals();
+            energy_mj += count as f64 * b.energy_mj(&em, &ecfg);
+            weight_dram += count as f64 * (m.dram_weight_bytes + m.dram_index_bytes) as f64;
+        }
+        let completed = report.completed().max(1) as f64;
+        let ms = |cycles: f64| cycles / freq * 1e3;
+
+        let rows = vec![
+            vec!["completed".into(), report.completed().to_string()],
+            vec!["rejected".into(), report.rejected.to_string()],
+            vec!["batches".into(), report.batch_sizes.len().to_string()],
+            vec!["mean batch".into(), format!("{:.2}", report.mean_batch())],
+            vec!["throughput img/s".into(), format!("{:.1}", report.throughput_per_s(freq))],
+            vec!["latency mean ms".into(), format!("{:.4}", ms(report.mean_latency()))],
+            vec![
+                "latency p50 ms".into(),
+                format!("{:.4}", ms(report.latency_percentile(50.0) as f64)),
+            ],
+            vec![
+                "latency p95 ms".into(),
+                format!("{:.4}", ms(report.latency_percentile(95.0) as f64)),
+            ],
+            vec![
+                "latency max ms".into(),
+                format!("{:.4}", ms(report.latency_percentile(100.0) as f64)),
+            ],
+            vec!["energy mJ/img".into(), format!("{:.4}", energy_mj / completed)],
+            vec!["wgt DRAM B/img".into(), format!("{:.1}", weight_dram / completed)],
+        ];
+        writeln!(out, "{}", net.name())?;
+        writeln!(out, "{}", table::render(&["metric", "value"], &rows))?;
+    }
+    writeln!(
+        out,
+        "determinism: output is bit-identical for any worker count\n\
+         (SE_PARALLELISM / --sim-parallelism) given the same flags."
+    )?;
+    Ok(())
+}

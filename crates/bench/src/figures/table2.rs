@@ -11,9 +11,9 @@
 
 use crate::args::Flags;
 use crate::{table, Result};
-use se_core::{network, SeConfig, VectorSparsity};
+use se_core::{SeConfig, VectorSparsity};
 use se_ir::{storage, NetworkDesc};
-use se_models::{weights, zoo};
+use se_models::{artifacts, zoo};
 use std::io::Write;
 
 struct Row {
@@ -106,11 +106,16 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
                 .with_max_iterations(iterations)?
                 .with_vector_sparsity(VectorSparsity::RelativeThreshold(0.4))?,
         };
-        let descs: Vec<_> = entry.net.layers().to_vec();
-        let reports = network::compress_network_reports(&descs, &se_cfg, |d| {
-            Ok(weights::synthetic_weights(entry.net.name(), d, flags.seed)
-                .expect("synthetic weights are infallible"))
-        })?;
+        // `--traces-dir` replays (or populates) the persisted
+        // `CompressedNetwork` artifact for this configuration; without it
+        // the streaming report-only path runs as before. Reports are
+        // bit-identical either way.
+        let reports = artifacts::network_reports_cached(
+            &entry.net,
+            &se_cfg,
+            flags.seed,
+            flags.traces_dir.as_deref(),
+        )?;
         let mut total = storage::SeStorage::default();
         let mut params = 0u64;
         let mut pruned = 0f64;

@@ -5,9 +5,9 @@
 
 use crate::args::Flags;
 use crate::{table, Result};
-use se_core::{network, SeConfig, VectorSparsity};
+use se_core::{SeConfig, VectorSparsity};
 use se_ir::storage;
-use se_models::{weights, zoo};
+use se_models::{artifacts, zoo};
 use std::io::Write;
 
 /// Runs the table.
@@ -29,11 +29,15 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
             continue;
         }
         eprintln!("  compressing {} ...", net.name());
-        let descs: Vec<_> = net.layers().to_vec();
-        let reports = network::compress_network_reports(&descs, &se_cfg, |d| {
-            Ok(weights::synthetic_weights(net.name(), d, flags.seed)
-                .expect("synthetic weights are infallible"))
-        })?;
+        // Replays (or populates) the persisted `CompressedNetwork`
+        // artifact when `--traces-dir` is given; reports are bit-identical
+        // to the direct streaming path.
+        let reports = artifacts::network_reports_cached(
+            net,
+            &se_cfg,
+            flags.seed,
+            flags.traces_dir.as_deref(),
+        )?;
         let mut total = storage::SeStorage::default();
         let mut params = 0u64;
         let mut pruned = 0f64;

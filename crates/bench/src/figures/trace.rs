@@ -9,6 +9,7 @@
 
 use crate::args::Flags;
 use crate::{cli, table, Result};
+use se_models::artifacts::{self, NETWORK_FILE_EXT};
 use se_models::traces::{self, TRACE_FILE_EXT};
 use std::io::Write;
 
@@ -22,11 +23,12 @@ pub fn run(rest: &[String], flags: &Flags, out: &mut dyn Write) -> Result<()> {
     // The action is the first positional argument after `trace`, in any
     // position relative to flags (values of value-taking flags are not
     // positionals: `se trace --traces-dir d build` must find `build`).
-    const VALUE_FLAGS: [&str; 4] = ["--seed", "--models", "--sim-parallelism", "--traces-dir"];
+    // The value-flag inventory is the parser's own (`args::VALUE_FLAGS`),
+    // so the two can never drift apart.
     let mut action = None;
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
-        if VALUE_FLAGS.contains(&arg.as_str()) {
+        if crate::args::VALUE_FLAGS.contains(&arg.as_str()) {
             iter.next(); // skip the flag's value
         } else if !arg.starts_with("--") {
             action = Some(arg.as_str());
@@ -88,16 +90,24 @@ fn build(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     Ok(())
 }
 
-/// `se trace info`: decodes every artifact in the directory and tabulates
-/// its contents.
-fn info(flags: &Flags, out: &mut dyn Write) -> Result<()> {
-    let dir = traces_dir(flags)?;
+/// Artifact paths in `dir` with the given extension, sorted.
+fn artifact_paths(dir: &std::path::Path, ext: &str) -> Result<Vec<std::path::PathBuf>> {
     let mut paths: Vec<_> = std::fs::read_dir(dir)
         .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
-        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(TRACE_FILE_EXT))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(ext))
         .collect();
     paths.sort();
+    Ok(paths)
+}
+
+/// `se trace info`: decodes every artifact in the directory and tabulates
+/// its contents — trace-pair sets (`*.setrace`) and persisted compressed
+/// networks (`*.senet`, written by the table2/table3/postproc
+/// subcommands under `--traces-dir`).
+fn info(flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    let dir = traces_dir(flags)?;
+    let paths = artifact_paths(dir, TRACE_FILE_EXT)?;
     writeln!(out, "trace artifacts in {}\n", dir.display())?;
     let mut rows = Vec::new();
     for path in &paths {
@@ -118,5 +128,22 @@ fn info(flags: &Flags, out: &mut dyn Write) -> Result<()> {
         "{}",
         table::render(&["model", "options digest", "pairs", "FC", "MB", "file"], &rows)
     )?;
+
+    let networks = artifact_paths(dir, NETWORK_FILE_EXT)?;
+    if !networks.is_empty() {
+        writeln!(out, "compressed-network artifacts\n")?;
+        let mut rows = Vec::new();
+        for path in &networks {
+            let net = artifacts::read_network_file(path)?;
+            let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+            rows.push(vec![
+                net.reports.len().to_string(),
+                format!("{:.2}", net.compression_rate()),
+                format!("{:.2}", bytes as f64 / (1024.0 * 1024.0)),
+                path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string(),
+            ]);
+        }
+        writeln!(out, "{}", table::render(&["layers", "CR", "MB", "file"], &rows))?;
+    }
     Ok(())
 }

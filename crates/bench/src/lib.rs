@@ -1,13 +1,14 @@
 //! Experiment harness behind the unified `se` CLI.
 //!
 //! The `se` binary regenerates the paper's tables and figures as
-//! subcommands (`se fig10`, `se table2`, …; reference in `docs/CLI.md`);
-//! each experiment lives in [`figures`], dispatched by [`cli`]. The old
-//! per-figure binaries under `src/bin/` remain as deprecated shims that
-//! forward here. The library also holds the shared pieces: the
-//! five-accelerator comparison runner (with `--traces-dir` replay of
-//! persisted trace artifacts), text-table formatting, and the CLI-flag
-//! reader.
+//! subcommands (`se fig10`, `se table2`, …; reference in `docs/CLI.md`)
+//! and fronts the serving subsystem (`se batch`, `se serve` — see
+//! `se_serve` and `docs/SERVING.md`); each experiment lives in
+//! [`figures`], dispatched by [`cli`]. The old standalone per-figure
+//! binaries finished their deprecation window and were removed. The
+//! library also holds the shared pieces: the five-accelerator comparison
+//! runner (with `--traces-dir` replay of persisted trace artifacts),
+//! text-table formatting, and the CLI-flag reader.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,8 +19,10 @@ pub mod figures;
 pub mod runner;
 pub mod table;
 
-/// Convenience alias for harness errors (boxed: binaries only print them).
-pub type BoxError = Box<dyn std::error::Error>;
+/// Convenience alias for harness errors (boxed: binaries only print them;
+/// `Send + Sync` so they can cross the parallel work queue and interoperate
+/// with `se_serve`).
+pub type BoxError = Box<dyn std::error::Error + Send + Sync>;
 
 /// Harness result alias.
 pub type Result<T> = std::result::Result<T, BoxError>;

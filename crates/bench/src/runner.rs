@@ -33,17 +33,18 @@
 //! re-evaluated per layer.
 
 use crate::Result;
-use se_baselines::{BaselineConfig, BitPragmatic, CambriconX, DianNao, Scnn};
+use se_baselines::BaselineConfig;
 use se_core::pipeline;
 use se_hw::sim::SeAccelerator;
-use se_hw::{Accelerator, EnergyModel, HwError, LayerResult, RunResult, SeAcceleratorConfig};
+use se_hw::{Accelerator, EnergyModel, RunResult, SeAcceleratorConfig};
 use se_ir::NetworkDesc;
 use se_models::traces::{TraceOptions, TracePair, TraceStream, MAX_BATCH_PAIRS};
+use se_serve::BatchEngine;
 use std::path::Path;
 
-/// Names of the five accelerators in presentation order.
-pub const ACCEL_NAMES: [&str; 5] =
-    ["DianNao", "SCNN", "Cambricon-X", "Bit-pragmatic", "SmartExchange"];
+/// Names of the five accelerators in presentation order (shared with the
+/// serving subsystem, which hosts the single five-lane dispatch).
+pub use se_serve::ACCEL_NAMES;
 
 /// One model's results across the five accelerators (`None` where the
 /// design cannot run the model, e.g. SCNN on EfficientNet-B0).
@@ -148,46 +149,12 @@ impl RunnerOptions {
     }
 }
 
-/// The five accelerator instances of one comparison run. Each carries its
-/// per-run geometry/schedule cache, shared across the run's grid jobs.
-struct AccelSet {
-    diannao: DianNao,
-    scnn: Scnn,
-    cambricon: CambriconX,
-    pragmatic: BitPragmatic,
-    se: SeAccelerator,
-}
-
-impl AccelSet {
-    fn new(opts: &RunnerOptions) -> Result<Self> {
-        Ok(AccelSet {
-            diannao: DianNao::new(opts.baseline_cfg.clone())?,
-            scnn: Scnn::new(opts.baseline_cfg.clone())?,
-            cambricon: CambriconX::new(opts.baseline_cfg.clone())?,
-            pragmatic: BitPragmatic::new(opts.se_cfg.clone())?,
-            se: SeAccelerator::new(opts.se_cfg.clone())?,
-        })
-    }
-
-    /// One `(layer, accelerator)` grid job: a pure function of the trace
-    /// pair, so grid scheduling can never leak into the results. `Ok(None)`
-    /// marks a design that cannot run the layer (`UnsupportedTrace`, e.g.
-    /// SCNN on squeeze-excite); real failures propagate. The SmartExchange
-    /// lane supports every layer, so all its errors propagate.
-    fn simulate(&self, pair: &TracePair, lane: usize) -> se_hw::Result<Option<LayerResult>> {
-        let accel: &dyn Accelerator = match lane {
-            0 => &self.diannao,
-            1 => &self.scnn,
-            2 => &self.cambricon,
-            3 => &self.pragmatic,
-            _ => return self.se.process_layer(&pair.se).map(Some),
-        };
-        match accel.process_layer(&pair.dense) {
-            Ok(layer) => Ok(Some(layer)),
-            Err(HwError::UnsupportedTrace { .. }) => Ok(None),
-            Err(e) => Err(e),
-        }
-    }
+/// The five accelerator instances of one comparison run: the serving
+/// subsystem's [`BatchEngine`], which hosts the single five-lane dispatch
+/// (`simulate_lane`) and whose per-accelerator geometry/schedule caches
+/// are shared across the run's grid jobs.
+fn accel_set(opts: &RunnerOptions) -> Result<BatchEngine> {
+    BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())
 }
 
 fn fresh_runs() -> [Option<RunResult>; 5] {
@@ -208,7 +175,7 @@ fn fresh_runs() -> [Option<RunResult>; 5] {
 /// set only changes at chunk boundaries, so worker scheduling still cannot
 /// leak into the results.
 fn simulate_chunk(
-    accels: &AccelSet,
+    accels: &BatchEngine,
     chunk: &[TracePair],
     workers: usize,
     runs: &mut [Option<RunResult>; 5],
@@ -218,7 +185,7 @@ fn simulate_chunk(
         if dead[lane] {
             return Ok(None);
         }
-        accels.simulate(pair, lane)
+        accels.simulate_lane(pair, lane)
     })?;
     for per_pair in grid {
         for (lane, result) in per_pair.into_iter().enumerate() {
@@ -273,7 +240,7 @@ fn for_each_chunk(
 /// Propagates trace-generation failures and unexpected simulator errors
 /// (`UnsupportedTrace` is converted into a `None` run instead).
 pub fn compare_model(net: &NetworkDesc, opts: &RunnerOptions) -> Result<ModelComparison> {
-    let accels = AccelSet::new(opts)?;
+    let accels = accel_set(opts)?;
     let mut runs = fresh_runs();
     for_each_chunk(net, &opts.traces, chunk_pairs(opts.sim_parallelism), |chunk| {
         simulate_chunk(&accels, chunk, opts.sim_parallelism, &mut runs)
@@ -295,7 +262,7 @@ pub fn compare_pairs(
     pairs: &[TracePair],
     opts: &RunnerOptions,
 ) -> Result<ModelComparison> {
-    let accels = AccelSet::new(opts)?;
+    let accels = accel_set(opts)?;
     let mut runs = fresh_runs();
     simulate_chunk(&accels, pairs, opts.sim_parallelism, &mut runs)?;
     Ok(ModelComparison { model: model.to_string(), runs })

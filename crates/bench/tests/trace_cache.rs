@@ -83,6 +83,46 @@ fn fig10_cache_warm_output_is_byte_identical_to_direct() {
 }
 
 #[test]
+fn table2_compression_artifacts_replay_byte_identically() {
+    // MLP-2 is the one cheap entry in Table II; the compression-side
+    // artifact cache must be invisible in the output: direct run, cache-
+    // populating run, and cache-warm replay all byte-identical.
+    let dir = std::env::temp_dir().join(format!("se-table2-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |flags: &Flags| {
+        let mut out = Vec::new();
+        figures::table2::run(flags, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    let select = Flags { models: Some(vec!["MLP-2".into()]), ..Flags::default() };
+    let direct = run(&select);
+    assert!(direct.contains("MLP-2"));
+    let cached_flags = Flags { traces_dir: Some(dir.clone()), ..select };
+    let populating = run(&cached_flags);
+    assert_eq!(direct, populating, "cache-populating run must match direct");
+    let senet: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some("senet"))
+        .collect();
+    assert_eq!(senet.len(), 1, "one compressed-network artifact written");
+    let warm = run(&cached_flags);
+    assert_eq!(direct, warm, "cache-warm replay must match direct");
+
+    // `se trace info` lists the compression artifact alongside traces.
+    let mut out = Vec::new();
+    cli::run_from_args(
+        &["trace".into(), "info".into(), "--traces-dir".into(), dir.display().to_string()],
+        &mut out,
+    )
+    .unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("compressed-network artifacts"), "{text}");
+    assert!(text.contains(".senet"), "{text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn trace_subcommand_validates_its_arguments() {
     let mut out = Vec::new();
     let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();

@@ -14,6 +14,11 @@ pub trait Accelerator {
     /// Human-readable accelerator name (as it appears in the figures).
     fn name(&self) -> &str;
 
+    /// Configured DRAM bandwidth in bytes per cycle — the constant this
+    /// design converts traffic into transfer cycles with. Batched results
+    /// ([`Accelerator::process_batch`]) re-derive their DRAM time from it.
+    fn dram_bytes_per_cycle(&self) -> f64;
+
     /// Processes one layer trace.
     ///
     /// # Errors
@@ -22,6 +27,24 @@ pub trait Accelerator {
     /// supported by this design (e.g. SCNN and FC layers, per the paper's
     /// protocol).
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult>;
+
+    /// Processes one layer trace for a batch of `batch` images with the
+    /// layer's weights held resident across the batch: weights (and, on
+    /// the SmartExchange design, the basis + coefficient rebuild work) are
+    /// charged once per batch, while per-image compute and activation
+    /// traffic scale with the batch size — see
+    /// [`LayerResult::amortized_over_batch`]. The default implementation
+    /// simulates one image and amortizes, which keeps a batch result a
+    /// pure function of the trace: `batch = 1` is bit-identical to
+    /// [`Accelerator::process_layer`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::process_layer`].
+    fn process_batch(&self, trace: &LayerTrace, batch: usize) -> Result<LayerResult> {
+        let per_image = self.process_layer(trace)?;
+        Ok(per_image.amortized_over_batch(batch as u64, self.dram_bytes_per_cycle()))
+    }
 
     /// Processes a sequence of layer traces into a run result.
     ///

@@ -32,7 +32,8 @@ use se_ir::{LayerDesc, LayerKind};
 /// Cache key for a layer's simulation schedule: the full layer geometry
 /// (kind with all its dimensions, plus the input feature-map size) and the
 /// configuration fields that shape a schedule (PE-array tile dimensions,
-/// output-row sampling, and the feature toggles).
+/// output-row sampling, the feature toggles, and the output-GB geometry
+/// the partial-sum spill target derives from).
 ///
 /// Two keys compare equal exactly when every geometry and configuration
 /// field matches; any differing field — kernel, stride, padding, channel
@@ -51,6 +52,11 @@ pub struct ScheduleKey {
     booth_encoder: bool,
     index_select: bool,
     compact_dedicated: bool,
+    /// Output-GB geometry (bank count, bank size as `f32`-exact bits):
+    /// the cached skeleton's partial-sum spill target depends on it, and
+    /// cached values must stay pure functions of their key.
+    output_gb_banks: usize,
+    output_gb_bank_kb_bits: u64,
 }
 
 impl ScheduleKey {
@@ -68,6 +74,8 @@ impl ScheduleKey {
             booth_encoder: cfg.booth_encoder,
             index_select: cfg.index_select,
             compact_dedicated: cfg.compact_dedicated,
+            output_gb_banks: cfg.output_gb_banks,
+            output_gb_bank_kb_bits: cfg.output_gb_bank_kb.to_bits(),
         }
     }
 
@@ -89,6 +97,8 @@ impl ScheduleKey {
             booth_encoder: false,
             index_select: false,
             compact_dedicated: false,
+            output_gb_banks: 0,
+            output_gb_bank_kb_bits: 0,
         }
     }
 }
@@ -218,7 +228,7 @@ mod tests {
     fn any_differing_config_field_changes_the_key() {
         let desc = conv_desc("c");
         let base = ScheduleKey::for_config(&desc, &SeAcceleratorConfig::default());
-        let variants: [SeAcceleratorConfig; 8] = [
+        let variants: [SeAcceleratorConfig; 10] = [
             SeAcceleratorConfig { dim_m: 32, ..Default::default() },
             SeAcceleratorConfig { dim_c: 8, ..Default::default() },
             SeAcceleratorConfig { dim_f: 4, ..Default::default() },
@@ -227,6 +237,8 @@ mod tests {
             SeAcceleratorConfig { booth_encoder: false, ..Default::default() },
             SeAcceleratorConfig { index_select: false, ..Default::default() },
             SeAcceleratorConfig { compact_dedicated: false, ..Default::default() },
+            SeAcceleratorConfig { output_gb_banks: 4, ..Default::default() },
+            SeAcceleratorConfig { output_gb_bank_kb: 8.0, ..Default::default() },
         ];
         for (i, cfg) in variants.iter().enumerate() {
             let k = ScheduleKey::for_config(&desc, cfg);

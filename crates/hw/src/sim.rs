@@ -41,7 +41,9 @@
 //!
 //! The data-independent skeleton of a layer pass — which output rows are
 //! sampled under `row_sample`, the input row each kernel row reads, the
-//! `(f0, nf)` output-pixel groups, and the slice-fold width — is a pure
+//! `(f0, nf)` output-pixel groups, the slice-fold width, and the
+//! memory-model constants (output-channel tile count, output-element
+//! volume, the partial-sum spill target of weight chunking) — is a pure
 //! function of the layer geometry and the accelerator configuration. It is
 //! captured in a `Schedule` (private to this module), memoized per
 //! [`crate::schedule::ScheduleKey`]
@@ -105,6 +107,10 @@ impl Accelerator for SeAccelerator {
         "SmartExchange"
     }
 
+    fn dram_bytes_per_cycle(&self) -> f64 {
+        self.cfg.dram_bytes_per_cycle
+    }
+
     fn process_layer(&self, trace: &LayerTrace) -> Result<LayerResult> {
         let desc = trace.desc();
         match *desc.kind() {
@@ -146,8 +152,14 @@ pub(crate) struct Schedule {
     f_groups: Vec<(usize, usize)>,
     /// Output feature-map height.
     e_out: usize,
-    /// Output feature-map width.
-    f_out: usize,
+    /// Output-channel tiles driving input refetch (`ceil(M / dimM)`; 1 for
+    /// depth-wise layers, whose input pass is never repeated per tile).
+    m_tiles: u64,
+    /// Output elements of one image (`M × E × F`; channels for depth-wise).
+    outputs: u64,
+    /// Whether a chunked filter's spilled partial sums fit the output GB
+    /// (the spill target of `weight_chunking`; DRAM otherwise).
+    psum_to_gb: bool,
 }
 
 impl Schedule {
@@ -164,13 +176,14 @@ impl Schedule {
         // wider output-pixel groups, as the compiler's dataflow selection
         // (Section IV-B) would; depth-wise layers map channels to slices
         // directly and do not fold.
-        let (r, stride, padding, eff_f) = match *desc.kind() {
+        let (r, stride, padding, eff_f, out_units, m_tiles) = match *desc.kind() {
             LayerKind::Conv2d { out_channels: m, kernel, stride, padding, .. } => {
                 let fold = if m < cfg.dim_m { (cfg.dim_m / m.max(1)).clamp(1, 8) } else { 1 };
-                (kernel.max(1), stride, padding, cfg.dim_f * fold)
+                let m_tiles = (m as u64).div_ceil(cfg.dim_m as u64);
+                (kernel.max(1), stride, padding, cfg.dim_f * fold, m, m_tiles)
             }
-            LayerKind::DepthwiseConv2d { kernel, stride, padding, .. } => {
-                (kernel, stride, padding, cfg.dim_f)
+            LayerKind::DepthwiseConv2d { channels, kernel, stride, padding } => {
+                (kernel, stride, padding, cfg.dim_f, channels, 1)
             }
             LayerKind::Linear { .. } | LayerKind::SqueezeExcite { .. } => {
                 return Err(HwError::UnsupportedTrace {
@@ -195,7 +208,13 @@ impl Schedule {
             f_groups.push((f0, eff_f.min(f_out - f0)));
             f0 += eff_f;
         }
-        Ok(Schedule { e_rows, e_scale, r, row_iy, f_groups, e_out, f_out })
+        // Memory-model constants, folded into the cached skeleton so batch
+        // replays of a geometry never recompute them.
+        let outputs = (out_units * e_out * f_out) as u64;
+        let tile_psums = (cfg.dim_m as u64) * 2 * outputs.div_ceil(cfg.dim_m as u64).max(1);
+        let psum_to_gb =
+            (tile_psums as f64) <= cfg.output_gb_banks as f64 * cfg.output_gb_bank_kb * 1024.0;
+        Ok(Schedule { e_rows, e_scale, r, row_iy, f_groups, e_out, m_tiles, outputs, psum_to_gb })
     }
 
     /// The input row kernel row `kr` reads at sampled output row index
@@ -340,23 +359,21 @@ fn input_dram_bytes(cfg: &SeAcceleratorConfig, needed_bytes: u64, m_tiles: u64) 
 
 /// Weight-buffer overflow handling: filters whose compressed form exceeds
 /// the per-slice buffer are processed in channel chunks with partial sums
-/// spilled between passes. Returns `(chunks, spill_bytes)` where the spill
-/// goes to the output GB when a slice tile's partial sums fit, else DRAM.
+/// spilled between passes. Returns `(chunks, spill_bytes)`; the spill goes
+/// to the output GB when a slice tile's partial sums fit (the cached
+/// `Schedule::psum_to_gb` constant), else DRAM.
 fn weight_chunking(
     cfg: &SeAcceleratorConfig,
     per_filter_bytes: u64,
-    outputs: u64,
-) -> (u64, u64, bool) {
+    sched: &Schedule,
+) -> (u64, u64) {
     let buf = (cfg.weight_buf_banks as f64 * cfg.weight_buf_bank_kb * 1024.0) as u64;
     let chunks = per_filter_bytes.div_ceil(buf.max(1)).max(1);
     if chunks <= 1 {
-        return (1, 0, false);
+        return (1, 0);
     }
     // 16-bit partial sums, written and re-read once per extra chunk.
-    let spill = 2 * (chunks - 1) * outputs * 2;
-    let tile_psums = (cfg.dim_m as u64) * 2 * outputs.div_ceil(cfg.dim_m as u64).max(1);
-    let to_gb = (tile_psums as f64) <= cfg.output_gb_banks as f64 * cfg.output_gb_bank_kb * 1024.0;
-    (chunks, spill, to_gb)
+    (chunks, 2 * (chunks - 1) * sched.outputs * 2)
 }
 
 fn finish(
@@ -408,7 +425,7 @@ fn conv_layer(
         unreachable!("dispatch guarantees Conv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = (sched.e_out, sched.f_out);
+    let e_out = sched.e_out;
     let r = kernel;
     let s = kernel;
 
@@ -583,10 +600,11 @@ fn conv_layer(
         active_row_codes *= e_out as u64;
     }
 
-    // Memory accounting.
-    let outputs = (m * e_out * f_out) as u64;
+    // Memory accounting (volume/tiling constants from the cached schedule).
+    let outputs = sched.outputs;
     let per_filter_bytes = (pw.weight_bytes + pw.index_bytes).div_ceil(m.max(1) as u64);
-    let (_, spill, spill_to_gb) = weight_chunking(cfg, per_filter_bytes, outputs);
+    let (_, spill) = weight_chunking(cfg, per_filter_bytes, sched);
+    let spill_to_gb = sched.psum_to_gb;
 
     // Needed input rows: non-zero rows of channels any filter uses.
     let mut needed_in: u64 = 0;
@@ -601,7 +619,7 @@ fn conv_layer(
             }
         }
     }
-    let m_tiles = (m as u64).div_ceil(dim_m as u64);
+    let m_tiles = sched.m_tiles;
     let dram_in = input_dram_bytes(cfg, needed_in, m_tiles);
 
     let code_bits = 4u64; // 4-bit coefficients in the paper's configuration
@@ -649,7 +667,7 @@ fn pointwise_layer(
         unreachable!("dispatch guarantees Conv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = (sched.e_out, sched.f_out);
+    let e_out = sched.e_out;
 
     let (pw, group) = match weight_form(trace)? {
         Some(layer) => {
@@ -781,13 +799,13 @@ fn pointwise_layer(
         rebuild *= e_out as u64;
     }
 
-    let outputs = (m * e_out * f_out) as u64;
+    let outputs = sched.outputs;
     let needed_in: u64 = (0..c)
         .map(|ci| {
             (0..h).filter(|&y| !cfg.index_select || act_nz[ci * h + y]).count() as u64 * w as u64
         })
         .sum();
-    let m_tiles = (m as u64).div_ceil(dim_m as u64);
+    let m_tiles = sched.m_tiles;
     let dram_in = input_dram_bytes(cfg, needed_in, m_tiles);
 
     let mem = MemCounters {
@@ -827,7 +845,7 @@ fn depthwise_layer(
         unreachable!("dispatch guarantees DepthwiseConv2d");
     };
     let (h, w) = desc.input_hw();
-    let (e_out, f_out) = (sched.e_out, sched.f_out);
+    let e_out = sched.e_out;
     let r = kernel;
     let s = kernel;
 
@@ -908,10 +926,10 @@ fn depthwise_layer(
     if pw.is_se {
         rebuild = pw.total_nnz * s as u64 * e_out as u64;
     }
-    let outputs = (c * e_out * f_out) as u64;
+    let outputs = sched.outputs;
     let needed_in: u64 =
         (0..c * h).filter(|&row| !cfg.index_select || act_nz[row]).count() as u64 * w as u64;
-    let dram_in = input_dram_bytes(cfg, needed_in, 1);
+    let dram_in = input_dram_bytes(cfg, needed_in, sched.m_tiles);
 
     let mem = MemCounters {
         dram_input_bytes: dram_in,
@@ -1381,6 +1399,27 @@ mod tests {
         let clone = shared.clone();
         clone.process_layer(&traces[0]).unwrap();
         assert_eq!(clone.cached_schedules(), 2);
+    }
+
+    #[test]
+    fn batched_layer_amortizes_weight_side_and_rebuild() {
+        let t = se_trace(8, 16, 16, 0.5, 19);
+        let a = accel();
+        let one = a.process_layer(&t).unwrap();
+        assert_eq!(a.process_batch(&t, 1).unwrap(), one, "batch=1 is bit-identical");
+        let four = a.process_batch(&t, 4).unwrap();
+        // Weight fetch, basis, and rebuild once per batch.
+        assert_eq!(four.mem.dram_weight_bytes, one.mem.dram_weight_bytes);
+        assert_eq!(four.mem.dram_index_bytes, one.mem.dram_index_bytes);
+        assert_eq!(four.mem.weight_gb_write_bytes, one.mem.weight_gb_write_bytes);
+        assert_eq!(four.mem.rf_bytes, one.mem.rf_bytes);
+        assert_eq!(four.ops.rebuild_shift_adds, one.ops.rebuild_shift_adds);
+        // Activation traffic and compute per image.
+        assert_eq!(four.mem.dram_input_bytes, 4 * one.mem.dram_input_bytes);
+        assert_eq!(four.mem.dram_output_bytes, 4 * one.mem.dram_output_bytes);
+        assert_eq!(four.compute_cycles, 4 * one.compute_cycles);
+        // Per-image DRAM traffic strictly drops toward the activation floor.
+        assert!(four.mem.dram_total_bytes() < 4 * one.mem.dram_total_bytes());
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   accelerator simulators (dense 8-bit weights for the baselines and
 //!   SmartExchange-compressed weights for the SE accelerator, from the same
 //!   underlying tensors);
+//! * [`artifacts`] — persisted whole-network compression artifacts
+//!   (`*.senet`), keyed like the `*.setrace` trace files;
 //! * [`trainable`] — scaled-down trainable `se-nn` models (and the exact
 //!   MLP-1/MLP-2) for the accuracy experiments.
 
@@ -26,6 +28,7 @@
 mod error;
 
 pub mod activations;
+pub mod artifacts;
 pub mod traces;
 pub mod trainable;
 pub mod weights;

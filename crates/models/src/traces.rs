@@ -259,7 +259,15 @@ pub fn options_digest(opts: &TraceOptions) -> u64 {
     let mut w = ByteWriter::new();
     w.put_u64(opts.base_seed);
     w.put_bool(opts.conv_like_only);
-    let cfg = &opts.se_config;
+    put_se_config(&mut w, &opts.se_config);
+    fnv1a(&w.into_bytes())
+}
+
+/// Canonical byte encoding of every generation-relevant [`SeConfig`] field
+/// (worker counts excluded — results are bit-identical across them),
+/// shared by the trace digest above and the compression-artifact digest of
+/// [`crate::artifacts`].
+pub(crate) fn put_se_config(w: &mut ByteWriter, cfg: &SeConfig) {
     w.put_i32(cfg.po2().max_exp());
     w.put_u32(cfg.po2().count());
     w.put_u64(cfg.max_iterations() as u64);
@@ -302,12 +310,11 @@ pub fn options_digest(opts: &TraceOptions) -> u64 {
     w.put_u64(cfg.fc_width() as u64);
     w.put_u64(cfg.max_unit_rows() as u64);
     w.put_bool(cfg.quantize_basis());
-    fnv1a(&w.into_bytes())
 }
 
 /// FNV-1a over the canonical option encoding: tiny, dependency-free, and
 /// stable across platforms (all inputs are little-endian bytes).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -316,14 +323,19 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Lowercases a network name and replaces non-alphanumerics so it is safe
+/// as a filename component (shared by every artifact kind).
+pub(crate) fn sanitize_net_name(net_name: &str) -> String {
+    net_name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .collect()
+}
+
 /// The cache filename for a network under the given options:
 /// `<sanitized-net-name>-<16-hex-digit digest>.setrace`.
 pub fn trace_file_name(net_name: &str, opts: &TraceOptions) -> String {
-    let safe: String = net_name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
-        .collect();
-    format!("{safe}-{:016x}.{TRACE_FILE_EXT}", options_digest(opts))
+    format!("{}-{:016x}.{TRACE_FILE_EXT}", sanitize_net_name(net_name), options_digest(opts))
 }
 
 /// A decoded trace-artifact file.

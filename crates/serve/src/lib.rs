@@ -1,0 +1,48 @@
+//! Batched inference serving on top of the simulation stack.
+//!
+//! The paper evaluates batch-size-1 latency, which leaves the canonical
+//! memory-for-computation trade of serving on the table: amortizing each
+//! layer's weight fetch (and, on SmartExchange, the basis + coefficient
+//! rebuild) across a batch of images. This crate turns the per-image
+//! simulators into a request-driven serving subsystem with three parts:
+//!
+//! * [`engine`] — the **batch engine**: runs trace pairs through the five
+//!   accelerators once per image on the deterministic work queue of
+//!   [`se_core::pipeline`] (reusing each accelerator's geometry-keyed
+//!   schedule cache, so an N-image batch shares one schedule skeleton) and
+//!   derives batched results in which weights are charged once per batch
+//!   while activation traffic and compute scale with the batch size
+//!   (`se_hw`'s `amortized_over_batch` accounting).
+//! * [`queue`] — the **serving front**: a bounded FIFO request queue with a
+//!   batch aggregator (max-batch-size + max-wait policies) drained by a
+//!   simulated single accelerator, emitting per-request latency and
+//!   aggregate throughput statistics.
+//! * [`workload`] — deterministic synthetic arrival processes (uniform,
+//!   burst, closed-loop) that drive the queue.
+//!
+//! # Determinism contract
+//!
+//! Given a fixed arrival order, every result here is **bit-identical for
+//! any worker count**: the only parallel stage (the per-image simulation
+//! grid) reassembles in network order, batching is pure integer/f64
+//! arithmetic on those results, and the queue simulation is a serial
+//! discrete-event loop. `batch = 1` reproduces today's single-image
+//! numbers exactly. See `docs/SERVING.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod queue;
+pub mod workload;
+
+pub use engine::{BatchEngine, ACCEL_NAMES, SE_LANE};
+pub use queue::{BatchPolicy, ServeReport};
+pub use workload::ArrivalPattern;
+
+/// Boxed error alias (`Send + Sync` so serving jobs can cross the parallel
+/// work queue).
+pub type BoxError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BoxError>;

@@ -1,0 +1,405 @@
+//! The serving front: a bounded FIFO request queue with a batch
+//! aggregator, simulated as a deterministic discrete-event loop.
+//!
+//! Requests arrive at simulated cycle timestamps and queue FIFO. The
+//! aggregator closes a batch when either (a) [`BatchPolicy::max_batch`]
+//! requests are waiting, or (b) the oldest waiting request has been queued
+//! for [`BatchPolicy::max_wait`] cycles — the standard latency/throughput
+//! dial of batched serving. A single simulated accelerator executes batches
+//! back-to-back; the execution time of a batch of `k` images comes from the
+//! caller-supplied table (built by
+//! [`crate::engine::BatchEngine::latency_table`], where weight fetches are
+//! amortized across the batch). Open-loop arrivals that find the bounded
+//! queue full are rejected.
+//!
+//! The whole simulation is serial integer arithmetic over a fixed arrival
+//! order, so its output is bit-identical for any worker count of the
+//! surrounding harness — the determinism contract of `se serve`.
+
+use std::collections::VecDeque;
+
+use crate::{BoxError, Result};
+
+/// Batch-formation policy of the serving front.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Maximum images per batch; the aggregator closes a batch as soon as
+    /// this many requests are waiting.
+    pub max_batch: usize,
+    /// Maximum cycles the oldest queued request may wait before the
+    /// aggregator closes the batch short (0 = never wait for company).
+    pub max_wait: u64,
+    /// Bounded queue capacity: an open-loop arrival that finds this many
+    /// requests already waiting is rejected. Closed-loop workloads are
+    /// bounded by their concurrency instead and ignore this field.
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 8, max_wait: 0, queue_cap: 1024 }
+    }
+}
+
+impl BatchPolicy {
+    /// Validates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero batch size or queue capacity.
+    pub fn validate(&self) -> Result<()> {
+        if self.max_batch == 0 {
+            return Err(BoxError::from("max batch size must be at least 1"));
+        }
+        if self.queue_cap == 0 {
+            return Err(BoxError::from("queue capacity must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeReport {
+    /// Per-request latency in cycles (completion − arrival), in completion
+    /// order — which, for the FIFO queue, is arrival order over the
+    /// admitted requests.
+    pub latencies: Vec<u64>,
+    /// Sizes of the executed batches, in execution order.
+    pub batch_sizes: Vec<usize>,
+    /// Open-loop arrivals rejected by the bounded queue.
+    pub rejected: u64,
+    /// Completion time of the last batch, in cycles.
+    pub makespan: u64,
+}
+
+impl ServeReport {
+    /// Requests served to completion.
+    pub fn completed(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Mean executed batch size in images.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batch_sizes.is_empty() {
+            return 0.0;
+        }
+        self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+    }
+
+    /// Mean request latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
+    }
+
+    /// The `p`-th latency percentile in cycles (`p` in `[0, 100]`;
+    /// nearest-rank on the sorted latencies). Zero when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        if self.latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+
+    /// Sustained throughput in images per second at `frequency_hz`.
+    pub fn throughput_per_s(&self, frequency_hz: f64) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.completed() as f64 / (self.makespan as f64 / frequency_hz)
+    }
+
+    /// How many batches of each size ran: `histogram[k - 1]` counts the
+    /// executed batches of exactly `k` images (`k` up to `max_batch`).
+    pub fn batch_histogram(&self, max_batch: usize) -> Vec<u64> {
+        let mut h = vec![0u64; max_batch.max(1)];
+        let last = h.len() - 1;
+        for &k in &self.batch_sizes {
+            h[(k - 1).min(last)] += 1;
+        }
+        h
+    }
+}
+
+/// When the pending queue's next batch would launch, given the server is
+/// free at `free`: immediately once full (but never before its members
+/// arrive), else when the head request's wait expires.
+fn launch_time(queue: &VecDeque<u64>, policy: &BatchPolicy, free: u64) -> u64 {
+    if queue.len() >= policy.max_batch {
+        free.max(queue[policy.max_batch - 1])
+    } else {
+        free.max(queue[0] + policy.max_wait)
+    }
+}
+
+/// Launches the next batch: pops up to `max_batch` requests, records their
+/// latencies and the batch size, and returns the completion time.
+fn launch(
+    queue: &mut VecDeque<u64>,
+    start: u64,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    report: &mut ServeReport,
+) -> u64 {
+    let k = queue.len().min(policy.max_batch);
+    debug_assert!(k >= 1, "launch requires a non-empty queue");
+    let done = start + exec[(k - 1).min(exec.len() - 1)];
+    for _ in 0..k {
+        let arrival = queue.pop_front().expect("k <= queue length");
+        report.latencies.push(done - arrival);
+    }
+    report.batch_sizes.push(k);
+    report.makespan = done;
+    done
+}
+
+/// Simulates an **open-loop** workload: requests arrive at the given cycle
+/// timestamps (non-decreasing) regardless of service progress — the
+/// uniform/burst workloads of [`crate::workload`]. `exec[k - 1]` is the
+/// execution time of a batch of `k` images (see
+/// [`crate::engine::BatchEngine::latency_table`]).
+///
+/// # Errors
+///
+/// Rejects an invalid policy, an empty execution table, or a table shorter
+/// than `max_batch`.
+pub fn simulate_open_loop(
+    arrivals: &[u64],
+    exec: &[u64],
+    policy: &BatchPolicy,
+) -> Result<ServeReport> {
+    policy.validate()?;
+    if exec.len() < policy.max_batch {
+        return Err(BoxError::from(format!(
+            "execution table covers batches up to {}, policy allows {}",
+            exec.len(),
+            policy.max_batch
+        )));
+    }
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    let mut report = ServeReport::default();
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let mut free = 0u64;
+    let mut next = 0usize;
+    loop {
+        if queue.is_empty() {
+            // Nothing to batch: admit the next arrival or finish.
+            match arrivals.get(next) {
+                Some(&a) => {
+                    queue.push_back(a);
+                    next += 1;
+                }
+                None => break,
+            }
+            continue;
+        }
+        let start = launch_time(&queue, policy, free);
+        // Arrivals landing before the batch closes join (or bounce off)
+        // the queue first — they may fill the batch and pull `start` in.
+        if let Some(&a) = arrivals.get(next) {
+            if a <= start {
+                if queue.len() >= policy.queue_cap {
+                    report.rejected += 1;
+                } else {
+                    queue.push_back(a);
+                }
+                next += 1;
+                continue;
+            }
+        }
+        free = launch(&mut queue, start, exec, policy, &mut report);
+    }
+    Ok(report)
+}
+
+/// Simulates a **closed-loop** workload: `concurrency` clients each keep
+/// exactly one request in flight, submitting the next the moment the
+/// previous completes, until `requests` total have been issued. The
+/// bounded queue never rejects here — at most `concurrency` requests are
+/// outstanding — so [`BatchPolicy::queue_cap`] is ignored.
+///
+/// # Errors
+///
+/// Rejects an invalid policy, a zero concurrency, or an execution table
+/// shorter than `max_batch`.
+pub fn simulate_closed_loop(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+) -> Result<ServeReport> {
+    policy.validate()?;
+    if concurrency == 0 {
+        return Err(BoxError::from("closed-loop concurrency must be at least 1"));
+    }
+    if exec.len() < policy.max_batch {
+        return Err(BoxError::from(format!(
+            "execution table covers batches up to {}, policy allows {}",
+            exec.len(),
+            policy.max_batch
+        )));
+    }
+    let mut report = ServeReport::default();
+    // All future arrivals, kept sorted by (time, issue order). Completions
+    // append arrivals with time >= every queued entry, so a plain FIFO of
+    // pending arrivals stays sorted — no heap needed.
+    let mut pending: VecDeque<u64> = VecDeque::new();
+    let mut issued = concurrency.min(requests);
+    for _ in 0..issued {
+        pending.push_back(0);
+    }
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let mut free = 0u64;
+    loop {
+        if queue.is_empty() {
+            match pending.pop_front() {
+                Some(a) => queue.push_back(a),
+                None => break,
+            }
+            continue;
+        }
+        let start = launch_time(&queue, policy, free);
+        if let Some(&a) = pending.front() {
+            if a <= start {
+                queue.push_back(a);
+                pending.pop_front();
+                continue;
+            }
+        }
+        let before = report.completed();
+        free = launch(&mut queue, start, exec, policy, &mut report);
+        // Each completed request unblocks its client, which immediately
+        // submits the next request (arriving at the completion time).
+        for _ in before..report.completed() {
+            if issued < requests {
+                pending.push_back(free);
+                issued += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Batch of k costs 10 + 2k cycles: sublinear per image.
+    fn exec(max: usize) -> Vec<u64> {
+        (1..=max).map(|k| 10 + 2 * k as u64).collect()
+    }
+
+    fn policy(max_batch: usize, max_wait: u64, cap: usize) -> BatchPolicy {
+        BatchPolicy { max_batch, max_wait, queue_cap: cap }
+    }
+
+    #[test]
+    fn immediate_singles_when_queue_is_drained() {
+        // Arrivals far apart, no waiting: every request runs alone.
+        let r = simulate_open_loop(&[0, 100, 200], &exec(4), &policy(4, 0, 8)).unwrap();
+        assert_eq!(r.batch_sizes, vec![1, 1, 1]);
+        assert_eq!(r.latencies, vec![12, 12, 12]);
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.makespan, 212);
+    }
+
+    #[test]
+    fn burst_fills_batches_up_to_max() {
+        // Six requests at once, max batch 4: one full batch, one pair.
+        let r = simulate_open_loop(&[0; 6], &exec(4), &policy(4, 0, 8)).unwrap();
+        assert_eq!(r.batch_sizes, vec![4, 2]);
+        // Full batch: 10+8 = 18 cycles; pair: 18 + (10+4) = 32.
+        assert_eq!(r.latencies, vec![18, 18, 18, 18, 32, 32]);
+        assert_eq!(r.mean_batch(), 3.0);
+    }
+
+    #[test]
+    fn max_wait_holds_the_batch_open() {
+        // Second request arrives within the wait window and shares the
+        // batch; without waiting it would run alone.
+        let eager = simulate_open_loop(&[0, 5], &exec(4), &policy(4, 0, 8)).unwrap();
+        assert_eq!(eager.batch_sizes, vec![1, 1]);
+        let patient = simulate_open_loop(&[0, 5], &exec(4), &policy(4, 6, 8)).unwrap();
+        assert_eq!(patient.batch_sizes, vec![2]);
+        // Launch at 0+6 (wait expiry), both done at 6 + 14 = 20.
+        assert_eq!(patient.latencies, vec![20, 15]);
+    }
+
+    #[test]
+    fn filling_the_batch_cuts_the_wait_short() {
+        // Four arrivals inside a long wait window: the batch closes when
+        // the fourth arrives (t = 3), not at the wait expiry (t = 50).
+        let r = simulate_open_loop(&[0, 1, 2, 3], &exec(4), &policy(4, 50, 8)).unwrap();
+        assert_eq!(r.batch_sizes, vec![4]);
+        assert_eq!(r.makespan, 3 + 18);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        // Ten simultaneous arrivals, capacity 3, batch 2: the first is
+        // admitted to an empty queue, two more fill it to capacity, the
+        // rest bounce while the server is still at cycle 0.
+        let r = simulate_open_loop(&[0; 10], &exec(2), &policy(2, 0, 3)).unwrap();
+        assert_eq!(r.rejected, 7);
+        assert_eq!(r.completed(), 3);
+        assert_eq!(r.batch_sizes, vec![2, 1]);
+    }
+
+    #[test]
+    fn closed_loop_keeps_concurrency_in_flight() {
+        // 3 clients, 9 requests, batch 4: every batch is exactly 3 wide —
+        // the clients resubmit in lockstep at each completion.
+        let r = simulate_closed_loop(9, 3, &exec(4), &policy(4, 0, 1)).unwrap();
+        assert_eq!(r.batch_sizes, vec![3, 3, 3]);
+        assert_eq!(r.completed(), 9);
+        assert_eq!(r.rejected, 0);
+        // Each round costs 10+6 = 16 cycles.
+        assert_eq!(r.makespan, 48);
+    }
+
+    #[test]
+    fn closed_loop_stops_at_the_request_budget() {
+        let r = simulate_closed_loop(5, 4, &exec(4), &policy(4, 0, 1)).unwrap();
+        assert_eq!(r.completed(), 5);
+        assert_eq!(r.batch_sizes, vec![4, 1]);
+    }
+
+    #[test]
+    fn report_statistics() {
+        let r = ServeReport {
+            latencies: vec![10, 30, 20, 40],
+            batch_sizes: vec![2, 2],
+            rejected: 1,
+            makespan: 100,
+        };
+        assert_eq!(r.completed(), 4);
+        assert_eq!(r.mean_latency(), 25.0);
+        assert_eq!(r.latency_percentile(50.0), 20);
+        assert_eq!(r.latency_percentile(100.0), 40);
+        assert_eq!(r.latency_percentile(0.0), 10);
+        assert_eq!(r.throughput_per_s(1000.0), 40.0);
+        assert_eq!(r.batch_histogram(4), vec![0, 2, 0, 0]);
+        assert_eq!(ServeReport::default().latency_percentile(99.0), 0);
+        assert_eq!(ServeReport::default().throughput_per_s(1e9), 0.0);
+        assert_eq!(ServeReport::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_policies_are_rejected() {
+        assert!(simulate_open_loop(&[0], &exec(4), &policy(0, 0, 8)).is_err());
+        assert!(simulate_open_loop(&[0], &exec(4), &policy(4, 0, 0)).is_err());
+        assert!(simulate_open_loop(&[0], &exec(2), &policy(4, 0, 8)).is_err(), "short table");
+        assert!(simulate_closed_loop(4, 0, &exec(4), &policy(4, 0, 8)).is_err());
+        assert!(simulate_open_loop(&[], &exec(4), &policy(4, 0, 8))
+            .unwrap()
+            .batch_sizes
+            .is_empty());
+        assert_eq!(simulate_closed_loop(0, 2, &exec(4), &policy(4, 0, 8)).unwrap().completed(), 0);
+    }
+}

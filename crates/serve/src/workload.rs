@@ -1,0 +1,81 @@
+//! Deterministic synthetic arrival workloads for the serving front.
+//!
+//! All timestamps are simulated accelerator cycles; patterns are pure
+//! functions of their parameters (no random state), so a workload replays
+//! identically across runs and worker counts.
+
+use crate::{BoxError, Result};
+
+/// Shape of the open-loop arrival process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    /// One request every `1/rate` seconds.
+    Uniform,
+    /// Groups of `size` requests arriving together, with the gaps widened
+    /// so the long-run request rate matches the uniform pattern.
+    Burst {
+        /// Requests per burst (≥ 1).
+        size: usize,
+    },
+}
+
+/// The arrival timestamps (in cycles at `frequency_hz`) of `requests`
+/// open-loop requests at a long-run rate of `rate_hz` requests per second,
+/// shaped by `pattern`. Timestamps are non-decreasing.
+///
+/// # Errors
+///
+/// Rejects non-positive rates/frequencies and empty bursts.
+pub fn open_loop_arrivals(
+    requests: usize,
+    rate_hz: f64,
+    frequency_hz: f64,
+    pattern: ArrivalPattern,
+) -> Result<Vec<u64>> {
+    if rate_hz <= 0.0 || frequency_hz <= 0.0 || !rate_hz.is_finite() || !frequency_hz.is_finite() {
+        return Err(BoxError::from("arrival rate and clock frequency must be positive"));
+    }
+    let cycles_per_request = frequency_hz / rate_hz;
+    let group = match pattern {
+        ArrivalPattern::Uniform => 1,
+        ArrivalPattern::Burst { size } => {
+            if size == 0 {
+                return Err(BoxError::from("burst size must be at least 1"));
+            }
+            size
+        }
+    };
+    Ok((0..requests)
+        .map(|i| ((i / group) as f64 * group as f64 * cycles_per_request).round() as u64)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_spaces_requests_evenly() {
+        // 1 kHz arrivals on a 1 MHz clock: 1000 cycles apart.
+        let a = open_loop_arrivals(4, 1e3, 1e6, ArrivalPattern::Uniform).unwrap();
+        assert_eq!(a, vec![0, 1000, 2000, 3000]);
+    }
+
+    #[test]
+    fn bursts_group_requests_and_preserve_the_rate() {
+        let a = open_loop_arrivals(7, 1e3, 1e6, ArrivalPattern::Burst { size: 3 }).unwrap();
+        assert_eq!(a, vec![0, 0, 0, 3000, 3000, 3000, 6000]);
+        // Long-run rate preserved: request 6 arrives when the uniform
+        // pattern would emit request 6.
+        let u = open_loop_arrivals(7, 1e3, 1e6, ArrivalPattern::Uniform).unwrap();
+        assert_eq!(a[6], u[6]);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(open_loop_arrivals(1, 0.0, 1e9, ArrivalPattern::Uniform).is_err());
+        assert!(open_loop_arrivals(1, 1.0, -1.0, ArrivalPattern::Uniform).is_err());
+        assert!(open_loop_arrivals(1, 1.0, 1e9, ArrivalPattern::Burst { size: 0 }).is_err());
+        assert!(open_loop_arrivals(0, 1.0, 1e9, ArrivalPattern::Uniform).unwrap().is_empty());
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`baselines`] — DianNao, SCNN, Cambricon-X, Bit-pragmatic;
 //! * [`models`] — the nine-network benchmark zoo with synthetic
 //!   weights/activations and trace generation;
+//! * [`serve`] — batched inference serving (weight-fetch-amortized batch
+//!   engine, request queue, synthetic workloads);
 //! * [`nn`] — the minimal trainable NN stack;
 //! * [`tensor`] — the dense `f32` tensor/linear-algebra substrate.
 //!
@@ -50,4 +52,5 @@ pub use se_hw as hw;
 pub use se_ir as ir;
 pub use se_models as models;
 pub use se_nn as nn;
+pub use se_serve as serve;
 pub use se_tensor as tensor;
