@@ -37,6 +37,19 @@ impl CambriconX {
         Ok(CambriconX { cfg, geometry: GeometryCache::default() })
     }
 
+    /// [`CambriconX::new`] with the geometry cache drawn from the
+    /// process-wide registry ([`crate::common::shared_geometry_cache`]):
+    /// separately constructed instances share one memo table. Results are
+    /// bit-identical to [`CambriconX::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid resources.
+    pub fn with_shared_geometry(cfg: BaselineConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(CambriconX { cfg, geometry: crate::common::shared_geometry_cache() })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &BaselineConfig {
         &self.cfg

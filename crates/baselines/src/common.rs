@@ -7,7 +7,7 @@
 //! repeat a geometry 18× per stage derive it once. The data-dependent half
 //! (weight/activation non-zero counts) is recomputed per layer.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use se_hw::schedule::{ScheduleCache, ScheduleKey};
 use se_hw::{HwError, Result};
@@ -94,6 +94,32 @@ pub struct DenseGeometry {
 
 /// Per-accelerator memo table of [`DenseGeometry`] by layer shape.
 pub type GeometryCache = ScheduleCache<DenseGeometry>;
+
+/// The process-wide shared [`GeometryCache`] behind the baselines'
+/// `with_shared_geometry` constructors.
+///
+/// [`DenseGeometry`] is a pure function of the layer *shape* alone — no
+/// accelerator configuration enters it — so, unlike the SmartExchange
+/// engine's config-keyed schedule registry
+/// ([`se_hw::schedule::ScheduleRegistry`]), a single registry entry is
+/// safe for every baseline design at once: cluster replicas, the
+/// per-model engines of a serving sweep, and all four designs share one
+/// memo table, building each distinct shape's geometry once per process.
+/// Sharing is observationally transparent (hits and misses are
+/// bit-identical); only cache-length diagnostics can observe it.
+pub fn shared_geometry_cache() -> GeometryCache {
+    static SHARED: OnceLock<GeometryCache> = OnceLock::new();
+    SHARED.get_or_init(GeometryCache::default).clone()
+}
+
+// Residency note: every baseline charges its (dense, CSR-compressed, or
+// nnz-packed) weight DRAM exactly once per image, so a run's per-image
+// weight + index DRAM traffic (`se_hw::RunResult::weight_footprint_bytes`)
+// doubles as the design's weight-buffer residency footprint — what a model
+// switch re-fetches and what a buffer must hold to keep the model resident
+// (see `se_hw::residency`). The dense counterpart of the SmartExchange
+// lane's compressed footprint; the invariant is pinned by tests below and
+// per design.
 
 /// Computes the geometry statistics for one layer descriptor.
 ///
@@ -301,6 +327,40 @@ mod tests {
         let again = dense_stats_cached(&cache, &t).unwrap();
         assert_eq!(again, fresh);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn shared_geometry_cache_is_one_process_wide_table() {
+        // Other tests insert into the same process-wide table
+        // concurrently, so only monotonic properties are asserted.
+        let a = shared_geometry_cache();
+        let t = trace();
+        let fresh = dense_stats(&t).unwrap();
+        assert_eq!(dense_stats_cached(&a, &t).unwrap(), fresh);
+        // A separately fetched handle sees the same entries (a hit, bit-
+        // identical) — the whole point of the shared registry.
+        let b = shared_geometry_cache();
+        assert_eq!(dense_stats_cached(&b, &t).unwrap(), fresh);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn residency_footprint_is_the_per_image_weight_dram() {
+        use se_hw::{LayerResult, MemCounters, OpCounters, RunResult};
+        let layer = |w: u64, i: u64| LayerResult {
+            name: "l".into(),
+            compute_cycles: 1,
+            dram_cycles: 1,
+            total_cycles: 1,
+            mem: MemCounters { dram_weight_bytes: w, dram_index_bytes: i, ..Default::default() },
+            ops: OpCounters::default(),
+        };
+        let run = RunResult { layers: vec![layer(100, 7), layer(50, 3)] };
+        assert_eq!(run.weight_footprint_bytes(), 160);
+        // Batching charges the footprint once per batch, so the residency
+        // footprint — what a switch must re-fetch — is batch-invariant.
+        let batched = run.amortized_over_batch(8, 64.0);
+        assert_eq!(batched.weight_footprint_bytes(), 160);
     }
 
     #[test]

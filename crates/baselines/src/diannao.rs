@@ -29,6 +29,20 @@ impl DianNao {
         Ok(DianNao { cfg, geometry: GeometryCache::default() })
     }
 
+    /// [`DianNao::new`] with the geometry cache drawn from the
+    /// process-wide registry ([`crate::common::shared_geometry_cache`]):
+    /// separately constructed instances — cluster replicas, one engine per
+    /// model — share one memo table. Results are bit-identical to
+    /// [`DianNao::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid resources.
+    pub fn with_shared_geometry(cfg: BaselineConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(DianNao { cfg, geometry: crate::common::shared_geometry_cache() })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &BaselineConfig {
         &self.cfg
@@ -106,6 +120,17 @@ mod tests {
             QuantTensor::quantize(&a, 8).unwrap(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn shared_geometry_results_match_private_cache_results() {
+        let t = trace(8, 16, 16, 3);
+        let private = DianNao::default().process_layer(&t).unwrap();
+        let shared = DianNao::with_shared_geometry(BaselineConfig::default()).unwrap();
+        assert_eq!(shared.process_layer(&t).unwrap(), private);
+        // A second shared instance hits the same table, bit-identically.
+        let again = DianNao::with_shared_geometry(BaselineConfig::default()).unwrap();
+        assert_eq!(again.process_layer(&t).unwrap(), private);
     }
 
     #[test]

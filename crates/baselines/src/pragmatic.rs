@@ -37,6 +37,28 @@ impl BitPragmatic {
         Ok(BitPragmatic { engine: SeAccelerator::new(cfg)? })
     }
 
+    /// [`BitPragmatic::new`] with the underlying engine's schedule cache
+    /// drawn from the process-wide config-keyed registry
+    /// ([`SeAccelerator::with_shared_schedules`]): separately constructed
+    /// instances with the same resource budget share one memo table. The
+    /// registry key is the *derived* Pragmatic configuration, so the cache
+    /// is never shared with a SmartExchange lane. Results are
+    /// bit-identical to [`BitPragmatic::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a configuration error for invalid resources.
+    pub fn with_shared_schedules(base: SeAcceleratorConfig) -> Result<Self> {
+        let cfg = SeAcceleratorConfig {
+            bit_serial: true,
+            booth_encoder: false,
+            index_select: false,
+            compact_dedicated: false,
+            ..base
+        };
+        Ok(BitPragmatic { engine: SeAccelerator::with_shared_schedules(cfg)? })
+    }
+
     /// The underlying engine configuration.
     pub fn config(&self) -> &SeAcceleratorConfig {
         self.engine.config()
@@ -92,6 +114,15 @@ mod tests {
             QuantTensor::quantize(&a, 8).unwrap(),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn shared_schedule_results_match_private_cache_results() {
+        let t = trace(1.0, 9);
+        let private = BitPragmatic::default().process_layer(&t).unwrap();
+        let shared = BitPragmatic::with_shared_schedules(SeAcceleratorConfig::default()).unwrap();
+        assert_eq!(shared.process_layer(&t).unwrap(), private);
+        assert_eq!(shared.config(), BitPragmatic::default().config());
     }
 
     #[test]

@@ -49,6 +49,19 @@ pub struct Flags {
     pub concurrency: Option<usize>,
     /// `--burst N`: requests per burst for `--arrival burst`.
     pub burst: Option<usize>,
+    /// `--instances N`: accelerator instances behind `se cluster`'s shared
+    /// front.
+    pub instances: Option<usize>,
+    /// `--router rr|jsq|affinity`: `se cluster` routing policy.
+    pub router: Option<String>,
+    /// `--deadline-us F`: per-request deadline in microseconds (`se serve`
+    /// reports misses against it; `se cluster` schedules EDF with it).
+    /// Absent = best effort.
+    pub deadline_us: Option<f64>,
+    /// `--buffer-kb F`: per-instance weight-buffer capacity in KB for
+    /// `se cluster`'s residency model. Absent = residency modeling off
+    /// (weights streamed per batch).
+    pub buffer_kb: Option<f64>,
 }
 
 /// Every flag that consumes the next argument as its value — the single
@@ -69,6 +82,10 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--burst",
     "--queue-cap",
     "--concurrency",
+    "--instances",
+    "--router",
+    "--deadline-us",
+    "--buffer-kb",
 ];
 
 impl Flags {
@@ -131,6 +148,12 @@ impl Flags {
             "--queue-cap" => self.queue_cap = value.parse().ok().filter(|&n| n >= 1),
             "--concurrency" => self.concurrency = value.parse().ok().filter(|&n| n >= 1),
             "--burst" => self.burst = value.parse().ok().filter(|&n| n >= 1),
+            "--instances" => self.instances = value.parse().ok().filter(|&n| n >= 1),
+            "--router" => self.router = Some(value.to_string()),
+            "--deadline-us" => {
+                self.deadline_us = value.parse().ok().filter(|&d: &f64| d > 0.0);
+            }
+            "--buffer-kb" => self.buffer_kb = value.parse().ok().filter(|&b: &f64| b > 0.0),
             other => unreachable!("VALUE_FLAGS entry {other} not handled"),
         }
     }
@@ -238,6 +261,28 @@ mod tests {
         assert_eq!(parse(&["--max-batch", "0"]).max_batch, None);
         assert_eq!(parse(&["--rate", "-1"]).rate, None);
         assert_eq!(parse(&["--queue-cap"]).queue_cap, None);
+    }
+
+    #[test]
+    fn cluster_flags_parse_and_reject_degenerates() {
+        let f = parse(&[
+            "--instances",
+            "4",
+            "--router",
+            "affinity",
+            "--deadline-us",
+            "500",
+            "--buffer-kb",
+            "256.5",
+        ]);
+        assert_eq!(f.instances, Some(4));
+        assert_eq!(f.router.as_deref(), Some("affinity"));
+        assert_eq!(f.deadline_us, Some(500.0));
+        assert_eq!(f.buffer_kb, Some(256.5));
+        assert_eq!(parse(&["--instances", "0"]).instances, None);
+        assert_eq!(parse(&["--deadline-us", "-3"]).deadline_us, None);
+        assert_eq!(parse(&["--buffer-kb", "0"]).buffer_kb, None);
+        assert_eq!(parse(&["--router"]).router, None);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub const SUBCOMMANDS: &[(&str, &[&str], &str)] = &[
     ("trace", &[], "build/inspect persisted trace artifacts (se trace build|info)"),
     ("batch", &[], "batch-size sweep: weight-fetch amortization per image"),
     ("serve", &[], "request-driven batched serving simulation (queue + aggregator)"),
+    ("cluster", &[], "sharded multi-instance serving: routing, SLOs, weight residency"),
 ];
 
 /// Resolves a user-supplied subcommand name (alias-aware) to its canonical
@@ -78,7 +79,12 @@ pub fn usage() -> String {
          --rate F             open-loop arrival rate in req/s (default: 1.5x service rate)\n  \
          --burst N            requests per burst for --arrival burst\n  \
          --queue-cap N        bounded request-queue capacity (default 256)\n  \
-         --concurrency N      clients for --arrival closed (default 2x max batch)\n\n\
+         --concurrency N      clients for --arrival closed (default 2x max batch)\n  \
+         --deadline-us F      per-request deadline; misses are reported (se serve/cluster)\n\n\
+         CLUSTER FLAGS (se cluster):\n  \
+         --instances N        accelerator instances behind the shared front (default 4)\n  \
+         --router KIND        rr | jsq | affinity routing policy (default jsq)\n  \
+         --buffer-kb F        per-instance weight buffer; enables residency modeling\n\n\
          ENVIRONMENT:\n  \
          SE_PARALLELISM       default worker count for all parallel stages\n",
     );
@@ -143,6 +149,7 @@ pub fn run_subcommand(name: &str, rest: &[String], out: &mut dyn Write) -> Resul
         "trace" => figures::trace::run(rest, &flags, out),
         "batch" => figures::batch::run(&flags, out),
         "serve" => figures::serve::run(&flags, out),
+        "cluster" => figures::cluster::run(&flags, out),
         _ => unreachable!("canonical() only returns inventory names"),
     }
 }

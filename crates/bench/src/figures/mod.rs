@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod cluster;
 pub mod compare;
 pub mod fig10;
 pub mod fig11;
@@ -18,6 +19,7 @@ pub mod fig15;
 pub mod fig4;
 pub mod fig8;
 pub mod fig9;
+pub mod latency;
 pub mod postproc;
 pub mod serve;
 pub mod table1;

@@ -12,6 +12,7 @@
 
 use crate::args::Flags;
 use crate::figures::batch::pairs_for;
+use crate::figures::latency;
 use crate::{cli, table, Result};
 use se_hw::{EnergyModel, SeAcceleratorConfig};
 use se_ir::NetworkDesc;
@@ -31,6 +32,8 @@ struct Scenario {
     /// service rate (enough pressure to form batches, deterministic).
     rate_hz: Option<f64>,
     concurrency: usize,
+    /// Per-request deadline budget in cycles (`None` = best effort).
+    deadline: Option<u64>,
 }
 
 fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
@@ -59,6 +62,7 @@ fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
         open_loop,
         rate_hz: flags.rate,
         concurrency: flags.concurrency.unwrap_or(2 * max_batch),
+        deadline: latency::deadline_cycles(flags.deadline_us, frequency_hz),
     })
 }
 
@@ -97,6 +101,14 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             None => format!("closed loop x{}", sc.concurrency),
         }
     )?;
+    writeln!(
+        out,
+        "slo: {}",
+        match sc.deadline {
+            Some(d) => format!("deadline {d} cycles/request"),
+            None => "best effort (no deadline)".to_string(),
+        }
+    )?;
     writeln!(out)?;
 
     for net in models {
@@ -132,7 +144,9 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             weight_dram += count as f64 * (m.dram_weight_bytes + m.dram_index_bytes) as f64;
         }
         let completed = report.completed().max(1) as f64;
-        let ms = |cycles: f64| cycles / freq * 1e3;
+        let misses = sc.deadline.map(|d| report.misses_over_budget(d));
+        let (missed, miss_pct) = latency::miss_cells(misses, report.completed());
+        let [p50, p95, p99] = latency::percentile_cells(&report.latencies, freq);
 
         let rows = vec![
             vec!["completed".into(), report.completed().to_string()],
@@ -140,19 +154,19 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             vec!["batches".into(), report.batch_sizes.len().to_string()],
             vec!["mean batch".into(), format!("{:.2}", report.mean_batch())],
             vec!["throughput img/s".into(), format!("{:.1}", report.throughput_per_s(freq))],
-            vec!["latency mean ms".into(), format!("{:.4}", ms(report.mean_latency()))],
             vec![
-                "latency p50 ms".into(),
-                format!("{:.4}", ms(report.latency_percentile(50.0) as f64)),
+                "latency mean ms".into(),
+                format!("{:.4}", latency::ms(freq, report.mean_latency())),
             ],
-            vec![
-                "latency p95 ms".into(),
-                format!("{:.4}", ms(report.latency_percentile(95.0) as f64)),
-            ],
+            vec!["latency p50 ms".into(), p50],
+            vec!["latency p95 ms".into(), p95],
+            vec!["latency p99 ms".into(), p99],
             vec![
                 "latency max ms".into(),
-                format!("{:.4}", ms(report.latency_percentile(100.0) as f64)),
+                format!("{:.4}", latency::ms(freq, report.latency_percentile(100.0) as f64)),
             ],
+            vec!["deadline missed".into(), missed],
+            vec!["miss %".into(), miss_pct],
             vec!["energy mJ/img".into(), format!("{:.4}", energy_mj / completed)],
             vec!["wgt DRAM B/img".into(), format!("{:.1}", weight_dram / completed)],
         ];

@@ -1,0 +1,132 @@
+//! End-to-end guarantees of `se cluster`:
+//!
+//! * output is **bit-identical across worker counts** (the determinism
+//!   contract shared with `se serve`);
+//! * `--traces-dir` artifacts replay byte-identically;
+//! * the SmartExchange lane and the `n/a` handling of unsupported lanes
+//!   (SCNN on squeeze-excite models) render in the lane table;
+//! * `se serve` reports the shared p50/p95/p99 + deadline columns.
+
+use se_bench::args::Flags;
+use se_bench::figures;
+use se_ir::{Dataset, LayerDesc, LayerKind, NetworkDesc};
+use se_models::traces;
+
+fn conv(name: &str, ci: usize, co: usize, hw: usize) -> LayerDesc {
+    LayerDesc::new(
+        name,
+        LayerKind::Conv2d { in_channels: ci, out_channels: co, kernel: 3, stride: 1, padding: 1 },
+        (hw, hw),
+    )
+}
+
+/// Two small models — one with a squeeze-excite layer, so the SCNN lane is
+/// `n/a` for the whole mixed workload.
+fn model_set() -> Vec<NetworkDesc> {
+    vec![
+        NetworkDesc::new(
+            "alpha",
+            Dataset::Cifar10,
+            vec![conv("a1", 3, 8, 8), conv("a2", 8, 8, 8), conv("a3", 8, 8, 8)],
+        )
+        .unwrap(),
+        NetworkDesc::new(
+            "beta",
+            Dataset::Cifar10,
+            vec![
+                conv("b1", 3, 8, 8),
+                LayerDesc::new("se1", LayerKind::SqueezeExcite { channels: 8, reduced: 2 }, (8, 8)),
+                conv("b2", 8, 4, 8),
+            ],
+        )
+        .unwrap(),
+    ]
+}
+
+fn cluster_output(flags: &Flags, models: &[NetworkDesc]) -> String {
+    let mut out = Vec::new();
+    figures::cluster::run_with_models(flags, models, &mut out).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+fn cluster_flags() -> Flags {
+    Flags {
+        requests: Some(48),
+        instances: Some(2),
+        router: Some("affinity".into()),
+        deadline_us: Some(5.0),
+        buffer_kb: Some(2.0),
+        ..Flags::default()
+    }
+}
+
+#[test]
+fn cluster_output_is_bit_identical_across_worker_counts() {
+    let models = model_set();
+    let base = cluster_flags();
+    let serial = cluster_output(&Flags { sim_parallelism: Some(1), ..base.clone() }, &models);
+    assert!(serial.contains("SmartExchange"), "{serial}");
+    assert!(serial.contains("weight footprint per model"), "{serial}");
+    assert!(serial.contains("goodput img/s"), "{serial}");
+    let scnn_row = serial.lines().find(|l| l.trim_start().starts_with("SCNN")).unwrap();
+    assert!(scnn_row.contains("n/a"), "SCNN lane must be n/a on the squeeze-excite mix");
+    for workers in [4usize, 8] {
+        let parallel =
+            cluster_output(&Flags { sim_parallelism: Some(workers), ..base.clone() }, &models);
+        assert_eq!(serial, parallel, "workers = {workers}");
+    }
+    // Every router and the no-deadline / no-buffer paths stay
+    // deterministic too.
+    for router in ["rr", "jsq"] {
+        let flags = Flags {
+            router: Some(router.into()),
+            deadline_us: None,
+            buffer_kb: None,
+            ..base.clone()
+        };
+        assert_eq!(
+            cluster_output(&Flags { sim_parallelism: Some(1), ..flags.clone() }, &models),
+            cluster_output(&Flags { sim_parallelism: Some(4), ..flags }, &models),
+            "router {router}"
+        );
+    }
+}
+
+#[test]
+fn cluster_replays_trace_artifacts_byte_identically() {
+    let models = model_set();
+    let dir = std::env::temp_dir().join(format!("se-cluster-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let direct = cluster_output(&cluster_flags(), &models);
+    let opts = cluster_flags().runner_options().unwrap().traces;
+    for net in &models {
+        traces::build_trace_file(net, &opts, &dir).unwrap();
+    }
+    let cached =
+        cluster_output(&Flags { traces_dir: Some(dir.clone()), ..cluster_flags() }, &models);
+    assert_eq!(direct, cached);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn serve_reports_the_shared_latency_and_deadline_columns() {
+    let models = vec![model_set().remove(0)];
+    let flags = Flags { requests: Some(32), deadline_us: Some(5.0), ..Flags::default() };
+    let mut out = Vec::new();
+    figures::serve::run_with_models(&flags, &models, &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    for needle in
+        ["latency p50 ms", "latency p95 ms", "latency p99 ms", "deadline missed", "miss %"]
+    {
+        assert!(text.contains(needle), "serve output must report `{needle}`:\n{text}");
+    }
+    assert!(text.contains("deadline 5000 cycles/request"), "{text}");
+    // Without a deadline the miss cells degrade to n/a, not to absence.
+    let mut out = Vec::new();
+    figures::serve::run_with_models(&Flags { deadline_us: None, ..flags }, &models, &mut out)
+        .unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("deadline missed"), "{text}");
+    assert!(text.contains("n/a"), "{text}");
+    assert!(text.contains("best effort (no deadline)"), "{text}");
+}

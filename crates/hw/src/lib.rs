@@ -38,6 +38,7 @@ pub mod accelerator;
 pub mod config;
 pub mod energy;
 pub mod golden;
+pub mod residency;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
@@ -47,7 +48,8 @@ pub use accelerator::Accelerator;
 pub use config::SeAcceleratorConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HwError;
-pub use schedule::{ScheduleCache, ScheduleKey};
+pub use residency::{Admission, ResidencyStats, WeightBuffer};
+pub use schedule::{ScheduleCache, ScheduleKey, ScheduleRegistry};
 pub use stats::{LayerResult, MemCounters, OpCounters, RunResult};
 
 /// Crate-wide result alias.

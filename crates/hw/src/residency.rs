@@ -1,0 +1,232 @@
+//! Weight-buffer residency and model-switch cost accounting.
+//!
+//! Mixed-model serving turns the weight buffer into a cache of *models*:
+//! while a model stays resident, batch after batch reuses its on-chip
+//! weights and only the activation traffic recurs; switching to a
+//! non-resident model re-fetches the full weight footprint — the dense
+//! bytes on the baselines, the compressed basis + coefficient form (whose
+//! rebuild then reruns per batch) on SmartExchange — and evicts whatever
+//! no longer fits. SmartExchange's smaller footprint is therefore directly
+//! visible at the serving layer as fewer evictions and refetches at equal
+//! buffer size, which is the trade `se cluster` measures.
+//!
+//! [`WeightBuffer`] is the deterministic LRU residency model: models are
+//! identified by caller-assigned indices, capacities and footprints are
+//! byte counts, and every decision is a pure function of the admission
+//! sequence — no clocks, no randomness — so cluster simulations built on
+//! it stay bit-identical across worker counts.
+
+/// Outcome of admitting one model's weights ahead of a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// The model was already resident: no DRAM weight traffic.
+    Resident,
+    /// The model was fetched into the buffer, evicting the listed models
+    /// (LRU order) to make room.
+    Fetched {
+        /// Models evicted to make room, least-recently-used first.
+        evicted: Vec<usize>,
+    },
+    /// The footprint exceeds the buffer outright: the weights are streamed
+    /// from DRAM for this batch and nothing resident is disturbed. Every
+    /// future batch of this model streams again.
+    Streamed,
+}
+
+impl Admission {
+    /// Whether this admission had to move the footprint over DRAM (a fetch
+    /// or a stream — anything but a residency hit).
+    pub fn fetched_from_dram(&self) -> bool {
+        !matches!(self, Admission::Resident)
+    }
+}
+
+/// Running residency counters of one [`WeightBuffer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResidencyStats {
+    /// Batches served with the model's weights already resident.
+    pub hits: u64,
+    /// Weight fetches from DRAM (switch fetches plus streamed batches).
+    pub fetches: u64,
+    /// Models evicted to make room for a fetch.
+    pub evictions: u64,
+    /// Total weight bytes moved over DRAM by those fetches.
+    pub bytes_fetched: u64,
+}
+
+impl ResidencyStats {
+    /// Accumulates another buffer's counters into this one (used to fold
+    /// per-instance stats into a cluster total).
+    pub fn accumulate(&mut self, o: &ResidencyStats) {
+        self.hits += o.hits;
+        self.fetches += o.fetches;
+        self.evictions += o.evictions;
+        self.bytes_fetched += o.bytes_fetched;
+    }
+}
+
+/// A finite weight buffer holding whole-model weight footprints with LRU
+/// replacement.
+///
+/// The buffer tracks which models' weights are currently on chip; a batch
+/// admits its model before executing ([`WeightBuffer::admit`]). Capacity
+/// and footprints are bytes; a zero-byte footprint is always resident-able.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightBuffer {
+    capacity_bytes: u64,
+    /// Resident models with their footprints, least-recently-used first.
+    resident: Vec<(usize, u64)>,
+    stats: ResidencyStats,
+}
+
+impl WeightBuffer {
+    /// Creates an empty buffer of the given capacity.
+    pub fn new(capacity_bytes: u64) -> Self {
+        WeightBuffer { capacity_bytes, resident: Vec::new(), stats: ResidencyStats::default() }
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Whether `model` is currently resident.
+    pub fn is_resident(&self, model: usize) -> bool {
+        self.resident.iter().any(|&(m, _)| m == model)
+    }
+
+    /// Bytes currently occupied by resident models.
+    pub fn occupied_bytes(&self) -> u64 {
+        self.resident.iter().map(|&(_, b)| b).sum()
+    }
+
+    /// The residency counters accumulated so far.
+    pub fn stats(&self) -> &ResidencyStats {
+        &self.stats
+    }
+
+    /// Admits `model` (footprint `bytes`) ahead of a batch: a residency
+    /// hit refreshes its LRU position for free; a miss fetches the
+    /// footprint, evicting least-recently-used models until it fits; a
+    /// footprint larger than the whole buffer is streamed — charged like a
+    /// fetch but never made resident and never evicting anything.
+    pub fn admit(&mut self, model: usize, bytes: u64) -> Admission {
+        if let Some(pos) = self.resident.iter().position(|&(m, _)| m == model) {
+            let entry = self.resident.remove(pos);
+            self.resident.push(entry);
+            self.stats.hits += 1;
+            return Admission::Resident;
+        }
+        self.stats.fetches += 1;
+        self.stats.bytes_fetched += bytes;
+        if bytes > self.capacity_bytes {
+            return Admission::Streamed;
+        }
+        let mut evicted = Vec::new();
+        while self.occupied_bytes() + bytes > self.capacity_bytes {
+            let (victim, _) = self.resident.remove(0);
+            evicted.push(victim);
+        }
+        self.stats.evictions += evicted.len() as u64;
+        self.resident.push((model, bytes));
+        Admission::Fetched { evicted }
+    }
+}
+
+/// DRAM cycles to move a `bytes`-sized weight footprint at the given
+/// bandwidth — the latency a model switch serializes in front of its first
+/// batch (the fetch cannot overlap compute that needs the weights).
+pub fn fetch_cycles(bytes: u64, dram_bytes_per_cycle: f64) -> u64 {
+    debug_assert!(dram_bytes_per_cycle > 0.0, "bandwidth must be positive");
+    (bytes as f64 / dram_bytes_per_cycle).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_model_fetches_once_then_hits() {
+        let mut buf = WeightBuffer::new(100);
+        assert_eq!(buf.admit(0, 60), Admission::Fetched { evicted: vec![] });
+        for _ in 0..5 {
+            assert_eq!(buf.admit(0, 60), Admission::Resident);
+        }
+        assert!(buf.is_resident(0));
+        assert_eq!(
+            *buf.stats(),
+            ResidencyStats { hits: 5, fetches: 1, evictions: 0, bytes_fetched: 60 }
+        );
+    }
+
+    #[test]
+    fn alternating_models_evict_every_time_when_only_one_fits() {
+        let mut buf = WeightBuffer::new(100);
+        buf.admit(0, 60);
+        for round in 0..4 {
+            assert_eq!(
+                buf.admit(1, 70),
+                Admission::Fetched { evicted: vec![0] },
+                "round {round}: 1 in, 0 out"
+            );
+            assert_eq!(buf.admit(0, 60), Admission::Fetched { evicted: vec![1] });
+        }
+        let s = buf.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.fetches, 9);
+        assert_eq!(s.evictions, 8);
+        assert_eq!(s.bytes_fetched, 5 * 60 + 4 * 70);
+    }
+
+    #[test]
+    fn both_resident_when_they_fit() {
+        let mut buf = WeightBuffer::new(200);
+        buf.admit(0, 60);
+        buf.admit(1, 70);
+        for _ in 0..3 {
+            assert_eq!(buf.admit(0, 60), Admission::Resident);
+            assert_eq!(buf.admit(1, 70), Admission::Resident);
+        }
+        assert_eq!(buf.stats().fetches, 2);
+        assert_eq!(buf.stats().evictions, 0);
+        assert_eq!(buf.occupied_bytes(), 130);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut buf = WeightBuffer::new(100);
+        buf.admit(0, 40);
+        buf.admit(1, 40);
+        buf.admit(0, 40); // refresh 0: LRU is now 1
+        assert_eq!(buf.admit(2, 40), Admission::Fetched { evicted: vec![1] });
+        assert!(buf.is_resident(0));
+        assert!(!buf.is_resident(1));
+    }
+
+    #[test]
+    fn oversized_footprint_streams_without_evicting() {
+        let mut buf = WeightBuffer::new(100);
+        buf.admit(0, 80);
+        let a = buf.admit(1, 150);
+        assert_eq!(a, Admission::Streamed);
+        assert!(a.fetched_from_dram());
+        assert!(buf.is_resident(0), "streamed model must not evict residents");
+        assert!(!buf.is_resident(1));
+        assert_eq!(buf.stats().fetches, 2);
+        assert_eq!(buf.stats().bytes_fetched, 230);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = ResidencyStats { hits: 1, fetches: 2, evictions: 3, bytes_fetched: 4 };
+        a.accumulate(&ResidencyStats { hits: 10, fetches: 20, evictions: 30, bytes_fetched: 40 });
+        assert_eq!(a, ResidencyStats { hits: 11, fetches: 22, evictions: 33, bytes_fetched: 44 });
+    }
+
+    #[test]
+    fn fetch_cycles_round_up() {
+        assert_eq!(fetch_cycles(0, 64.0), 0);
+        assert_eq!(fetch_cycles(64, 64.0), 1);
+        assert_eq!(fetch_cycles(65, 64.0), 2);
+    }
+}

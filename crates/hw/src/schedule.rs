@@ -83,8 +83,13 @@ impl ScheduleKey {
     /// accelerators' geometry statistics): configuration fields are pinned
     /// to neutral values so the key is pure geometry.
     ///
-    /// Each accelerator owns its own cache, so geometry-only keys can never
-    /// collide with configuration-bearing keys from another design.
+    /// Geometry-only keys must only ever be used in caches whose values
+    /// are pure functions of the layer *shape* alone — under that contract
+    /// a single cache may safely be shared across designs and even
+    /// process-wide (see `se_baselines::common::shared_geometry_cache`).
+    /// Never mix them into a cache holding configuration-dependent values;
+    /// those belong under [`ScheduleKey::for_config`] in a per-config
+    /// cache ([`ScheduleRegistry`]).
     pub fn for_geometry(desc: &LayerDesc) -> Self {
         ScheduleKey {
             kind: *desc.kind(),
@@ -167,6 +172,53 @@ impl<T> ScheduleCache<T> {
     }
 
     /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A sweep-wide registry of [`ScheduleCache`]s keyed by accelerator
+/// configuration.
+///
+/// A per-run cache already shares schedules across *clones* of one
+/// accelerator (cloning shares the `Arc`ed memo table), but separately
+/// constructed instances — cluster replicas, one engine per model in a
+/// serving sweep, repeated figure runs in one process — each rebuilt every
+/// skeleton from scratch. A registry hands every instance with the same
+/// configuration the same cache, so each distinct `(geometry, config)`
+/// schedule is built once per process.
+///
+/// The key type `K` must capture **every** configuration field the cached
+/// value may depend on (hash `f64` fields by `to_bits`): two accelerators
+/// mapped to the same registry entry must be indistinguishable to the
+/// builder. Under that contract sharing is observationally transparent for
+/// the same reason per-run caching is — cached values are pure functions
+/// of `(key, cache key)`, so hits and misses are bit-identical.
+#[derive(Debug)]
+pub struct ScheduleRegistry<K, T> {
+    inner: Mutex<HashMap<K, ScheduleCache<T>>>,
+}
+
+impl<K, T> Default for ScheduleRegistry<K, T> {
+    fn default() -> Self {
+        ScheduleRegistry { inner: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<K: Eq + std::hash::Hash, T> ScheduleRegistry<K, T> {
+    /// The shared cache for configuration `key`, created empty on first
+    /// use. The returned handle shares its memo table with every other
+    /// holder of the same key.
+    pub fn cache_for(&self, key: K) -> ScheduleCache<T> {
+        self.inner.lock().expect("schedule registry never poisoned").entry(key).or_default().clone()
+    }
+
+    /// Number of distinct configurations registered so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("schedule registry never poisoned").len()
+    }
+
+    /// Whether no configuration has been registered yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -271,6 +323,24 @@ mod tests {
         // Clones share the memo table.
         let clone = cache.clone();
         clone.get_or_try_build::<()>(key, || panic!("clone shares the cache")).unwrap();
+    }
+
+    #[test]
+    fn registry_shares_caches_per_key() {
+        let reg: ScheduleRegistry<u32, u64> = ScheduleRegistry::default();
+        assert!(reg.is_empty());
+        let a = reg.cache_for(7);
+        let key = ScheduleKey::for_geometry(&conv_desc("c"));
+        a.get_or_try_build::<()>(key, || Ok(42)).unwrap();
+        // Same registry key: a freshly fetched handle already holds the
+        // schedule (a panicking builder proves the hit).
+        let b = reg.cache_for(7);
+        let v = b.get_or_try_build::<()>(key, || panic!("registry must share")).unwrap();
+        assert_eq!(*v, 42);
+        // A different configuration key gets an independent cache.
+        let c = reg.cache_for(8);
+        assert!(c.is_empty());
+        assert_eq!(reg.len(), 2);
     }
 
     #[test]

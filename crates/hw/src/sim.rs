@@ -53,9 +53,9 @@
 //! Booth-digit window costs, coefficient-row masks, rebuild costs — are
 //! re-evaluated per layer, so cache hits are bit-identical to cold builds.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::schedule::{ScheduleCache, ScheduleKey};
+use crate::schedule::{ScheduleCache, ScheduleKey, ScheduleRegistry};
 use crate::window::{self, SerialMode};
 use crate::{
     Accelerator, HwError, LayerResult, MemCounters, OpCounters, Result, SeAcceleratorConfig,
@@ -83,6 +83,28 @@ impl SeAccelerator {
         Ok(SeAccelerator { cfg, schedules: ScheduleCache::default() })
     }
 
+    /// [`SeAccelerator::new`] with the schedule cache drawn from a
+    /// process-wide [`ScheduleRegistry`] keyed by the **full**
+    /// configuration: every instance constructed with an identical `cfg` —
+    /// cluster replicas, one engine per model in a serving sweep, repeated
+    /// figure runs — shares one memo table, so each distinct layer
+    /// geometry's schedule skeleton is built once per process instead of
+    /// once per instance. Results are bit-identical to [`SeAccelerator::new`]
+    /// (schedules are pure functions of geometry + configuration); only
+    /// [`SeAccelerator::cached_schedules`] counts may differ, since the
+    /// shared table outlives any one instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwError::InvalidConfig`] for invalid configurations.
+    pub fn with_shared_schedules(cfg: SeAcceleratorConfig) -> Result<Self> {
+        static REGISTRY: OnceLock<ScheduleRegistry<ConfigKey, Schedule>> = OnceLock::new();
+        cfg.validate()?;
+        let schedules =
+            REGISTRY.get_or_init(ScheduleRegistry::default).cache_for(ConfigKey::of(&cfg));
+        Ok(SeAccelerator { cfg, schedules })
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &SeAcceleratorConfig {
         &self.cfg
@@ -99,6 +121,38 @@ impl SeAccelerator {
         self.schedules.get_or_try_build(ScheduleKey::for_config(desc, &self.cfg), || {
             Schedule::build(desc, &self.cfg)
         })
+    }
+}
+
+/// Registry key for [`SeAccelerator::with_shared_schedules`]: **every**
+/// field of [`SeAcceleratorConfig`] (`f64`s by exact bit pattern), so two
+/// accelerators mapped to the same shared cache are indistinguishable to
+/// the schedule builder — the sharing-safety contract of
+/// [`ScheduleRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    dims: (usize, usize, usize),
+    input_gb: (usize, u64),
+    output_gb: (usize, u64),
+    weight_buf: (usize, u64),
+    dram_bytes_per_cycle_bits: u64,
+    frequency_hz_bits: u64,
+    toggles: (bool, bool, bool, bool),
+    row_sample: usize,
+}
+
+impl ConfigKey {
+    fn of(cfg: &SeAcceleratorConfig) -> Self {
+        ConfigKey {
+            dims: (cfg.dim_m, cfg.dim_c, cfg.dim_f),
+            input_gb: (cfg.input_gb_banks, cfg.input_gb_bank_kb.to_bits()),
+            output_gb: (cfg.output_gb_banks, cfg.output_gb_bank_kb.to_bits()),
+            weight_buf: (cfg.weight_buf_banks, cfg.weight_buf_bank_kb.to_bits()),
+            dram_bytes_per_cycle_bits: cfg.dram_bytes_per_cycle.to_bits(),
+            frequency_hz_bits: cfg.frequency_hz.to_bits(),
+            toggles: (cfg.bit_serial, cfg.booth_encoder, cfg.index_select, cfg.compact_dedicated),
+            row_sample: cfg.row_sample,
+        }
     }
 }
 
@@ -1399,6 +1453,38 @@ mod tests {
         let clone = shared.clone();
         clone.process_layer(&traces[0]).unwrap();
         assert_eq!(clone.cached_schedules(), 2);
+    }
+
+    #[test]
+    fn shared_schedule_registry_is_bit_identical_and_shares_across_instances() {
+        // A distinctive configuration so no other test's registry entry
+        // interferes with the sharing assertion below.
+        let cfg = SeAcceleratorConfig { row_sample: 3, ..Default::default() };
+        let traces = [se_trace(4, 8, 8, 0.5, 31), se_trace(8, 16, 16, 0.5, 32)];
+        let private = SeAccelerator::new(cfg.clone()).unwrap();
+        let shared_a = SeAccelerator::with_shared_schedules(cfg.clone()).unwrap();
+        for t in &traces {
+            assert_eq!(
+                shared_a.process_layer(t).unwrap(),
+                private.process_layer(t).unwrap(),
+                "registry-backed results must match private-cache results"
+            );
+        }
+        // A separately constructed instance with the same configuration
+        // sees the schedules the first one built.
+        let shared_b = SeAccelerator::with_shared_schedules(cfg).unwrap();
+        assert_eq!(shared_b.cached_schedules(), shared_a.cached_schedules());
+        assert!(shared_b.cached_schedules() >= 2);
+        for t in &traces {
+            assert_eq!(shared_b.process_layer(t).unwrap(), private.process_layer(t).unwrap());
+        }
+        // A different configuration never shares an entry.
+        let other = SeAccelerator::with_shared_schedules(SeAcceleratorConfig {
+            row_sample: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(other.cached_schedules(), 0);
     }
 
     #[test]

@@ -54,6 +54,25 @@ impl MemCounters {
         self.rf_bytes += o.rf_bytes;
     }
 
+    /// The weight-side DRAM bytes of these counters (compressed weights or
+    /// dense synapses plus sparsity indices) — the footprint a model switch
+    /// must re-fetch and a weight buffer must hold to keep the layer
+    /// resident (see [`crate::residency`]).
+    pub fn weight_fetch_bytes(&self) -> u64 {
+        self.dram_weight_bytes + self.dram_index_bytes
+    }
+
+    /// These counters with the layer's weights already resident on chip:
+    /// the weight and index DRAM fetches and the weight-buffer fill are
+    /// dropped (they were paid when the model was loaded — see
+    /// [`crate::residency`]), while every recurring term — activation
+    /// traffic, weight-buffer *reads* feeding the PEs, and the rebuild
+    /// register-file traffic that reconstructs rows from the resident
+    /// compressed form — is kept unchanged.
+    pub fn with_weights_resident(&self) -> MemCounters {
+        MemCounters { dram_weight_bytes: 0, dram_index_bytes: 0, weight_gb_write_bytes: 0, ..*self }
+    }
+
     /// Memory traffic for processing `batch` images of this layer
     /// back-to-back with the weights held resident across the batch.
     ///
@@ -180,6 +199,28 @@ impl LayerResult {
         }
     }
 
+    /// This (possibly batched) layer result with its weights already
+    /// resident on chip: weight-side DRAM traffic and the buffer fill are
+    /// dropped ([`MemCounters::with_weights_resident`]) and the DRAM
+    /// transfer time is re-derived from the remaining traffic, so a
+    /// resident batch's latency is `max(compute, activation DRAM)`. The
+    /// rebuild work stays charged — on SmartExchange it reruns each batch
+    /// from the resident compressed form. Used with
+    /// [`crate::residency::WeightBuffer`], which decides when a model is
+    /// resident and what a switch costs.
+    pub fn with_weights_resident(&self, dram_bytes_per_cycle: f64) -> LayerResult {
+        let mem = self.mem.with_weights_resident();
+        let dram_cycles = (mem.dram_total_bytes() as f64 / dram_bytes_per_cycle).ceil() as u64;
+        LayerResult {
+            name: self.name.clone(),
+            compute_cycles: self.compute_cycles,
+            dram_cycles,
+            total_cycles: self.compute_cycles.max(dram_cycles),
+            mem,
+            ops: self.ops,
+        }
+    }
+
     /// Converts counters into the per-component energy breakdown.
     pub fn energy(&self, model: &EnergyModel, cfg: &SeAcceleratorConfig) -> EnergyBreakdown {
         let input_sram = model.sram_pj_per_byte(cfg.input_gb_bank_kb);
@@ -246,6 +287,29 @@ impl RunResult {
     /// Total energy in millijoules.
     pub fn energy_mj(&self, model: &EnergyModel, cfg: &SeAcceleratorConfig) -> f64 {
         self.energy(model, cfg).total() * 1e-12 * 1e3
+    }
+
+    /// The run's whole-model weight footprint in bytes: the weight + index
+    /// DRAM traffic of one image, which every design fetches exactly once
+    /// per image — so it is also what a model switch re-fetches and what a
+    /// weight buffer must hold to keep the model resident (see
+    /// [`crate::residency`]).
+    pub fn weight_footprint_bytes(&self) -> u64 {
+        self.mem_totals().weight_fetch_bytes()
+    }
+
+    /// The whole run with every layer's weights already resident —
+    /// [`LayerResult::with_weights_resident`] applied per layer. Combined
+    /// with [`RunResult::amortized_over_batch`] this yields the execution
+    /// model of a batch on a model that stayed resident across batches.
+    pub fn with_weights_resident(&self, dram_bytes_per_cycle: f64) -> RunResult {
+        RunResult {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| l.with_weights_resident(dram_bytes_per_cycle))
+                .collect(),
+        }
     }
 
     /// The whole network processed as `batch` images back-to-back,
@@ -363,6 +427,54 @@ mod tests {
         let amortized = run.amortized_over_batch(1, cfg.dram_bytes_per_cycle);
         assert_eq!(amortized.layers.len(), 2);
         assert_eq!(amortized.layers[0].compute_cycles, 1);
+    }
+
+    #[test]
+    fn resident_weights_drop_only_the_weight_side() {
+        let l = LayerResult {
+            name: "l".into(),
+            compute_cycles: 10,
+            dram_cycles: 2,
+            total_cycles: 10,
+            mem: MemCounters {
+                dram_input_bytes: 30,
+                dram_output_bytes: 20,
+                dram_weight_bytes: 500,
+                dram_index_bytes: 7,
+                input_gb_read_bytes: 4,
+                input_gb_write_bytes: 30,
+                output_gb_read_bytes: 1,
+                output_gb_write_bytes: 20,
+                weight_gb_read_bytes: 9,
+                weight_gb_write_bytes: 57,
+                rf_bytes: 11,
+            },
+            ops: OpCounters { rebuild_shift_adds: 8, ..Default::default() },
+        };
+        assert_eq!(l.mem.weight_fetch_bytes(), 507);
+        let r = l.with_weights_resident(1.0);
+        assert_eq!(r.mem.dram_weight_bytes, 0);
+        assert_eq!(r.mem.dram_index_bytes, 0);
+        assert_eq!(r.mem.weight_gb_write_bytes, 0);
+        // Recurring terms survive: activations, weight-buffer reads, and
+        // the rebuild RF/shift-add work from the resident compressed form.
+        assert_eq!(r.mem.dram_input_bytes, 30);
+        assert_eq!(r.mem.weight_gb_read_bytes, 9);
+        assert_eq!(r.mem.rf_bytes, 11);
+        assert_eq!(r.ops.rebuild_shift_adds, 8);
+        // DRAM time re-derived from the activation-only traffic.
+        assert_eq!(r.dram_cycles, 50);
+        assert_eq!(r.total_cycles, 50);
+
+        let run = RunResult { layers: vec![l.clone(), l] };
+        assert_eq!(run.weight_footprint_bytes(), 2 * 507);
+        let resident = run.with_weights_resident(1.0);
+        assert_eq!(resident.weight_footprint_bytes(), 0);
+        assert_eq!(resident.layers.len(), 2);
+        // Resident-batch composition: amortize, then drop the weight side.
+        let batched = run.amortized_over_batch(4, 64.0).with_weights_resident(64.0);
+        assert_eq!(batched.mem_totals().dram_input_bytes, 2 * 30 * 4);
+        assert_eq!(batched.weight_footprint_bytes(), 0);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Request routing across cluster instances.
+//!
+//! A router decides, at each request's arrival, which instance's queue it
+//! joins. Decisions are pure functions of the request sequence number, the
+//! target model, and a deterministic snapshot of per-instance state
+//! ([`InstanceView`]) taken by the serial event loop — ties always break
+//! toward the lowest instance index — so a routed trace is bit-identical
+//! across runs and worker counts.
+
+/// The router's snapshot of one instance at a routing decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceView {
+    /// Requests currently waiting in the instance's queue.
+    pub queued: usize,
+    /// Whether the request's model is currently resident in the instance's
+    /// weight buffer (always `false` with residency modeling disabled).
+    pub resident: bool,
+}
+
+/// Sharding/routing policy of the cluster front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Request `i` goes to instance `i % n`: oblivious, perfectly fair in
+    /// request count, and the policy under which a 1-instance cluster
+    /// reproduces `se serve` decision-for-decision.
+    RoundRobin,
+    /// Join the instance with the fewest waiting requests (tie: lowest
+    /// index) — the classical load-balancing heuristic.
+    JoinShortestQueue,
+    /// Weight-residency-aware placement: among instances holding the
+    /// model's weights resident, join the shortest queue; with none (or
+    /// residency modeling disabled), fall back to the model's home
+    /// instance `model % n`. Keeps each model's requests — and therefore
+    /// its weight-buffer residency — pinned to few instances, trading load
+    /// balance for fewer model-switch refetches.
+    ModelAffinity,
+}
+
+impl RouterPolicy {
+    /// Parses a CLI name (`rr`/`round-robin`, `jsq`/`shortest`,
+    /// `affinity`/`model-affinity`).
+    pub fn parse(name: &str) -> Option<RouterPolicy> {
+        match name {
+            "rr" | "round-robin" | "roundrobin" => Some(RouterPolicy::RoundRobin),
+            "jsq" | "shortest" | "join-shortest-queue" => Some(RouterPolicy::JoinShortestQueue),
+            "affinity" | "model-affinity" => Some(RouterPolicy::ModelAffinity),
+            _ => None,
+        }
+    }
+
+    /// Canonical display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::ModelAffinity => "model-affinity",
+        }
+    }
+
+    /// Routes the `seq`-th arrival (counting every arrival, including ones
+    /// later rejected by a full queue) targeting `model` across the given
+    /// instance views. Ties break toward the lowest instance index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty cluster (`views` must be non-empty).
+    pub fn route(&self, seq: u64, model: usize, views: &[InstanceView]) -> usize {
+        assert!(!views.is_empty(), "routing requires at least one instance");
+        let shortest = |candidates: &mut dyn Iterator<Item = usize>| -> Option<usize> {
+            candidates.min_by_key(|&i| (views[i].queued, i))
+        };
+        match self {
+            RouterPolicy::RoundRobin => (seq % views.len() as u64) as usize,
+            RouterPolicy::JoinShortestQueue => {
+                shortest(&mut (0..views.len())).expect("non-empty cluster")
+            }
+            RouterPolicy::ModelAffinity => {
+                shortest(&mut (0..views.len()).filter(|&i| views[i].resident))
+                    .unwrap_or(model % views.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(queued: &[usize], resident: &[bool]) -> Vec<InstanceView> {
+        queued
+            .iter()
+            .zip(resident)
+            .map(|(&queued, &resident)| InstanceView { queued, resident })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_by_sequence() {
+        let v = views(&[9, 0, 0], &[false; 3]);
+        let rr = RouterPolicy::RoundRobin;
+        assert_eq!(rr.route(0, 0, &v), 0);
+        assert_eq!(rr.route(1, 0, &v), 1);
+        assert_eq!(rr.route(5, 7, &v), 2, "model is irrelevant to round-robin");
+    }
+
+    #[test]
+    fn jsq_picks_the_shortest_with_low_index_ties() {
+        let jsq = RouterPolicy::JoinShortestQueue;
+        assert_eq!(jsq.route(0, 0, &views(&[3, 1, 2], &[false; 3])), 1);
+        assert_eq!(jsq.route(0, 0, &views(&[2, 1, 1], &[false; 3])), 1, "tie -> lowest index");
+    }
+
+    #[test]
+    fn affinity_prefers_resident_instances_then_home() {
+        let aff = RouterPolicy::ModelAffinity;
+        // Model resident on 1 and 2: shortest of those wins, even though
+        // instance 0 is idle.
+        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false, true, true])), 2);
+        // Nothing resident: home instance model % n.
+        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false; 3])), 2);
+        assert_eq!(aff.route(0, 4, &views(&[9, 4, 2], &[false; 3])), 1);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_rejects_unknowns() {
+        assert_eq!(RouterPolicy::parse("rr"), Some(RouterPolicy::RoundRobin));
+        assert_eq!(RouterPolicy::parse("round-robin"), Some(RouterPolicy::RoundRobin));
+        assert_eq!(RouterPolicy::parse("jsq"), Some(RouterPolicy::JoinShortestQueue));
+        assert_eq!(RouterPolicy::parse("model-affinity"), Some(RouterPolicy::ModelAffinity));
+        assert_eq!(RouterPolicy::parse("nope"), None);
+        assert_eq!(RouterPolicy::JoinShortestQueue.name(), "join-shortest-queue");
+    }
+}

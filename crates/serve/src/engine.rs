@@ -43,16 +43,25 @@ pub struct BatchEngine {
 impl BatchEngine {
     /// Creates the engine with the given accelerator configurations.
     ///
+    /// Every lane draws its schedule/geometry cache from the process-wide
+    /// config-keyed registries (`SeAccelerator::with_shared_schedules`,
+    /// `se_baselines::common::shared_geometry_cache`), so separately
+    /// constructed engines with the same configurations — one per model in
+    /// a serving sweep, cluster replicas, repeated figure runs — build each
+    /// schedule skeleton once per process. Sharing is observationally
+    /// transparent: results are bit-identical to private-cache engines.
+    ///
     /// # Errors
     ///
     /// Propagates configuration validation failures.
     pub fn new(se_cfg: SeAcceleratorConfig, baseline_cfg: BaselineConfig) -> Result<Self> {
         Ok(BatchEngine {
-            diannao: DianNao::new(baseline_cfg.clone()).map_err(BoxError::from)?,
-            scnn: Scnn::new(baseline_cfg.clone()).map_err(BoxError::from)?,
-            cambricon: CambriconX::new(baseline_cfg).map_err(BoxError::from)?,
-            pragmatic: BitPragmatic::new(se_cfg.clone()).map_err(BoxError::from)?,
-            se: SeAccelerator::new(se_cfg).map_err(BoxError::from)?,
+            diannao: DianNao::with_shared_geometry(baseline_cfg.clone()).map_err(BoxError::from)?,
+            scnn: Scnn::with_shared_geometry(baseline_cfg.clone()).map_err(BoxError::from)?,
+            cambricon: CambriconX::with_shared_geometry(baseline_cfg).map_err(BoxError::from)?,
+            pragmatic: BitPragmatic::with_shared_schedules(se_cfg.clone())
+                .map_err(BoxError::from)?,
+            se: SeAccelerator::with_shared_schedules(se_cfg).map_err(BoxError::from)?,
         })
     }
 
@@ -172,6 +181,25 @@ impl BatchEngine {
     /// per-image pass, so the whole table costs no extra simulation.
     pub fn latency_table(&self, lane: usize, per_image: &RunResult, max_batch: usize) -> Vec<u64> {
         (1..=max_batch.max(1)).map(|k| self.batched(lane, per_image, k).total_cycles()).collect()
+    }
+
+    /// [`BatchEngine::latency_table`] with the model's weights already
+    /// resident on chip: the per-batch weight fetch and buffer fill are
+    /// dropped (`RunResult::with_weights_resident`) — the execution model
+    /// of a batch on a model that stayed resident across batches. The
+    /// one-time load a switch pays instead is
+    /// `se_hw::residency::fetch_cycles` of
+    /// [`RunResult::weight_footprint_bytes`].
+    pub fn resident_latency_table(
+        &self,
+        lane: usize,
+        per_image: &RunResult,
+        max_batch: usize,
+    ) -> Vec<u64> {
+        let bw = self.accelerator(lane).dram_bytes_per_cycle();
+        (1..=max_batch.max(1))
+            .map(|k| self.batched(lane, per_image, k).with_weights_resident(bw).total_cycles())
+            .collect()
     }
 }
 

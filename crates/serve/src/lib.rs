@@ -18,7 +18,14 @@
 //!   simulated single accelerator, emitting per-request latency and
 //!   aggregate throughput statistics.
 //! * [`workload`] — deterministic synthetic arrival processes (uniform,
-//!   burst, closed-loop) that drive the queue.
+//!   burst, closed-loop), optionally mixed-model with per-request
+//!   deadlines, that drive the queue and the cluster.
+//! * [`cluster`] — the **cluster front**: N instances behind one request
+//!   stream with round-robin / join-shortest-queue / model-affinity
+//!   routing, earliest-deadline-first batch formation, and per-instance
+//!   weight-buffer residency (`se_hw::residency`) charging a full
+//!   footprint re-fetch on every model switch — where SmartExchange's
+//!   smaller footprint becomes fewer evictions and higher goodput.
 //!
 //! # Determinism contract
 //!
@@ -32,13 +39,15 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod engine;
 pub mod queue;
 pub mod workload;
 
+pub use cluster::{ClusterReport, ClusterSpec, ModelService, RouterPolicy};
 pub use engine::{BatchEngine, ACCEL_NAMES, SE_LANE};
 pub use queue::{BatchPolicy, ServeReport};
-pub use workload::ArrivalPattern;
+pub use workload::{ArrivalPattern, Request};
 
 /// Boxed error alias (`Send + Sync` so serving jobs can cross the parallel
 /// work queue).

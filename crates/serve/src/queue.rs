@@ -95,16 +95,18 @@ impl ServeReport {
         self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
     }
 
-    /// The `p`-th latency percentile in cycles (`p` in `[0, 100]`;
-    /// nearest-rank on the sorted latencies). Zero when nothing completed.
+    /// The `p`-th latency percentile in cycles (see [`percentile`]).
     pub fn latency_percentile(&self, p: f64) -> u64 {
-        if self.latencies.is_empty() {
-            return 0;
-        }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
-        let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        percentile(&self.latencies, p)
+    }
+
+    /// Completed requests whose latency exceeded `budget` cycles — the
+    /// deadline misses of a workload where every request carries the same
+    /// relative deadline (deadline = arrival + budget, and latency =
+    /// completion − arrival, so `latency > budget` is exactly a miss).
+    /// Shared with the cluster lane's per-request deadline accounting.
+    pub fn misses_over_budget(&self, budget: u64) -> u64 {
+        self.latencies.iter().filter(|&&l| l > budget).count() as u64
     }
 
     /// Sustained throughput in images per second at `frequency_hz`.
@@ -125,6 +127,20 @@ impl ServeReport {
         }
         h
     }
+}
+
+/// The `p`-th percentile of `values` (`p` in `[0, 100]`; nearest-rank on
+/// the sorted values). Zero for an empty slice. The single percentile
+/// definition shared by the serving and cluster reports, so their latency
+/// columns are directly comparable.
+pub fn percentile(values: &[u64], p: f64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
 /// When the pending queue's next batch would launch, given the server is
@@ -383,6 +399,10 @@ mod tests {
         assert_eq!(r.latency_percentile(50.0), 20);
         assert_eq!(r.latency_percentile(100.0), 40);
         assert_eq!(r.latency_percentile(0.0), 10);
+        assert_eq!(r.misses_over_budget(25), 2);
+        assert_eq!(r.misses_over_budget(40), 0);
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[5, 1, 3], 99.0), 5);
         assert_eq!(r.throughput_per_s(1000.0), 40.0);
         assert_eq!(r.batch_histogram(4), vec![0, 2, 0, 0]);
         assert_eq!(ServeReport::default().latency_percentile(99.0), 0);

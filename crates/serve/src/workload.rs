@@ -50,6 +50,50 @@ pub fn open_loop_arrivals(
         .collect())
 }
 
+/// One serving request of a (possibly mixed-model) workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Index into the served model set.
+    pub model: usize,
+    /// Arrival time in cycles.
+    pub arrival: u64,
+    /// Absolute completion deadline in cycles (`None` = best effort). A
+    /// request completing after its deadline is still served but counts as
+    /// a deadline miss.
+    pub deadline: Option<u64>,
+}
+
+/// The open-loop request stream of a mixed-model SLO workload: arrivals
+/// from [`open_loop_arrivals`], request `i` targeting model `i % models`
+/// (a deterministic interleave, so bursts mix models and exercise
+/// switches), and — when `deadline` is given — an absolute deadline of
+/// `arrival + deadline` cycles per request.
+///
+/// # Errors
+///
+/// As [`open_loop_arrivals`], plus a zero model count.
+pub fn request_stream(
+    requests: usize,
+    rate_hz: f64,
+    frequency_hz: f64,
+    pattern: ArrivalPattern,
+    models: usize,
+    deadline: Option<u64>,
+) -> Result<Vec<Request>> {
+    if models == 0 {
+        return Err(BoxError::from("a request stream needs at least one model"));
+    }
+    Ok(open_loop_arrivals(requests, rate_hz, frequency_hz, pattern)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival)| Request {
+            model: i % models,
+            arrival,
+            deadline: deadline.map(|d| arrival + d),
+        })
+        .collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,6 +113,18 @@ mod tests {
         // pattern would emit request 6.
         let u = open_loop_arrivals(7, 1e3, 1e6, ArrivalPattern::Uniform).unwrap();
         assert_eq!(a[6], u[6]);
+    }
+
+    #[test]
+    fn request_stream_interleaves_models_and_stamps_deadlines() {
+        let rs = request_stream(5, 1e3, 1e6, ArrivalPattern::Uniform, 2, Some(400)).unwrap();
+        let models: Vec<usize> = rs.iter().map(|r| r.model).collect();
+        assert_eq!(models, vec![0, 1, 0, 1, 0]);
+        assert_eq!(rs[3].arrival, 3000);
+        assert_eq!(rs[3].deadline, Some(3400));
+        let best_effort = request_stream(3, 1e3, 1e6, ArrivalPattern::Uniform, 1, None).unwrap();
+        assert!(best_effort.iter().all(|r| r.deadline.is_none() && r.model == 0));
+        assert!(request_stream(3, 1e3, 1e6, ArrivalPattern::Uniform, 0, None).is_err());
     }
 
     #[test]
