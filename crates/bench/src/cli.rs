@@ -42,6 +42,7 @@ pub const SUBCOMMANDS: &[(&str, &[&str], &str)] = &[
     ("batch", &[], "batch-size sweep: weight-fetch amortization per image"),
     ("serve", &[], "request-driven batched serving simulation (queue + aggregator)"),
     ("cluster", &[], "sharded multi-instance serving: routing, SLOs, weight residency"),
+    ("bench", &[], "wall-clock runtime benchmarks (se bench serve -> BENCH_serve.json)"),
 ];
 
 /// Resolves a user-supplied subcommand name (alias-aware) to its canonical
@@ -80,11 +81,16 @@ pub fn usage() -> String {
          --burst N            requests per burst for --arrival burst\n  \
          --queue-cap N        bounded request-queue capacity (default 256)\n  \
          --concurrency N      clients for --arrival closed (default 2x max batch)\n  \
-         --deadline-us F      per-request deadline; misses are reported (se serve/cluster)\n\n\
+         --deadline-us F      per-request deadline; misses are reported (se serve/cluster)\n  \
+         --runtime KIND       sim | staged serving back end (default sim; same output)\n  \
+         --exec-workers N     staged execution-pool threads (default SE_PARALLELISM)\n\n\
          CLUSTER FLAGS (se cluster):\n  \
          --instances N        accelerator instances behind the shared front (default 4)\n  \
          --router KIND        rr | jsq | affinity routing policy (default jsq)\n  \
          --buffer-kb F        per-instance weight buffer; enables residency modeling\n\n\
+         BENCH FLAGS (se bench serve):\n  \
+         --workers 1,4,8      staged worker counts swept (default 1,min(4,host),host)\n  \
+         --bench-out FILE     machine-readable report path (default BENCH_serve.json)\n\n\
          ENVIRONMENT:\n  \
          SE_PARALLELISM       default worker count for all parallel stages\n",
     );
@@ -150,6 +156,7 @@ pub fn run_subcommand(name: &str, rest: &[String], out: &mut dyn Write) -> Resul
         "batch" => figures::batch::run(&flags, out),
         "serve" => figures::serve::run(&flags, out),
         "cluster" => figures::cluster::run(&flags, out),
+        "bench" => figures::bench_serve::run(rest, &flags, out),
         _ => unreachable!("canonical() only returns inventory names"),
     }
 }

@@ -1,0 +1,393 @@
+//! `se bench serve` — wall-clock benchmarks of the serving runtimes.
+//!
+//! Sweeps a grid of cluster configurations (instances × router × batch
+//! policy) over a synthetic request stream, running each configuration
+//! through the serial discrete-event sim and through the staged runtime
+//! at every `--workers` count — with **real per-batch work** (the batch
+//! engine's amortization math via `se_serve::EngineWork`) fanned across
+//! the execution pool. Every staged run is checked for per-request
+//! outcome equality against the sim on the same stream; a mismatch fails
+//! the command (the determinism contract of `docs/SERVING.md`).
+//!
+//! Results go to `--bench-out` (default `BENCH_serve.json`) as a
+//! machine-readable report (`se_bench::json`); the file is parsed back
+//! and schema-checked after writing, so a green exit implies a valid
+//! snapshot. Wall-clock numbers vary run to run — the JSON is a perf
+//! snapshot, not a determinism surface; only the outcome sets are.
+
+use crate::args::Flags;
+use crate::figures::batch::pairs_for;
+use crate::figures::latency;
+use crate::json::Json;
+use crate::{cli, table, Result};
+use se_hw::{RunResult, SeAcceleratorConfig};
+use se_ir::NetworkDesc;
+use se_serve::cluster::{simulate_cluster_run, ClusterRun, ClusterSpec, ModelService};
+use se_serve::queue::BatchPolicy;
+use se_serve::workload::{self, ArrivalPattern};
+use se_serve::{BatchEngine, EngineWork, Request, RouterPolicy, StagedConfig, SE_LANE};
+use std::io::Write;
+use std::time::Instant;
+
+/// Dispatches the `bench` subcommand's action (`serve` is the only one).
+///
+/// # Errors
+///
+/// Fails without a valid action and propagates driver failures.
+pub fn run(rest: &[String], flags: &Flags, out: &mut dyn Write) -> Result<()> {
+    // Positional-action scan, same as `se trace`: flag values (inventory
+    // `args::VALUE_FLAGS`) are not positionals.
+    let mut action = None;
+    let mut iter = rest.iter();
+    while let Some(arg) = iter.next() {
+        if crate::args::VALUE_FLAGS.contains(&arg.as_str()) {
+            iter.next();
+        } else if !arg.starts_with("--") {
+            action = Some(arg.as_str());
+            break;
+        }
+    }
+    match action {
+        Some("serve") => run_with_models(flags, &cli::selected_models(flags), out),
+        other => Err(format!(
+            "usage: se bench <serve> [flags] (got {:?}); see docs/CLI.md",
+            other.unwrap_or("no action")
+        )
+        .into()),
+    }
+}
+
+/// One benchmarked run of one configuration.
+struct Measured {
+    runtime: &'static str,
+    exec_workers: Option<usize>,
+    wall_ms: f64,
+    run: ClusterRun,
+}
+
+/// The `se bench serve` driver on an explicit model set (the testable
+/// core: the dry-run test sweeps small models and schema-checks the
+/// emitted JSON).
+///
+/// # Errors
+///
+/// Fails on conflicting flags, on any staged/sim outcome divergence, and
+/// propagates trace, simulation, and I/O failures.
+pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Write) -> Result<()> {
+    if flags.runtime.is_some() {
+        return Err("se bench serve benchmarks both runtimes itself; \
+                    --runtime does not apply (use it on se serve / se cluster)"
+            .into());
+    }
+    if flags.exec_workers.is_some() {
+        return Err("se bench serve sweeps --workers 1,4,...; \
+                    --exec-workers only applies to se serve / se cluster"
+            .into());
+    }
+    if models.is_empty() {
+        return Err("se bench serve needs at least one model (check --models)".into());
+    }
+    let opts = flags.runner_options()?;
+    let engine = BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())?;
+    let freq = SeAcceleratorConfig::default().frequency_hz;
+
+    // One per-image pass per model; every batch size derives from it.
+    let mut per_image: Vec<RunResult> = Vec::with_capacity(models.len());
+    for net in models {
+        eprintln!("  profiling {}...", net.name());
+        let pairs = pairs_for(net, flags, &opts)?;
+        per_image.push(engine.per_image_se(&pairs, opts.sim_parallelism)?);
+    }
+    let mean_exec1: f64 =
+        per_image.iter().map(|r| r.total_cycles() as f64).sum::<f64>() / models.len() as f64;
+
+    // The sweep grid: a flag narrows its axis to the given value.
+    let instance_counts = flags.instances.map_or_else(|| vec![1, 4], |n| vec![n]);
+    let routers: Vec<RouterPolicy> = match flags.router.as_deref() {
+        None => vec![RouterPolicy::RoundRobin, RouterPolicy::JoinShortestQueue],
+        Some(name) => vec![RouterPolicy::parse(name)
+            .ok_or_else(|| format!("unknown router `{name}` (expected rr|jsq|affinity)"))?],
+    };
+    let max_batches = flags.max_batch.map_or_else(|| vec![1, 8], |n| vec![n]);
+    let host = StagedConfig::host_sized().exec_workers;
+    let mut workers = flags.workers.clone().unwrap_or_else(|| vec![1, host.min(4), host]);
+    workers.sort_unstable();
+    workers.dedup();
+    let requests = flags.requests.unwrap_or(100_000);
+    // Deadlines default on so goodput is a real column (override with
+    // --deadline-us; there is no "off" here — best-effort goodput equals
+    // throughput and says nothing).
+    let deadline = latency::deadline_cycles(flags.deadline_us.or(Some(2000.0)), freq);
+    let buffer_bytes = flags.buffer_kb.map(|kb| (kb * 1024.0).round() as u64);
+
+    writeln!(
+        out,
+        "se bench serve: wall-clock runtime benchmark, {} requests/config, workers {:?}\n",
+        requests, workers
+    )?;
+
+    let mut configs = Vec::new();
+    let mut rows = Vec::new();
+    for &instances in &instance_counts {
+        // Arrival pressure scales with capacity so every instance count
+        // sees the same per-instance load.
+        let rate = flags.rate.unwrap_or_else(|| 1.5 * instances as f64 * freq / mean_exec1);
+        let stream = workload::request_stream(
+            requests,
+            rate,
+            freq,
+            ArrivalPattern::Uniform,
+            models.len(),
+            deadline,
+        )?;
+        for router in &routers {
+            for &max_batch in &max_batches {
+                let policy = BatchPolicy {
+                    max_batch,
+                    max_wait: (flags.max_wait_us.unwrap_or(50.0) * 1e-6 * freq).round() as u64,
+                    queue_cap: flags.queue_cap.unwrap_or(256),
+                };
+                let spec = ClusterSpec { instances, router: *router, policy, buffer_bytes };
+                let services: Vec<ModelService> = models
+                    .iter()
+                    .zip(&per_image)
+                    .map(|(net, r)| {
+                        ModelService::from_engine(&engine, SE_LANE, net.name(), r, max_batch)
+                    })
+                    .collect();
+                eprintln!(
+                    "  bench: {} instance(s), router {}, max batch {}...",
+                    instances,
+                    router.name(),
+                    max_batch
+                );
+                let measured =
+                    measure_config(&stream, &services, &spec, &engine, &per_image, &workers)?;
+                let oracle = &measured[0].run;
+                for m in &measured[1..] {
+                    if m.run != *oracle {
+                        return Err(format!(
+                            "staged outcomes diverge from the sim at {} instance(s), \
+                             router {}, max batch {}, {} worker(s) — determinism bug",
+                            instances,
+                            router.name(),
+                            max_batch,
+                            m.exec_workers.unwrap_or(0)
+                        )
+                        .into());
+                    }
+                }
+                for m in &measured {
+                    rows.push(summary_row(instances, router, max_batch, m, freq));
+                    configs.push(config_json(instances, router, max_batch, m, freq));
+                }
+            }
+        }
+    }
+
+    writeln!(
+        out,
+        "{}",
+        table::render(
+            &[
+                "inst",
+                "router",
+                "batch",
+                "runtime",
+                "workers",
+                "wall ms",
+                "req/s",
+                "p99 ms",
+                "goodput/s",
+                "fetch MB",
+            ],
+            &rows,
+        )
+    )?;
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("serve".into())),
+        ("schema_version".into(), Json::Num(1.0)),
+        (
+            "models".into(),
+            Json::Arr(models.iter().map(|m| Json::Str(m.name().to_string())).collect()),
+        ),
+        ("lane".into(), Json::Str("SmartExchange".into())),
+        ("profile".into(), Json::Str(if flags.fast { "fast" } else { "full" }.into())),
+        ("frequency_hz".into(), Json::Num(freq)),
+        ("requests_per_config".into(), Json::Num(requests as f64)),
+        ("host_parallelism".into(), Json::Num(host as f64)),
+        ("configs".into(), Json::Arr(configs)),
+    ]);
+    let path = flags.bench_out.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+    let text = doc.render();
+    // Self-validate before writing: the committed snapshot must always
+    // satisfy the schema the CI dry-run checks.
+    validate_report(&Json::parse(&text)?)?;
+    std::fs::write(&path, &text)?;
+    writeln!(out, "wrote {} ({} configs)", path.display(), doc_configs(&doc))?;
+    Ok(())
+}
+
+fn doc_configs(doc: &Json) -> usize {
+    doc.get("configs").and_then(Json::as_array).map_or(0, <[Json]>::len)
+}
+
+/// Runs one configuration through the sim and through the staged runtime
+/// at each worker count. The sim is always `measured[0]`.
+fn measure_config(
+    stream: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    engine: &BatchEngine,
+    per_image: &[RunResult],
+    workers: &[usize],
+) -> Result<Vec<Measured>> {
+    let mut measured = Vec::with_capacity(1 + workers.len());
+    let start = Instant::now();
+    let run = simulate_cluster_run(stream, services, spec)?;
+    measured.push(Measured {
+        runtime: "sim",
+        exec_workers: None,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        run,
+    });
+    for &w in workers {
+        let cfg = StagedConfig { exec_workers: w, ..StagedConfig::default() };
+        let work = EngineWork { engine, lane: SE_LANE, per_image };
+        let start = Instant::now();
+        let run = se_serve::run_cluster_staged(stream, services, spec, &cfg, &work)?;
+        measured.push(Measured {
+            runtime: "staged",
+            exec_workers: Some(w),
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            run,
+        });
+    }
+    Ok(measured)
+}
+
+fn summary_row(
+    instances: usize,
+    router: &RouterPolicy,
+    max_batch: usize,
+    m: &Measured,
+    freq: f64,
+) -> Vec<String> {
+    let report = &m.run.report;
+    vec![
+        instances.to_string(),
+        router.name().to_string(),
+        max_batch.to_string(),
+        m.runtime.to_string(),
+        m.exec_workers.map_or_else(|| "-".into(), |w| w.to_string()),
+        format!("{:.1}", m.wall_ms),
+        format!("{:.0}", report.completed() as f64 / (m.wall_ms / 1e3)),
+        format!("{:.4}", latency::ms(freq, report.latency_percentile(99.0) as f64)),
+        format!("{:.1}", report.goodput_per_s(freq)),
+        format!("{:.2}", report.residency.bytes_fetched as f64 / (1024.0 * 1024.0)),
+    ]
+}
+
+fn config_json(
+    instances: usize,
+    router: &RouterPolicy,
+    max_batch: usize,
+    m: &Measured,
+    freq: f64,
+) -> Json {
+    let report = &m.run.report;
+    let wall_s = m.wall_ms / 1e3;
+    Json::Obj(vec![
+        ("runtime".into(), Json::Str(m.runtime.into())),
+        ("instances".into(), Json::Num(instances as f64)),
+        ("router".into(), Json::Str(router.name().into())),
+        ("max_batch".into(), Json::Num(max_batch as f64)),
+        ("exec_workers".into(), m.exec_workers.map_or(Json::Null, |w| Json::Num(w as f64))),
+        ("wall_ms".into(), Json::Num(m.wall_ms)),
+        ("throughput_rps".into(), Json::Num(report.completed() as f64 / wall_s)),
+        ("completed".into(), Json::Num(report.completed() as f64)),
+        ("rejected".into(), Json::Num(report.rejected as f64)),
+        ("misses".into(), Json::Num(report.misses as f64)),
+        ("goodput_per_s".into(), Json::Num(report.goodput_per_s(freq))),
+        ("p50_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(50.0) as f64))),
+        ("p95_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(95.0) as f64))),
+        ("p99_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(99.0) as f64))),
+        ("weight_fetches".into(), Json::Num(report.residency.fetches as f64)),
+        ("fetch_mb".into(), Json::Num(report.residency.bytes_fetched as f64 / (1024.0 * 1024.0))),
+        ("outcomes_match_sim".into(), Json::Bool(true)),
+    ])
+}
+
+/// Schema check for a `BENCH_serve.json` document — shared by the driver
+/// (self-validation after writing) and the CI dry-run test.
+///
+/// # Errors
+///
+/// Describes the first missing or mistyped field.
+pub fn validate_report(doc: &Json) -> Result<()> {
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing top-level `{key}`"));
+    if field("bench")?.as_str() != Some("serve") {
+        return Err("`bench` must be \"serve\"".into());
+    }
+    if field("schema_version")?.as_f64() != Some(1.0) {
+        return Err("`schema_version` must be 1".into());
+    }
+    for key in ["frequency_hz", "requests_per_config", "host_parallelism"] {
+        if field(key)?.as_f64().is_none() {
+            return Err(format!("`{key}` must be a number").into());
+        }
+    }
+    for key in ["lane", "profile"] {
+        if field(key)?.as_str().is_none() {
+            return Err(format!("`{key}` must be a string").into());
+        }
+    }
+    let models = field("models")?.as_array().ok_or("`models` must be an array")?;
+    if models.is_empty() || models.iter().any(|m| m.as_str().is_none()) {
+        return Err("`models` must be a non-empty array of strings".into());
+    }
+    let configs = field("configs")?.as_array().ok_or("`configs` must be an array")?;
+    if configs.is_empty() {
+        return Err("`configs` must be non-empty".into());
+    }
+    for (i, cfg) in configs.iter().enumerate() {
+        let field = |key: &str| cfg.get(key).ok_or_else(|| format!("config {i}: missing `{key}`"));
+        let runtime = field("runtime")?.as_str().ok_or("`runtime` must be a string")?;
+        match runtime {
+            "sim" if *field("exec_workers")? == Json::Null => {}
+            "staged" if field("exec_workers")?.as_f64().is_some() => {}
+            other => {
+                return Err(
+                    format!("config {i}: runtime `{other}` inconsistent with exec_workers").into()
+                )
+            }
+        }
+        if field("router")?.as_str().is_none() {
+            return Err(format!("config {i}: `router` must be a string").into());
+        }
+        for key in [
+            "instances",
+            "max_batch",
+            "wall_ms",
+            "throughput_rps",
+            "completed",
+            "rejected",
+            "misses",
+            "goodput_per_s",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "weight_fetches",
+            "fetch_mb",
+        ] {
+            if field(key)?.as_f64().is_none() {
+                return Err(format!("config {i}: `{key}` must be a number").into());
+            }
+        }
+        if field("outcomes_match_sim")?.as_bool() != Some(true) {
+            return Err(format!("config {i}: `outcomes_match_sim` must be true").into());
+        }
+    }
+    Ok(())
+}

@@ -17,9 +17,11 @@
 //! Per-image simulation replays `--traces-dir` artifacts when present;
 //! the cluster itself is a serial discrete-event loop, so the whole
 //! report is **bit-identical for every worker count** given the same
-//! flags (`docs/SERVING.md`).
+//! flags (`docs/SERVING.md`). `--runtime staged` swaps the loop for the
+//! concurrent staged pipeline with identical outcomes — and therefore
+//! identical stdout.
 
-use crate::args::Flags;
+use crate::args::{Flags, RuntimeKind};
 use crate::figures::batch::pairs_for;
 use crate::figures::latency;
 use crate::{cli, table, Result};
@@ -64,6 +66,12 @@ fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
             .into())
         }
     };
+    if flags.concurrency.is_some() {
+        return Err("--concurrency is a closed-loop `se serve` flag; se cluster \
+                    is open-loop (--rate sets the pressure, --instances the \
+                    parallel capacity, --exec-workers the staged thread pool)"
+            .into());
+    }
     let spec = ClusterSpec {
         instances: flags.instances.unwrap_or(4),
         router,
@@ -100,6 +108,13 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         return Err("se cluster needs at least one model (check --models)".into());
     }
     let opts = flags.runner_options()?;
+    let runtime = flags.runtime_kind()?;
+    let staged_cfg = flags.staged_config();
+    if runtime == RuntimeKind::Staged {
+        // Stdout stays byte-identical across runtimes (the determinism
+        // contract CI diffs); the runtime note goes to stderr.
+        eprintln!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
+    }
     let freq = SeAcceleratorConfig::default().frequency_hz;
     let sc = scenario(flags, freq)?;
     let engine = BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())?;
@@ -203,7 +218,19 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             );
             continue;
         };
-        let report = se_serve::cluster::simulate_cluster(&stream, &services, &sc.spec)?;
+        let report = match runtime {
+            RuntimeKind::Sim => se_serve::cluster::simulate_cluster(&stream, &services, &sc.spec)?,
+            RuntimeKind::Staged => {
+                se_serve::run_cluster_staged(
+                    &stream,
+                    &services,
+                    &sc.spec,
+                    &staged_cfg,
+                    &se_serve::NoWork,
+                )?
+                .report
+            }
+        };
         let (missed, miss_pct) =
             latency::miss_cells(sc.deadline.map(|_| report.misses), report.completed());
         let [p50, p95, p99] = latency::percentile_cells(&report.latencies, freq);

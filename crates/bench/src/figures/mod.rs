@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod batch;
+pub mod bench_serve;
 pub mod cluster;
 pub mod compare;
 pub mod fig10;

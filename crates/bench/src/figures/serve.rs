@@ -9,8 +9,12 @@
 //! discrete-event loop — so the whole report is **bit-identical for every
 //! worker count** given the same flags (the determinism contract of
 //! `docs/SERVING.md`).
+//!
+//! `--runtime staged` swaps the serial loop for `se_serve`'s concurrent
+//! staged pipeline. Outcomes — and therefore the report, and this
+//! command's stdout — are bit-identical to `--runtime sim` by contract.
 
-use crate::args::Flags;
+use crate::args::{Flags, RuntimeKind};
 use crate::figures::batch::pairs_for;
 use crate::figures::latency;
 use crate::{cli, table, Result};
@@ -56,6 +60,12 @@ fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
             .into())
         }
     };
+    if open_loop.is_some() && flags.concurrency.is_some() {
+        return Err("--concurrency only applies to --arrival closed \
+                    (open-loop pressure is --rate; the staged runtime's \
+                    thread pool is --exec-workers)"
+            .into());
+    }
     Ok(Scenario {
         policy,
         requests: flags.requests.unwrap_or(256),
@@ -83,6 +93,13 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
 /// Propagates trace, simulation, policy, and I/O failures.
 pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Write) -> Result<()> {
     let opts = flags.runner_options()?;
+    let runtime = flags.runtime_kind()?;
+    let staged_cfg = flags.staged_config();
+    if runtime == RuntimeKind::Staged {
+        // Stdout stays byte-identical across runtimes (the determinism
+        // contract CI diffs); the runtime note goes to stderr.
+        eprintln!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
+    }
     let freq = SeAcceleratorConfig::default().frequency_hz;
     let sc = scenario(flags, freq)?;
     let em = EnergyModel::default();
@@ -125,9 +142,30 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                 // queueing at sane max-batch settings.
                 let rate = sc.rate_hz.unwrap_or_else(|| 1.5 * freq / exec[0] as f64);
                 let arrivals = workload::open_loop_arrivals(sc.requests, rate, freq, pattern)?;
-                queue::simulate_open_loop(&arrivals, &exec, &sc.policy)?
+                match runtime {
+                    RuntimeKind::Sim => queue::simulate_open_loop(&arrivals, &exec, &sc.policy)?,
+                    RuntimeKind::Staged => se_serve::run_queue_staged_open(
+                        &arrivals,
+                        &exec,
+                        &sc.policy,
+                        &staged_cfg,
+                        &se_serve::NoWork,
+                    )?,
+                }
             }
-            None => queue::simulate_closed_loop(sc.requests, sc.concurrency, &exec, &sc.policy)?,
+            None => match runtime {
+                RuntimeKind::Sim => {
+                    queue::simulate_closed_loop(sc.requests, sc.concurrency, &exec, &sc.policy)?
+                }
+                RuntimeKind::Staged => se_serve::run_queue_staged_closed(
+                    sc.requests,
+                    sc.concurrency,
+                    &exec,
+                    &sc.policy,
+                    &staged_cfg,
+                    &se_serve::NoWork,
+                )?,
+            },
         };
 
         // Energy and weight-traffic totals from the executed batch mix.

@@ -1,0 +1,328 @@
+//! Minimal JSON emit + parse for the machine-readable benchmark reports
+//! (`BENCH_serve.json`). Hand-rolled on purpose: the workspace vendors no
+//! serialization crates, and the subset needed here — objects with stable
+//! key order, arrays, strings, numbers, booleans, null — is small enough
+//! to own. The emitter and parser round-trip each other, which is how the
+//! bench driver self-validates the file it just wrote.
+
+use crate::Result;
+
+/// A JSON value. Objects preserve insertion order so emitted reports are
+/// stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (emitted via Rust's shortest-roundtrip `f64` display).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, trailing
+    /// newline) — the on-disk format of `BENCH_serve.json`.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.render_into(&mut s, 0);
+        s.push('\n');
+        s
+    }
+
+    fn render_into(&self, s: &mut String, indent: usize) {
+        match self {
+            Json::Null => s.push_str("null"),
+            Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_number(*n, s),
+            Json::Str(text) => render_string(text, s),
+            Json::Arr(items) if items.is_empty() => s.push_str("[]"),
+            Json::Arr(items) => {
+                s.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    s.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(s, indent + 1);
+                    item.render_into(s, indent + 1);
+                }
+                s.push('\n');
+                push_indent(s, indent);
+                s.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => s.push_str("{}"),
+            Json::Obj(fields) => {
+                s.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    s.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(s, indent + 1);
+                    render_string(key, s);
+                    s.push_str(": ");
+                    value.render_into(s, indent + 1);
+                }
+                s.push('\n');
+                push_indent(s, indent);
+                s.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset the emitter produces, which is
+    /// ordinary JSON without exponent-free oddities).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}").into());
+        }
+        Ok(value)
+    }
+}
+
+fn push_indent(s: &mut String, indent: usize) {
+    for _ in 0..indent {
+        s.push_str("  ");
+    }
+}
+
+fn render_number(n: f64, s: &mut String) {
+    if n.is_finite() {
+        // Shortest-roundtrip display: integers print bare (`5`, not `5.0`).
+        s.push_str(&format!("{n}"));
+    } else {
+        s.push_str("null");
+    }
+}
+
+fn render_string(text: &str, s: &mut String) {
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<()> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}").into())
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                if !items.is_empty() {
+                    expect(bytes, pos, ",")?;
+                }
+                items.push(parse_value(bytes, pos)?);
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            loop {
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                if !fields.is_empty() {
+                    expect(bytes, pos, ",")?;
+                    skip_ws(bytes, pos);
+                }
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                fields.push((key, parse_value(bytes, pos)?));
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
+    expect(bytes, pos, "\"")?;
+    let mut out = String::new();
+    let mut chars = std::str::from_utf8(&bytes[*pos..])
+        .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+        .char_indices();
+    while let Some((offset, c)) = chars.next() {
+        match c {
+            '"' => {
+                *pos += offset + 1;
+                return Ok(out);
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let hex_at = *pos + offset + 2;
+                    let hex = bytes
+                        .get(hex_at..hex_at + 4)
+                        .and_then(|h| std::str::from_utf8(h).ok())
+                        .ok_or("truncated \\u escape")?;
+                    let code = u32::from_str_radix(hex, 16).map_err(|e| format!("\\u: {e}"))?;
+                    out.push(char::from_u32(code).ok_or("\\u escape outside the BMP")?);
+                    for _ in 0..4 {
+                        chars.next();
+                    }
+                }
+                other => return Err(format!("unsupported escape {other:?}").into()),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("invalid number at byte {start}").into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(fields: &[(&str, Json)]) -> Json {
+        Json::Obj(fields.iter().map(|(k, v)| ((*k).to_string(), v.clone())).collect())
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let doc = obj(&[
+            ("bench", Json::Str("serve".into())),
+            ("schema_version", Json::Num(1.0)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            ("p99_ms", Json::Num(0.1875)),
+            (
+                "configs",
+                Json::Arr(vec![
+                    obj(&[("runtime", Json::Str("sim".into())), ("workers", Json::Null)]),
+                    obj(&[("runtime", Json::Str("staged".into())), ("workers", Json::Num(4.0))]),
+                ]),
+            ),
+            ("empty_arr", Json::Arr(vec![])),
+            ("quoted", Json::Str("a \"b\"\nc\\d".into())),
+        ]);
+        let text = doc.render();
+        assert!(text.ends_with('\n'));
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+        // Integers render bare, keys keep insertion order.
+        assert!(text.contains("\"schema_version\": 1,"), "{text}");
+        let bench_pos = text.find("\"bench\"").unwrap();
+        assert!(bench_pos < text.find("\"configs\"").unwrap());
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let doc = Json::parse(r#"{"a": [1, 2.5, "x", false], "b": {"c": null}}"#).unwrap();
+        let items = doc.get("a").unwrap().as_array().unwrap();
+        assert_eq!(items[0].as_f64(), Some(1.0));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(items[3].as_bool(), Some(false));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("nope"), None);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_loudly() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "nul", "1 2", "[1] trailing"] {
+            assert!(Json::parse(bad).is_err(), "must reject {bad:?}");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 pub mod args;
 pub mod cli;
 pub mod figures;
+pub mod json;
 pub mod runner;
 pub mod table;
 

@@ -1,0 +1,108 @@
+//! End-to-end guarantees of `se bench serve`:
+//!
+//! * a small sweep produces a `BENCH_serve.json` that parses and passes
+//!   the schema check (the CI dry-run contract);
+//! * the sweep covers both runtimes and every requested worker count,
+//!   and every staged entry matched the sim (a divergence fails the
+//!   command, so a written file implies outcome equality);
+//! * conflicting flags (`--runtime`, `--exec-workers`) error loudly;
+//! * `se bench` without a valid action errors with usage.
+
+use se_bench::args::Flags;
+use se_bench::figures::bench_serve;
+use se_bench::json::Json;
+use se_ir::{Dataset, LayerDesc, LayerKind, NetworkDesc};
+
+fn conv(name: &str, ci: usize, co: usize, hw: usize) -> LayerDesc {
+    LayerDesc::new(
+        name,
+        LayerKind::Conv2d { in_channels: ci, out_channels: co, kernel: 3, stride: 1, padding: 1 },
+        (hw, hw),
+    )
+}
+
+fn model_set() -> Vec<NetworkDesc> {
+    vec![
+        NetworkDesc::new("alpha", Dataset::Cifar10, vec![conv("a1", 3, 8, 8), conv("a2", 8, 8, 8)])
+            .unwrap(),
+        NetworkDesc::new("beta", Dataset::Cifar10, vec![conv("b1", 3, 16, 8)]).unwrap(),
+    ]
+}
+
+#[test]
+fn dry_run_emits_a_valid_schema_checked_report() {
+    let path = std::env::temp_dir().join(format!("se-bench-serve-{}.json", std::process::id()));
+    let flags = Flags {
+        requests: Some(300),
+        workers: Some(vec![1, 2]),
+        instances: Some(2),
+        buffer_kb: Some(2.0),
+        bench_out: Some(path.clone()),
+        ..Flags::default()
+    };
+    let mut out = Vec::new();
+    bench_serve::run_with_models(&flags, &model_set(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("wrote"), "{text}");
+
+    let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    bench_serve::validate_report(&doc).unwrap();
+    assert_eq!(doc.get("requests_per_config").unwrap().as_f64(), Some(300.0));
+    let configs = doc.get("configs").unwrap().as_array().unwrap();
+    // instances pinned to {2} x routers {rr, jsq} x max_batch {1, 8},
+    // each measured as sim + staged x {1, 2} workers.
+    // 1 instance count x 2 routers x 2 batch sizes, each measured as
+    // sim + staged x {1, 2} workers = 3 runtime entries.
+    assert_eq!(configs.len(), 2 * 2 * 3, "sweep shape");
+    let sims = configs.iter().filter(|c| c.get("runtime").unwrap().as_str() == Some("sim"));
+    assert_eq!(sims.count(), 4);
+    for workers in [1.0, 2.0] {
+        let staged = configs.iter().filter(|c| {
+            c.get("runtime").unwrap().as_str() == Some("staged")
+                && c.get("exec_workers").unwrap().as_f64() == Some(workers)
+        });
+        assert_eq!(staged.count(), 4, "staged entries at {workers} worker(s)");
+    }
+    // The mixed two-model stream through a small buffer exercises the
+    // residency lane of the report.
+    assert!(
+        configs.iter().any(|c| c.get("weight_fetches").unwrap().as_f64() > Some(0.0)),
+        "residency traffic must appear in the report"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn conflicting_flags_error_loudly() {
+    let mut out = Vec::new();
+    let err = bench_serve::run_with_models(
+        &Flags { runtime: Some("staged".into()), ..Flags::default() },
+        &model_set(),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("--runtime does not apply"), "{err}");
+
+    let err = bench_serve::run_with_models(
+        &Flags { exec_workers: Some(4), ..Flags::default() },
+        &model_set(),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("--workers"), "{err}");
+
+    let err = bench_serve::run_with_models(&Flags::default(), &[], &mut out).unwrap_err();
+    assert!(err.to_string().contains("at least one model"), "{err}");
+}
+
+#[test]
+fn bench_without_a_valid_action_errors_with_usage() {
+    let mut out = Vec::new();
+    let rest: Vec<String> = vec!["--requests".into(), "10".into()];
+    let err = bench_serve::run(&rest, &Flags::default(), &mut out).unwrap_err();
+    assert!(err.to_string().contains("se bench <serve>"), "{err}");
+    // A flag value that looks like an action must not be taken for one.
+    let rest: Vec<String> = vec!["--bench-out".into(), "serve".into()];
+    let err = bench_serve::run(&rest, &Flags::default(), &mut out).unwrap_err();
+    assert!(err.to_string().contains("no action"), "{err}");
+}

@@ -1,0 +1,100 @@
+//! Criterion benches for the staged runtime's moving parts:
+//!
+//! * **stage handoff** — one `bounded` send/recv round trip, single- and
+//!   cross-thread, at several capacities: the per-event overhead every
+//!   pipeline stage pays;
+//! * **batch formation** — the scheduler's admit → plan → launch cycle on
+//!   a saturated queue (the `ClusterCore` work between two handoffs),
+//!   measured through the public open-loop entry point with a no-op
+//!   execution stage;
+//! * **end-to-end floor** — the whole staged pipeline with `NoWork`
+//!   against the serial sim on the same trace: the cost of the threads
+//!   and channels themselves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use se_core::pipeline::bounded;
+use se_serve::queue::{self, BatchPolicy};
+use se_serve::{run_queue_staged_open, NoWork, StagedConfig};
+use std::hint::black_box;
+
+fn exec_table(max_batch: usize) -> Vec<u64> {
+    (1..=max_batch as u64).map(|k| 4000 + 600 * k).collect()
+}
+
+fn trace(n: u64) -> Vec<u64> {
+    // Saturating arrivals: every admission finds a non-empty queue, so
+    // plan invalidation and batch formation run on every request.
+    (0..n).map(|i| i * 700).collect()
+}
+
+fn bench_channel_handoff(c: &mut Criterion) {
+    // Same-thread ping: the raw lock + condvar cost of one send/recv.
+    let mut group = c.benchmark_group("staged_channel");
+    group.sample_size(30);
+    for cap in [1usize, 64] {
+        let (tx, rx) = bounded::<u64>(cap);
+        group.bench_function(&format!("send_recv_same_thread_cap{cap}"), |b| {
+            b.iter(|| {
+                tx.send(black_box(7)).unwrap();
+                black_box(rx.recv().unwrap())
+            })
+        });
+    }
+    // Cross-thread stream: 4096 events through a dedicated echo thread,
+    // the pattern of the scheduler → exec-pool edge under backpressure.
+    group.bench_function("stream_4096_cross_thread_cap64", |b| {
+        b.iter(|| {
+            let (tx, rx) = bounded::<u64>(64);
+            let handle = std::thread::spawn(move || {
+                let mut acc = 0u64;
+                while let Some(v) = rx.recv() {
+                    acc = acc.wrapping_add(v);
+                }
+                acc
+            });
+            for i in 0..4096u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            black_box(handle.join().unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn bench_batch_formation(c: &mut Criterion) {
+    // The serial sim is pure scheduler: admit, plan, launch, record —
+    // no channels, no threads. This is the batch-formation cost floor.
+    let policy = BatchPolicy { max_batch: 8, max_wait: 1500, queue_cap: 64 };
+    let exec = exec_table(8);
+    let arrivals = trace(4096);
+    let mut group = c.benchmark_group("staged_scheduler");
+    group.sample_size(20);
+    group.bench_function("sim_4096_requests_batch8", |b| {
+        b.iter(|| black_box(queue::simulate_open_loop(&arrivals, &exec, &policy).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_pipeline_floor(c: &mut Criterion) {
+    // The full staged pipeline with NoWork: sim cost + thread spawn +
+    // every per-event handoff. The gap to `sim_4096_requests_batch8` is
+    // the pipeline overhead `se bench serve` amortizes with real work.
+    let policy = BatchPolicy { max_batch: 8, max_wait: 1500, queue_cap: 64 };
+    let exec = exec_table(8);
+    let arrivals = trace(4096);
+    let mut group = c.benchmark_group("staged_pipeline");
+    group.sample_size(20);
+    for workers in [1usize, 4] {
+        let cfg = StagedConfig { exec_workers: workers, channel_cap: 64, chunk: 64 };
+        group.bench_function(&format!("nowork_4096_requests_workers{workers}"), |b| {
+            b.iter(|| {
+                black_box(run_queue_staged_open(&arrivals, &exec, &policy, &cfg, &NoWork).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_channel_handoff, bench_batch_formation, bench_pipeline_floor);
+criterion_main!(benches);

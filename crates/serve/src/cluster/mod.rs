@@ -28,4 +28,7 @@ pub mod router;
 pub mod sim;
 
 pub use router::{InstanceView, RouterPolicy};
-pub use sim::{simulate_cluster, ClusterReport, ClusterSpec, InstanceSummary, ModelService};
+pub use sim::{
+    simulate_cluster, simulate_cluster_run, ClusterReport, ClusterRun, ClusterSpec,
+    InstanceSummary, ModelService,
+};

@@ -28,13 +28,19 @@
 //! surrounding harness; a 1-instance, round-robin, no-deadline,
 //! no-residency cluster reproduces [`crate::queue::simulate_open_loop`]
 //! decision-for-decision (enforced by property test).
+//!
+//! Every scheduling decision lives in the shared [`crate::sched`] core;
+//! this module is the serial driver plus report assembly. The concurrent
+//! staged runtime ([`crate::staged`]) drives the same core, which is why
+//! [`simulate_cluster_run`] doubles as its correctness oracle.
 
-use crate::cluster::router::{InstanceView, RouterPolicy};
+use crate::cluster::router::RouterPolicy;
 use crate::engine::BatchEngine;
 use crate::queue::{percentile, BatchPolicy};
+use crate::sched::{self, ClusterCore, Disposition, RequestOutcome, SchedEvent};
 use crate::workload::Request;
 use crate::{BoxError, Result};
-use se_hw::residency::{fetch_cycles, ResidencyStats, WeightBuffer};
+use se_hw::residency::{fetch_cycles, ResidencyStats};
 use se_hw::RunResult;
 
 /// One model's execution profile on one accelerator lane — everything the
@@ -208,70 +214,65 @@ impl ClusterReport {
     }
 }
 
-/// A queued request plus its issue order (the final EDF tie-breaker).
-#[derive(Debug, Clone, Copy)]
-struct Queued {
-    id: usize,
-    req: Request,
+/// Full result of one cluster run: the aggregate report plus the
+/// per-request outcome set — the unit the sim-vs-staged determinism
+/// contract is stated (and property-tested) over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterRun {
+    /// Aggregate report (latencies, batch sizes, residency, ...).
+    pub report: ClusterReport,
+    /// Per-request outcomes, sorted by request id.
+    pub outcomes: Vec<RequestOutcome>,
 }
 
-impl Queued {
-    /// EDF ordering key: earliest deadline first (`None` = best effort,
-    /// after every deadline), then arrival, then issue order. With no
-    /// deadlines anywhere this is exactly FIFO.
-    fn key(&self) -> (u64, u64, usize) {
-        (self.req.deadline.unwrap_or(u64::MAX), self.req.arrival, self.id)
+/// Folds one scheduling event into the report and outcome set. Launched
+/// batches must be fed in launch (`seq`) order — the order `latencies`
+/// and `batch_sizes` are recorded in; the staged runtime's collector
+/// re-sorts its stream by `seq` before calling this, which is what makes
+/// its reports bit-identical to the sim's.
+pub(crate) fn record_event(
+    event: &SchedEvent,
+    report: &mut ClusterReport,
+    outcomes: &mut Vec<RequestOutcome>,
+) {
+    match event {
+        SchedEvent::Rejected(id, req) => {
+            report.rejected += 1;
+            outcomes.push(RequestOutcome {
+                id: *id,
+                model: req.model,
+                arrival: req.arrival,
+                disposition: Disposition::Rejected,
+            });
+        }
+        SchedEvent::Launched(batch) => {
+            for m in &batch.members {
+                let missed = m.req.deadline.is_some_and(|d| batch.done > d);
+                report.latencies.push(batch.done - m.req.arrival);
+                if missed {
+                    report.misses += 1;
+                }
+                outcomes.push(RequestOutcome {
+                    id: m.id,
+                    model: m.req.model,
+                    arrival: m.req.arrival,
+                    disposition: Disposition::Served {
+                        batch: batch.seq,
+                        instance: batch.instance,
+                        done: batch.done,
+                        missed,
+                    },
+                });
+            }
+            report.batch_sizes.push(batch.members.len());
+            report.makespan = report.makespan.max(batch.done);
+        }
     }
 }
 
-/// One instance's private state.
-struct Instance {
-    queue: Vec<Queued>,
-    free: u64,
-    buffer: Option<WeightBuffer>,
-    summary: InstanceSummary,
-}
-
-/// The batch an instance would launch next: member positions (in `queue`,
-/// EDF order) and the earliest start time given the server frees at
-/// `free`. `None` for an empty queue.
-fn launch_plan(inst: &Instance, policy: &BatchPolicy) -> Option<(Vec<usize>, u64)> {
-    if inst.queue.is_empty() {
-        return None;
-    }
-    // Head = EDF-minimum over the whole queue (O(Q)); only the head
-    // model's requests — the batch candidates — need sorting.
-    let head_pos =
-        (0..inst.queue.len()).min_by_key(|&i| inst.queue[i].key()).expect("non-empty queue");
-    let head = &inst.queue[head_pos];
-    let mut members: Vec<usize> =
-        (0..inst.queue.len()).filter(|&i| inst.queue[i].req.model == head.req.model).collect();
-    members.sort_by_key(|&i| inst.queue[i].key());
-    members.truncate(policy.max_batch);
-    let start = if members.len() >= policy.max_batch {
-        // Full batch: ready as soon as its last member has arrived.
-        let last_arrival =
-            members.iter().map(|&i| inst.queue[i].req.arrival).max().expect("non-empty batch");
-        inst.free.max(last_arrival)
-    } else {
-        // Short batch: wait out the head-of-line request's patience.
-        inst.free.max(head.req.arrival + policy.max_wait)
-    };
-    Some((members, start))
-}
-
-/// Simulates the cluster over an open-loop request stream (arrivals
-/// non-decreasing; `model` indexes into `services`).
-///
-/// # Errors
-///
-/// Rejects an invalid spec and out-of-range model indices.
-pub fn simulate_cluster(
-    requests: &[Request],
-    services: &[ModelService],
-    spec: &ClusterSpec,
-) -> Result<ClusterReport> {
-    spec.validate(services)?;
+/// Checks every request's model index against the service set (shared by
+/// both runtimes' entry points).
+pub(crate) fn validate_models(requests: &[Request], services: &[ModelService]) -> Result<()> {
     if let Some(r) = requests.iter().find(|r| r.model >= services.len()) {
         return Err(BoxError::from(format!(
             "request targets model {} but only {} services are defined",
@@ -283,125 +284,49 @@ pub fn simulate_cluster(
         requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
         "arrivals must be sorted"
     );
-    let mut instances: Vec<Instance> = (0..spec.instances)
-        .map(|_| Instance {
-            queue: Vec::new(),
-            free: 0,
-            buffer: spec.buffer_bytes.map(WeightBuffer::new),
-            summary: InstanceSummary::default(),
-        })
-        .collect();
-    let mut report = ClusterReport::default();
-    let mut next = 0usize;
-    loop {
-        // The earliest pending launch across the cluster (tie: lowest
-        // instance index).
-        let best = instances
-            .iter()
-            .enumerate()
-            .filter_map(|(i, inst)| launch_plan(inst, &spec.policy).map(|(m, s)| (s, i, m)))
-            .min_by_key(|&(s, i, _)| (s, i));
-        let arrival = requests.get(next);
-        match (arrival, best) {
-            (None, None) => break,
-            // Arrivals landing before (or exactly when) the next batch
-            // closes are routed first — they may fill a batch and pull its
-            // start in, exactly as in the single-instance queue.
-            (Some(&req), None) => {
-                route(req, next, spec, &mut instances, &mut report);
-                next += 1;
-            }
-            (Some(&req), Some((start, _, _))) if req.arrival <= start => {
-                route(req, next, spec, &mut instances, &mut report);
-                next += 1;
-            }
-            (_, Some((start, idx, members))) => {
-                launch(&mut instances[idx], members, start, services, &mut report);
-            }
-        }
-    }
-    for inst in instances {
-        report.residency.accumulate(&inst.summary.residency);
-        report.per_instance.push(inst.summary);
-    }
-    Ok(report)
+    Ok(())
 }
 
-/// Routes one arrival: snapshot the instances, ask the policy, join or
-/// bounce off the bounded queue.
-fn route(
-    req: Request,
-    id: usize,
-    spec: &ClusterSpec,
-    instances: &mut [Instance],
-    report: &mut ClusterReport,
-) {
-    let views: Vec<InstanceView> = instances
-        .iter()
-        .map(|inst| InstanceView {
-            queued: inst.queue.len(),
-            resident: inst.buffer.as_ref().is_some_and(|b| b.is_resident(req.model)),
-        })
-        .collect();
-    let target = spec.router.route(id as u64, req.model, &views);
-    if instances[target].queue.len() >= spec.policy.queue_cap {
-        report.rejected += 1;
-    } else {
-        instances[target].queue.push(Queued { id, req });
-    }
-}
-
-/// Launches one batch on `inst`: admits the model's weights, charges the
-/// batch (plus any switch fetch), records completions and deadline
-/// misses.
-fn launch(
-    inst: &mut Instance,
-    members: Vec<usize>,
-    start: u64,
+/// Simulates the cluster over an open-loop request stream (arrivals
+/// non-decreasing; `model` indexes into `services`), returning the full
+/// per-request outcome set alongside the report.
+///
+/// # Errors
+///
+/// Rejects an invalid spec and out-of-range model indices.
+pub fn simulate_cluster_run(
+    requests: &[Request],
     services: &[ModelService],
-    report: &mut ClusterReport,
-) {
-    let k = members.len();
-    debug_assert!(k >= 1, "launch requires a non-empty batch");
-    let svc = &services[inst.queue[members[0]].req.model];
-    let exec = match inst.buffer.as_mut() {
-        None => svc.streamed[k - 1],
-        Some(buffer) => {
-            use se_hw::residency::Admission;
-            match buffer.admit(inst.queue[members[0]].req.model, svc.footprint_bytes) {
-                Admission::Resident => svc.resident[k - 1],
-                Admission::Fetched { .. } => svc.switch_cycles + svc.resident[k - 1],
-                Admission::Streamed => svc.streamed[k - 1],
-            }
-        }
-    };
-    let done = start + exec;
-    // Record completions in EDF member order, then compact the queue.
-    let mut taken = vec![false; inst.queue.len()];
-    for &i in &members {
-        let q = &inst.queue[i];
-        report.latencies.push(done - q.req.arrival);
-        if q.req.deadline.is_some_and(|d| done > d) {
-            report.misses += 1;
-        }
-        taken[i] = true;
+    spec: &ClusterSpec,
+) -> Result<ClusterRun> {
+    validate_models(requests, services)?;
+    let mut core = ClusterCore::new(services, spec)?;
+    let mut report = ClusterReport::default();
+    let mut outcomes = Vec::with_capacity(requests.len());
+    sched::drive_open_loop(&mut core, requests.iter().copied().enumerate(), &mut |event| {
+        record_event(&event, &mut report, &mut outcomes);
+        true
+    });
+    for summary in core.finish() {
+        report.residency.accumulate(&summary.residency);
+        report.per_instance.push(summary);
     }
-    let mut keep = 0usize;
-    for (i, &gone) in taken.iter().enumerate() {
-        if !gone {
-            inst.queue.swap(keep, i);
-            keep += 1;
-        }
-    }
-    inst.queue.truncate(keep);
-    inst.free = done;
-    report.makespan = report.makespan.max(done);
-    report.batch_sizes.push(k);
-    inst.summary.batches += 1;
-    inst.summary.completed += k as u64;
-    if let Some(buffer) = inst.buffer.as_ref() {
-        inst.summary.residency = *buffer.stats();
-    }
+    outcomes.sort_unstable_by_key(|o| o.id);
+    Ok(ClusterRun { report, outcomes })
+}
+
+/// Simulates the cluster over an open-loop request stream, returning the
+/// aggregate report (see [`simulate_cluster_run`] for the outcome set).
+///
+/// # Errors
+///
+/// Rejects an invalid spec and out-of-range model indices.
+pub fn simulate_cluster(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+) -> Result<ClusterReport> {
+    Ok(simulate_cluster_run(requests, services, spec)?.report)
 }
 
 #[cfg(test)]

@@ -26,6 +26,14 @@
 //!   weight-buffer residency (`se_hw::residency`) charging a full
 //!   footprint re-fetch on every model switch — where SmartExchange's
 //!   smaller footprint becomes fewer evictions and higher goodput.
+//! * [`sched`] — the **scheduling core** shared by the serial sim and the
+//!   staged runtime: admission, routing, EDF batch formation, and
+//!   residency as one virtual-time state machine emitting a canonical
+//!   event stream.
+//! * [`staged`] — the **staged runtime**: admission → scheduling →
+//!   execution → collection as concurrent threads over bounded channels,
+//!   producing outcomes bit-identical to the sim while fanning real
+//!   per-batch work across cores.
 //!
 //! # Determinism contract
 //!
@@ -33,8 +41,10 @@
 //! any worker count**: the only parallel stage (the per-image simulation
 //! grid) reassembles in network order, batching is pure integer/f64
 //! arithmetic on those results, and the queue simulation is a serial
-//! discrete-event loop. `batch = 1` reproduces today's single-image
-//! numbers exactly. See `docs/SERVING.md`.
+//! discrete-event loop. The staged runtime inherits the contract by
+//! construction (outcome equality with the sim, collector re-ordering by
+//! launch sequence). `batch = 1` reproduces today's single-image numbers
+//! exactly. See `docs/SERVING.md`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,11 +52,18 @@
 pub mod cluster;
 pub mod engine;
 pub mod queue;
+pub mod sched;
+pub mod staged;
 pub mod workload;
 
-pub use cluster::{ClusterReport, ClusterSpec, ModelService, RouterPolicy};
+pub use cluster::{ClusterReport, ClusterRun, ClusterSpec, ModelService, RouterPolicy};
 pub use engine::{BatchEngine, ACCEL_NAMES, SE_LANE};
 pub use queue::{BatchPolicy, ServeReport};
+pub use sched::{Disposition, PlannedBatch, Queued, RequestOutcome, SchedEvent};
+pub use staged::{
+    run_cluster_staged, run_queue_staged_closed, run_queue_staged_open, EngineWork, ExecWork,
+    NoWork, StagedConfig,
+};
 pub use workload::{ArrivalPattern, Request};
 
 /// Boxed error alias (`Send + Sync` so serving jobs can cross the parallel

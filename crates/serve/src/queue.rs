@@ -15,9 +15,17 @@
 //! The whole simulation is serial integer arithmetic over a fixed arrival
 //! order, so its output is bit-identical for any worker count of the
 //! surrounding harness — the determinism contract of `se serve`.
+//!
+//! Since the staged-runtime refactor the actual scheduling decisions live
+//! in the shared [`crate::sched`] core (a 1-instance, round-robin,
+//! no-residency cluster *is* this queue — long enforced by property
+//! test); this module keeps the single-accelerator entry points and the
+//! [`ServeReport`] shape.
 
-use std::collections::VecDeque;
-
+use crate::cluster::router::RouterPolicy;
+use crate::cluster::sim::{ClusterSpec, ModelService};
+use crate::sched::{self, ClusterCore, SchedEvent};
+use crate::workload::Request;
 use crate::{BoxError, Result};
 
 /// Batch-formation policy of the serving front.
@@ -143,36 +151,50 @@ pub fn percentile(values: &[u64], p: f64) -> u64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
-/// When the pending queue's next batch would launch, given the server is
-/// free at `free`: immediately once full (but never before its members
-/// arrive), else when the head request's wait expires.
-fn launch_time(queue: &VecDeque<u64>, policy: &BatchPolicy, free: u64) -> u64 {
-    if queue.len() >= policy.max_batch {
-        free.max(queue[policy.max_batch - 1])
-    } else {
-        free.max(queue[0] + policy.max_wait)
+/// Validates the policy against the execution table (shared by both entry
+/// points and the staged runtime).
+pub(crate) fn validate_exec(exec: &[u64], policy: &BatchPolicy) -> Result<()> {
+    policy.validate()?;
+    if exec.len() < policy.max_batch {
+        return Err(BoxError::from(format!(
+            "execution table covers batches up to {}, policy allows {}",
+            exec.len(),
+            policy.max_batch
+        )));
     }
+    Ok(())
 }
 
-/// Launches the next batch: pops up to `max_batch` requests, records their
-/// latencies and the batch size, and returns the completion time.
-fn launch(
-    queue: &mut VecDeque<u64>,
-    start: u64,
-    exec: &[u64],
-    policy: &BatchPolicy,
-    report: &mut ServeReport,
-) -> u64 {
-    let k = queue.len().min(policy.max_batch);
-    debug_assert!(k >= 1, "launch requires a non-empty queue");
-    let done = start + exec[(k - 1).min(exec.len() - 1)];
-    for _ in 0..k {
-        let arrival = queue.pop_front().expect("k <= queue length");
-        report.latencies.push(done - arrival);
+/// The single-accelerator server as a 1-instance cluster: one model whose
+/// batch table is `exec` (no residency modeling, so streamed == resident
+/// and every batch charges the table directly).
+pub(crate) fn single_instance(exec: &[u64], policy: BatchPolicy) -> (ModelService, ClusterSpec) {
+    let service = ModelService {
+        name: "serve".into(),
+        streamed: exec.to_vec(),
+        resident: exec.to_vec(),
+        footprint_bytes: 0,
+        switch_cycles: 0,
+    };
+    let spec =
+        ClusterSpec { instances: 1, router: RouterPolicy::RoundRobin, policy, buffer_bytes: None };
+    (service, spec)
+}
+
+/// Folds one scheduling event into a [`ServeReport`]. Launched batches
+/// must arrive in launch order (the single instance executes serially, so
+/// completion times are non-decreasing).
+pub(crate) fn record_event(event: &SchedEvent, report: &mut ServeReport) {
+    match event {
+        SchedEvent::Rejected(..) => report.rejected += 1,
+        SchedEvent::Launched(batch) => {
+            for m in &batch.members {
+                report.latencies.push(batch.done - m.req.arrival);
+            }
+            report.batch_sizes.push(batch.members.len());
+            report.makespan = report.makespan.max(batch.done);
+        }
     }
-    report.batch_sizes.push(k);
-    report.makespan = done;
-    done
 }
 
 /// Simulates an **open-loop** workload: requests arrive at the given cycle
@@ -190,47 +212,23 @@ pub fn simulate_open_loop(
     exec: &[u64],
     policy: &BatchPolicy,
 ) -> Result<ServeReport> {
-    policy.validate()?;
-    if exec.len() < policy.max_batch {
-        return Err(BoxError::from(format!(
-            "execution table covers batches up to {}, policy allows {}",
-            exec.len(),
-            policy.max_batch
-        )));
-    }
+    validate_exec(exec, policy)?;
     debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    let (service, spec) = single_instance(exec, policy.clone());
+    let services = [service];
+    let mut core = ClusterCore::new(&services, &spec)?;
     let mut report = ServeReport::default();
-    let mut queue: VecDeque<u64> = VecDeque::new();
-    let mut free = 0u64;
-    let mut next = 0usize;
-    loop {
-        if queue.is_empty() {
-            // Nothing to batch: admit the next arrival or finish.
-            match arrivals.get(next) {
-                Some(&a) => {
-                    queue.push_back(a);
-                    next += 1;
-                }
-                None => break,
-            }
-            continue;
-        }
-        let start = launch_time(&queue, policy, free);
-        // Arrivals landing before the batch closes join (or bounce off)
-        // the queue first — they may fill the batch and pull `start` in.
-        if let Some(&a) = arrivals.get(next) {
-            if a <= start {
-                if queue.len() >= policy.queue_cap {
-                    report.rejected += 1;
-                } else {
-                    queue.push_back(a);
-                }
-                next += 1;
-                continue;
-            }
-        }
-        free = launch(&mut queue, start, exec, policy, &mut report);
-    }
+    sched::drive_open_loop(
+        &mut core,
+        arrivals
+            .iter()
+            .enumerate()
+            .map(|(id, &arrival)| (id, Request { model: 0, arrival, deadline: None })),
+        &mut |event| {
+            record_event(&event, &mut report);
+            true
+        },
+    );
     Ok(report)
 }
 
@@ -250,55 +248,20 @@ pub fn simulate_closed_loop(
     exec: &[u64],
     policy: &BatchPolicy,
 ) -> Result<ServeReport> {
-    policy.validate()?;
+    validate_exec(exec, policy)?;
     if concurrency == 0 {
         return Err(BoxError::from("closed-loop concurrency must be at least 1"));
     }
-    if exec.len() < policy.max_batch {
-        return Err(BoxError::from(format!(
-            "execution table covers batches up to {}, policy allows {}",
-            exec.len(),
-            policy.max_batch
-        )));
-    }
+    // Closed loops are bounded by their concurrency, not the queue cap.
+    let uncapped = BatchPolicy { queue_cap: usize::MAX, ..policy.clone() };
+    let (service, spec) = single_instance(exec, uncapped);
+    let services = [service];
+    let mut core = ClusterCore::new(&services, &spec)?;
     let mut report = ServeReport::default();
-    // All future arrivals, kept sorted by (time, issue order). Completions
-    // append arrivals with time >= every queued entry, so a plain FIFO of
-    // pending arrivals stays sorted — no heap needed.
-    let mut pending: VecDeque<u64> = VecDeque::new();
-    let mut issued = concurrency.min(requests);
-    for _ in 0..issued {
-        pending.push_back(0);
-    }
-    let mut queue: VecDeque<u64> = VecDeque::new();
-    let mut free = 0u64;
-    loop {
-        if queue.is_empty() {
-            match pending.pop_front() {
-                Some(a) => queue.push_back(a),
-                None => break,
-            }
-            continue;
-        }
-        let start = launch_time(&queue, policy, free);
-        if let Some(&a) = pending.front() {
-            if a <= start {
-                queue.push_back(a);
-                pending.pop_front();
-                continue;
-            }
-        }
-        let before = report.completed();
-        free = launch(&mut queue, start, exec, policy, &mut report);
-        // Each completed request unblocks its client, which immediately
-        // submits the next request (arriving at the completion time).
-        for _ in before..report.completed() {
-            if issued < requests {
-                pending.push_back(free);
-                issued += 1;
-            }
-        }
-    }
+    sched::drive_closed_loop(&mut core, requests, concurrency, &mut |event| {
+        record_event(&event, &mut report);
+        true
+    });
     Ok(report)
 }
 

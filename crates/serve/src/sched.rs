@@ -1,0 +1,475 @@
+//! The shared scheduling core of the serving front.
+//!
+//! Both serving runtimes — the deterministic discrete-event simulation
+//! ([`crate::queue`], [`crate::cluster::sim`]) and the concurrent staged
+//! pipeline ([`crate::staged`]) — make their admission, routing, batch
+//! formation, and residency decisions through the one state machine here,
+//! `ClusterCore`. The sim drives it from a serial loop; the staged
+//! runtime drives it from its scheduling stage. Because every decision is
+//! a pure function of the arrival order and the service tables (never of
+//! wall-clock time), the two runtimes produce **identical per-request
+//! outcome sets** by construction — the determinism contract that lets
+//! the sim act as the staged runtime's oracle (and that the property
+//! tests in `tests/staged.rs` enforce end to end).
+//!
+//! The core advances a *virtual* clock: `ClusterCore::admit` routes one
+//! arrival into an instance queue (or bounces it off the cap), and
+//! `ClusterCore::launch_next` forms and launches the earliest pending
+//! batch, returning a [`PlannedBatch`] whose completion time is already
+//! known (execution latencies come from pre-computed batch tables). The
+//! drivers `drive_open_loop` and `drive_closed_loop` encode the one
+//! legal interleaving of those two operations: an arrival is admitted
+//! before any batch that would launch at or after its arrival time.
+
+use std::collections::VecDeque;
+
+use crate::cluster::router::InstanceView;
+use crate::cluster::sim::{ClusterSpec, InstanceSummary, ModelService};
+use crate::workload::Request;
+use crate::Result;
+use se_hw::residency::{Admission, WeightBuffer};
+
+/// A queued request plus its issue order (the final EDF tie-breaker and
+/// the identity the determinism contract is stated over).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queued {
+    /// Arrival sequence number (stamped by the driver in arrival order,
+    /// counting every arrival including later-rejected ones).
+    pub id: usize,
+    /// The request itself.
+    pub req: Request,
+}
+
+impl Queued {
+    /// EDF ordering key: earliest deadline first (`None` = best effort,
+    /// after every deadline), then arrival, then issue order. With no
+    /// deadlines anywhere this is exactly FIFO.
+    fn key(&self) -> (u64, u64, usize) {
+        (self.req.deadline.unwrap_or(u64::MAX), self.req.arrival, self.id)
+    }
+}
+
+/// One formed-and-launched batch: everything downstream accounting (or a
+/// real execution stage) needs, with the virtual completion time already
+/// decided. Batches are emitted in launch order (`seq` ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedBatch {
+    /// Launch sequence number across the cluster (0-based, ascending).
+    pub seq: u64,
+    /// The instance the batch runs on.
+    pub instance: usize,
+    /// The batch's (single) model.
+    pub model: usize,
+    /// Virtual launch cycle.
+    pub start: u64,
+    /// Virtual completion cycle (`start` + the charged execution time,
+    /// including any serialized weight-switch fetch).
+    pub done: u64,
+    /// Batch members in EDF order — the order completions are recorded.
+    pub members: Vec<Queued>,
+}
+
+/// What finally happened to one request — the unit of the determinism
+/// contract between the sim and staged runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Bounced off a full instance queue at arrival.
+    Rejected,
+    /// Served to completion.
+    Served {
+        /// Launch sequence number of the batch that served it.
+        batch: u64,
+        /// Instance the batch ran on.
+        instance: usize,
+        /// Virtual completion cycle.
+        done: u64,
+        /// Whether completion overran the request's deadline.
+        missed: bool,
+    },
+}
+
+/// Per-request outcome record, ordered by request id in a
+/// [`crate::cluster::sim::ClusterRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Arrival sequence number.
+    pub id: usize,
+    /// Model the request targeted.
+    pub model: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// What happened.
+    pub disposition: Disposition,
+}
+
+/// One scheduling decision surfaced to a driver's sink.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// An arrival bounced off a full instance queue.
+    Rejected(usize, Request),
+    /// A batch was formed and launched.
+    Launched(PlannedBatch),
+}
+
+/// One instance's private state, including its memoized launch plan.
+struct Instance {
+    queue: Vec<Queued>,
+    free: u64,
+    buffer: Option<WeightBuffer>,
+    summary: InstanceSummary,
+    /// Memoized next-launch plan: `None` = stale (queue or `free`
+    /// changed), `Some(None)` = empty queue, `Some(Some((members in EDF
+    /// order as queue positions, start)))` otherwise.
+    plan: Option<Option<(Vec<usize>, u64)>>,
+}
+
+impl Instance {
+    /// The batch this instance would launch next: member positions (EDF
+    /// order) and the earliest start time. Memoized until the queue or
+    /// server availability changes.
+    fn plan(&mut self, spec: &ClusterSpec) -> &Option<(Vec<usize>, u64)> {
+        if self.plan.is_none() {
+            self.plan = Some(self.compute_plan(spec));
+        }
+        self.plan.as_ref().expect("plan just computed")
+    }
+
+    fn compute_plan(&self, spec: &ClusterSpec) -> Option<(Vec<usize>, u64)> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let policy = &spec.policy;
+        // Head = EDF-minimum over the whole queue (O(Q)); only the head
+        // model's requests — the batch candidates — need sorting.
+        let head_pos =
+            (0..self.queue.len()).min_by_key(|&i| self.queue[i].key()).expect("non-empty queue");
+        let head = &self.queue[head_pos];
+        let mut members: Vec<usize> =
+            (0..self.queue.len()).filter(|&i| self.queue[i].req.model == head.req.model).collect();
+        members.sort_by_key(|&i| self.queue[i].key());
+        members.truncate(policy.max_batch);
+        let start = if members.len() >= policy.max_batch {
+            // Full batch: ready as soon as its last member has arrived.
+            let last_arrival =
+                members.iter().map(|&i| self.queue[i].req.arrival).max().expect("non-empty batch");
+            self.free.max(last_arrival)
+        } else {
+            // Short batch: wait out the head-of-line request's patience.
+            self.free.max(head.req.arrival + policy.max_wait)
+        };
+        Some((members, start))
+    }
+}
+
+/// The incremental cluster scheduler: instance queues, weight buffers,
+/// and the batch-formation logic, advanced one admission or one launch at
+/// a time. Decisions depend only on the admission order, so any driver
+/// that preserves the canonical interleaving (see [`drive_open_loop`])
+/// reproduces the discrete-event simulation exactly.
+pub(crate) struct ClusterCore<'a> {
+    services: &'a [ModelService],
+    spec: &'a ClusterSpec,
+    instances: Vec<Instance>,
+    launched: u64,
+}
+
+impl<'a> ClusterCore<'a> {
+    /// Builds a core over validated services and spec.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid spec (see [`ClusterSpec::validate`]).
+    pub(crate) fn new(services: &'a [ModelService], spec: &'a ClusterSpec) -> Result<Self> {
+        spec.validate(services)?;
+        let instances = (0..spec.instances)
+            .map(|_| Instance {
+                queue: Vec::new(),
+                free: 0,
+                buffer: spec.buffer_bytes.map(WeightBuffer::new),
+                summary: InstanceSummary::default(),
+                plan: Some(None),
+            })
+            .collect();
+        Ok(ClusterCore { services, spec, instances, launched: 0 })
+    }
+
+    /// The earliest pending launch across the cluster as `(start,
+    /// instance)` — ties break toward the lowest instance index — or
+    /// `None` when every queue is empty.
+    pub(crate) fn next_launch(&mut self) -> Option<(u64, usize)> {
+        let spec = self.spec;
+        self.instances
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, inst)| inst.plan(spec).as_ref().map(|&(_, start)| (start, i)))
+            .min()
+    }
+
+    /// Routes one arrival: snapshot the instances, ask the policy, join or
+    /// bounce off the bounded queue. Returns `false` when rejected.
+    pub(crate) fn admit(&mut self, id: usize, req: Request) -> bool {
+        let views: Vec<InstanceView> = self
+            .instances
+            .iter()
+            .map(|inst| InstanceView {
+                queued: inst.queue.len(),
+                resident: inst.buffer.as_ref().is_some_and(|b| b.is_resident(req.model)),
+            })
+            .collect();
+        let target = self.spec.router.route(id as u64, req.model, &views);
+        if self.instances[target].queue.len() >= self.spec.policy.queue_cap {
+            return false;
+        }
+        self.instances[target].queue.push(Queued { id, req });
+        self.instances[target].plan = None;
+        true
+    }
+
+    /// Forms and launches the earliest pending batch: admits the model's
+    /// weights, charges the batch (plus any switch fetch), removes the
+    /// members from their queue, and returns the launched batch. `None`
+    /// when every queue is empty.
+    pub(crate) fn launch_next(&mut self) -> Option<PlannedBatch> {
+        let (_, idx) = self.next_launch()?;
+        let spec = self.spec;
+        let (positions, start) =
+            self.instances[idx].plan(spec).clone().expect("chosen instance has a plan");
+        let inst = &mut self.instances[idx];
+        let k = positions.len();
+        debug_assert!(k >= 1, "launch requires a non-empty batch");
+        let members: Vec<Queued> = positions.iter().map(|&i| inst.queue[i]).collect();
+        let model = members[0].req.model;
+        let svc = &self.services[model];
+        let exec = match inst.buffer.as_mut() {
+            None => svc.streamed[k - 1],
+            Some(buffer) => match buffer.admit(model, svc.footprint_bytes) {
+                Admission::Resident => svc.resident[k - 1],
+                Admission::Fetched { .. } => svc.switch_cycles + svc.resident[k - 1],
+                Admission::Streamed => svc.streamed[k - 1],
+            },
+        };
+        let done = start + exec;
+        // Compact the queue, preserving the keepers' relative order.
+        let mut taken = vec![false; inst.queue.len()];
+        for &i in &positions {
+            taken[i] = true;
+        }
+        let mut keep = 0usize;
+        for (i, &gone) in taken.iter().enumerate() {
+            if !gone {
+                inst.queue.swap(keep, i);
+                keep += 1;
+            }
+        }
+        inst.queue.truncate(keep);
+        inst.free = done;
+        inst.plan = None;
+        inst.summary.batches += 1;
+        inst.summary.completed += k as u64;
+        if let Some(buffer) = inst.buffer.as_ref() {
+            inst.summary.residency = *buffer.stats();
+        }
+        let seq = self.launched;
+        self.launched += 1;
+        Some(PlannedBatch { seq, instance: idx, model, start, done, members })
+    }
+
+    /// Tears the core down into its per-instance summaries (in instance
+    /// order).
+    pub(crate) fn finish(self) -> Vec<InstanceSummary> {
+        self.instances.into_iter().map(|inst| inst.summary).collect()
+    }
+}
+
+/// Drives `core` over an **open-loop** arrival stream (pre-stamped `(id,
+/// request)` pairs in non-decreasing arrival order), surfacing every
+/// decision to `sink` in the canonical order: an arrival is admitted
+/// before any batch launching at or after its arrival time — exactly the
+/// event interleaving of the discrete-event simulation. Returns `false`
+/// if `sink` asked to stop early (its return value), `true` on a full
+/// drain.
+pub(crate) fn drive_open_loop<I>(
+    core: &mut ClusterCore<'_>,
+    arrivals: I,
+    sink: &mut dyn FnMut(SchedEvent) -> bool,
+) -> bool
+where
+    I: IntoIterator<Item = (usize, Request)>,
+{
+    let mut it = arrivals.into_iter();
+    let mut pending = it.next();
+    loop {
+        let next_launch = core.next_launch();
+        match (pending, next_launch) {
+            (None, None) => return true,
+            // Arrivals landing before (or exactly when) the next batch
+            // closes are admitted first — they may fill a batch and pull
+            // its start in.
+            (Some((id, req)), nl) if nl.is_none_or(|(start, _)| req.arrival <= start) => {
+                if !core.admit(id, req) && !sink(SchedEvent::Rejected(id, req)) {
+                    return false;
+                }
+                pending = it.next();
+            }
+            (_, Some(_)) => {
+                let batch = core.launch_next().expect("a launch is pending");
+                if !sink(SchedEvent::Launched(batch)) {
+                    return false;
+                }
+            }
+            (Some(_), None) => unreachable!("the guard admits arrivals when no launch pends"),
+        }
+    }
+}
+
+/// Drives `core` over a **closed-loop** workload: `concurrency` clients
+/// each keep exactly one request in flight (model 0, no deadlines),
+/// submitting the next the moment the previous completes, until
+/// `requests` total have been issued. The caller's spec must disable the
+/// queue cap (closed loops are bounded by their concurrency, not the
+/// queue). Returns as [`drive_open_loop`].
+pub(crate) fn drive_closed_loop(
+    core: &mut ClusterCore<'_>,
+    requests: usize,
+    concurrency: usize,
+    sink: &mut dyn FnMut(SchedEvent) -> bool,
+) -> bool {
+    // All future arrivals, kept sorted: completions append arrivals with
+    // time >= every queued entry, so a plain FIFO stays sorted.
+    let mut issued = concurrency.min(requests);
+    let mut pending: VecDeque<u64> = std::iter::repeat_n(0u64, issued).collect();
+    let mut next_id = 0usize;
+    loop {
+        let next_launch = core.next_launch();
+        match (pending.front().copied(), next_launch) {
+            (None, None) => return true,
+            (Some(arrival), nl) if nl.is_none_or(|(start, _)| arrival <= start) => {
+                let admitted = core.admit(next_id, Request { model: 0, arrival, deadline: None });
+                debug_assert!(admitted, "closed-loop queues are never capped");
+                pending.pop_front();
+                next_id += 1;
+            }
+            (_, Some(_)) => {
+                let batch = core.launch_next().expect("a launch is pending");
+                // Each completed request unblocks its client, which
+                // immediately submits the next request.
+                for _ in 0..batch.members.len() {
+                    if issued < requests {
+                        pending.push_back(batch.done);
+                        issued += 1;
+                    }
+                }
+                if !sink(SchedEvent::Launched(batch)) {
+                    return false;
+                }
+            }
+            (Some(_), None) => unreachable!("the guard admits arrivals when no launch pends"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::router::RouterPolicy;
+    use crate::queue::BatchPolicy;
+
+    fn svc(exec: &[u64]) -> ModelService {
+        ModelService {
+            name: "m".into(),
+            streamed: exec.to_vec(),
+            resident: exec.to_vec(),
+            footprint_bytes: 0,
+            switch_cycles: 0,
+        }
+    }
+
+    fn spec(max_batch: usize, max_wait: u64, cap: usize) -> ClusterSpec {
+        ClusterSpec {
+            instances: 1,
+            router: RouterPolicy::RoundRobin,
+            policy: BatchPolicy { max_batch, max_wait, queue_cap: cap },
+            buffer_bytes: None,
+        }
+    }
+
+    #[test]
+    fn open_loop_emits_batches_in_launch_order_with_seq() {
+        let services = [svc(&[10, 12, 14, 16])];
+        let sp = spec(4, 0, 8);
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let arrivals = [0u64, 0, 0, 0, 0, 0];
+        let mut batches = Vec::new();
+        let done = drive_open_loop(
+            &mut core,
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (i, Request { model: 0, arrival: a, deadline: None })),
+            &mut |e| {
+                if let SchedEvent::Launched(b) = e {
+                    batches.push(b);
+                }
+                true
+            },
+        );
+        assert!(done);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].seq, 0);
+        assert_eq!(batches[1].seq, 1);
+        assert_eq!(batches[0].members.len(), 4);
+        assert_eq!(batches[1].members.len(), 2);
+        assert_eq!(batches[0].done, 16);
+        assert_eq!(batches[1].done, 16 + 12);
+        let summaries = core.finish();
+        assert_eq!(summaries[0].batches, 2);
+        assert_eq!(summaries[0].completed, 6);
+    }
+
+    #[test]
+    fn sink_can_stop_the_drive_early() {
+        let services = [svc(&[10])];
+        let sp = spec(1, 0, 8);
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let mut seen = 0;
+        let done = drive_open_loop(
+            &mut core,
+            (0..5).map(|i| (i, Request { model: 0, arrival: 0, deadline: None })),
+            &mut |_| {
+                seen += 1;
+                seen < 2
+            },
+        );
+        assert!(!done, "drive reports the early stop");
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn memoized_plans_match_recomputation_across_admissions() {
+        // Interleave admissions and launches; the memoized plan must never
+        // go stale (same trace as a burst through a small batch cap).
+        let services = [svc(&[7, 9])];
+        let sp = spec(2, 5, 16);
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let mut events = Vec::new();
+        drive_open_loop(
+            &mut core,
+            [0u64, 1, 2, 30, 31, 60]
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (i, Request { model: 0, arrival: a, deadline: None })),
+            &mut |e| {
+                events.push(e);
+                true
+            },
+        );
+        let batches: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Launched(b) => Some(b.members.len()),
+                SchedEvent::Rejected(..) => None,
+            })
+            .collect();
+        assert_eq!(batches.iter().sum::<usize>(), 6, "every request served");
+    }
+}

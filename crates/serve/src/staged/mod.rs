@@ -1,0 +1,141 @@
+//! The **staged serving runtime**: the serving front as a concurrent
+//! pipeline of stages connected by bounded channels, producing per-request
+//! outcomes **bit-identical** to the discrete-event simulation.
+//!
+//! ```text
+//!   admission ──chunks──▶ scheduler ──events──▶ exec pool ──events──▶ collector
+//!   (chunk +              (routing +            (W workers,           (reorder by
+//!    backpressure)         batch formation +     real batch            batch seq,
+//!                          residency, owns       compute via           assemble
+//!                          virtual time)         ExecWork)             report)
+//! ```
+//!
+//! Every arrow is a [`se_core::pipeline::bounded`] channel: a stage that
+//! outruns its consumer blocks on `send` (backpressure), and dropping a
+//! stage's sender closes the stream — the receiving stage drains what is
+//! buffered and returns, so shutdown loses no request (the graceful-drain
+//! property tested in `tests/staged.rs`).
+//!
+//! # Why routing and batch formation share one stage
+//!
+//! In the discrete-event model, a routing decision reads the exact queue
+//! depths and residency state that batch formation mutates, and a launch
+//! is legal only when no earlier arrival is still unrouted — the two are
+//! one virtual-time state machine (`crate::sched::ClusterCore`), and
+//! splitting it across threads would serialize them anyway (lock-step
+//! ping-pong with zero overlap). Execution, by contrast, feeds *nothing*
+//! back into scheduling — a batch's completion time is decided from the
+//! latency tables at launch — so the scheduler can run arbitrarily far
+//! ahead of the execution pool, which is where the pipeline's real
+//! concurrency lives.
+//!
+//! # Determinism contract
+//!
+//! **Outcome equality, not timing equality.** The staged runtime promises
+//! the same per-request outcome set ([`crate::sched::RequestOutcome`]:
+//! admission/rejection, batch membership, residency admissions,
+//! miss/goodput accounting) as [`crate::cluster::simulate_cluster_run`]
+//! on the same trace — for any worker count, chunk size, or channel
+//! capacity. Wall-clock interleaving differs run to run; the collector
+//! re-sorts executed batches by launch sequence number before recording,
+//! which is the last piece that makes the *reports* bit-identical too.
+//! The sim stays the oracle: the property tests replay random traces
+//! through both paths and require equality.
+
+mod pipeline;
+
+pub use pipeline::{run_cluster_staged, run_queue_staged_closed, run_queue_staged_open};
+
+use crate::engine::BatchEngine;
+use crate::sched::PlannedBatch;
+use crate::{BoxError, Result};
+use se_hw::RunResult;
+
+/// Tuning knobs of the staged runtime. None of them affect outcomes —
+/// only wall-clock throughput (enforced by property test).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedConfig {
+    /// Worker threads in the execution pool.
+    pub exec_workers: usize,
+    /// Capacity of each inter-stage channel (the backpressure window).
+    pub channel_cap: usize,
+    /// Requests per admission chunk (amortizes channel handoff).
+    pub chunk: usize,
+}
+
+impl Default for StagedConfig {
+    fn default() -> Self {
+        StagedConfig { exec_workers: 1, channel_cap: 64, chunk: 64 }
+    }
+}
+
+impl StagedConfig {
+    /// A config sized for the host: one execution worker per available
+    /// core (honouring `SE_PARALLELISM` via
+    /// [`se_core::SeConfig::parallelism`]).
+    pub fn host_sized() -> Self {
+        StagedConfig {
+            exec_workers: se_core::SeConfig::default().parallelism(),
+            ..Default::default()
+        }
+    }
+
+    /// Validates the config.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero workers, zero channel capacity, or a zero chunk size.
+    pub fn validate(&self) -> Result<()> {
+        if self.exec_workers == 0 {
+            return Err(BoxError::from("staged runtime needs at least one exec worker"));
+        }
+        if self.channel_cap == 0 {
+            return Err(BoxError::from("stage channel capacity must be at least 1"));
+        }
+        if self.chunk == 0 {
+            return Err(BoxError::from("admission chunk size must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+/// What the execution pool actually runs per launched batch. The virtual
+/// completion time is already decided at launch (from the latency
+/// tables), so this hook only burns real CPU — it is what `se bench
+/// serve` measures scaling over.
+pub trait ExecWork: Sync {
+    /// Executes one launched batch (on an execution-pool worker thread).
+    fn execute(&self, batch: &PlannedBatch);
+}
+
+/// No per-batch work: the pipeline overhead floor, and the right choice
+/// when only outcomes matter (CLI `--runtime staged`, property tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWork;
+
+impl ExecWork for NoWork {
+    fn execute(&self, _batch: &PlannedBatch) {}
+}
+
+/// Real batch computation through the [`BatchEngine`]: re-derives the
+/// batch's amortized result from the per-image simulation, touching the
+/// same schedule-cache path a real executor would.
+#[derive(Debug)]
+pub struct EngineWork<'a> {
+    /// The engine whose accelerator lane executes batches.
+    pub engine: &'a BatchEngine,
+    /// Accelerator lane index.
+    pub lane: usize,
+    /// Per-image simulation result per model (indexed by
+    /// [`crate::workload::Request::model`]).
+    pub per_image: &'a [RunResult],
+}
+
+impl ExecWork for EngineWork<'_> {
+    fn execute(&self, batch: &PlannedBatch) {
+        let result =
+            self.engine.batched(self.lane, &self.per_image[batch.model], batch.members.len());
+        // Keep the computation observable so the optimizer cannot drop it.
+        std::hint::black_box(result);
+    }
+}

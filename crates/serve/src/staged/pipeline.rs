@@ -1,0 +1,331 @@
+//! Stage assembly: threads, channels, and the entry points of the staged
+//! runtime (see the module docs of [`crate::staged`] for the diagram and
+//! the determinism contract).
+
+use std::collections::BTreeMap;
+
+use se_core::pipeline::bounded;
+
+use crate::cluster::sim::{self, ClusterReport, ClusterRun, ClusterSpec, ModelService};
+use crate::queue::{self, BatchPolicy, ServeReport};
+use crate::sched::{self, ClusterCore, RequestOutcome, SchedEvent};
+use crate::workload::Request;
+use crate::{BoxError, Result};
+
+use super::{ExecWork, StagedConfig};
+use crate::cluster::InstanceSummary;
+
+/// Wires up and runs the pipeline back end shared by every entry point:
+///
+/// * an optional **source** thread (the open-loop admission stage;
+///   closed-loop workloads generate arrivals inside the scheduler, which
+///   owns virtual time, so they have no source);
+/// * the **scheduler** thread: `scheduler` receives the event sink, drives
+///   the [`ClusterCore`] to completion, and returns the per-instance
+///   summaries. The sink returns `false` if downstream is gone (stop
+///   early rather than deadlock);
+/// * `exec_workers` **execution** threads competing for launched batches
+///   (cloned channel halves), running [`ExecWork`] per batch;
+/// * the **collector**, on the calling thread: re-orders executed batches
+///   by launch sequence number and folds them into the report — the step
+///   that makes the report bit-identical to the sim's regardless of how
+///   the pool interleaved.
+///
+/// Shutdown is purely drop-driven: each stage returns when its receiver
+/// yields `None`, closing its own sender, and the scope joins everything.
+fn run_stages<S, D>(
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    source: Option<S>,
+    scheduler: D,
+) -> (ClusterReport, Vec<RequestOutcome>, Vec<InstanceSummary>)
+where
+    S: FnOnce() + Send,
+    D: FnOnce(&mut dyn FnMut(SchedEvent) -> bool) -> Vec<InstanceSummary> + Send,
+{
+    let (ev_tx, ev_rx) = bounded::<SchedEvent>(cfg.channel_cap);
+    let (out_tx, out_rx) = bounded::<SchedEvent>(cfg.channel_cap);
+    std::thread::scope(|scope| {
+        let sched_handle = scope.spawn(move || {
+            let ev_tx = ev_tx;
+            let mut sink = |event: SchedEvent| ev_tx.send(event).is_ok();
+            scheduler(&mut sink)
+        });
+        for _ in 0..cfg.exec_workers {
+            let rx = ev_rx.clone();
+            let tx = out_tx.clone();
+            scope.spawn(move || {
+                while let Some(event) = rx.recv() {
+                    if let SchedEvent::Launched(batch) = &event {
+                        work.execute(batch);
+                    }
+                    if tx.send(event).is_err() {
+                        return;
+                    }
+                }
+            });
+        }
+        drop(ev_rx);
+        drop(out_tx);
+        if let Some(source) = source {
+            scope.spawn(source);
+        }
+
+        let mut report = ClusterReport::default();
+        let mut outcomes = Vec::new();
+        let mut next_seq = 0u64;
+        let mut stash = BTreeMap::new();
+        while let Some(event) = out_rx.recv() {
+            match event {
+                rejected @ SchedEvent::Rejected(..) => {
+                    sim::record_event(&rejected, &mut report, &mut outcomes);
+                }
+                SchedEvent::Launched(batch) => {
+                    stash.insert(batch.seq, batch);
+                    while let Some(batch) = stash.remove(&next_seq) {
+                        sim::record_event(&SchedEvent::Launched(batch), &mut report, &mut outcomes);
+                        next_seq += 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(stash.is_empty(), "every launched batch was replayed in seq order");
+        let summaries = sched_handle.join().expect("scheduler stage never panics");
+        (report, outcomes, summaries)
+    })
+}
+
+/// Runs the cluster workload through the staged pipeline. Same inputs and
+/// same result as [`crate::cluster::simulate_cluster_run`] — that
+/// equality is the runtime's correctness contract (property-tested) —
+/// but admission, scheduling, and execution run concurrently, with
+/// [`ExecWork`] fanned out across `cfg.exec_workers` real threads.
+///
+/// # Errors
+///
+/// Rejects an invalid staged config, an invalid spec, and out-of-range
+/// model indices — the same validation as the sim.
+pub fn run_cluster_staged(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+) -> Result<ClusterRun> {
+    cfg.validate()?;
+    sim::validate_models(requests, services)?;
+    let core = ClusterCore::new(services, spec)?;
+    let (in_tx, in_rx) = bounded::<Vec<(usize, Request)>>(cfg.channel_cap);
+    let chunk_size = cfg.chunk;
+    let source = move || {
+        let mut chunk = Vec::with_capacity(chunk_size);
+        for item in requests.iter().copied().enumerate() {
+            chunk.push(item);
+            if chunk.len() == chunk_size {
+                let full = std::mem::replace(&mut chunk, Vec::with_capacity(chunk_size));
+                if in_tx.send(full).is_err() {
+                    return;
+                }
+            }
+        }
+        if !chunk.is_empty() {
+            let _ = in_tx.send(chunk);
+        }
+    };
+    let scheduler = move |sink: &mut dyn FnMut(SchedEvent) -> bool| {
+        let mut core = core;
+        let mut current = Vec::new().into_iter();
+        let arrivals = std::iter::from_fn(|| loop {
+            if let Some(item) = current.next() {
+                return Some(item);
+            }
+            match in_rx.recv() {
+                Some(chunk) => current = chunk.into_iter(),
+                None => return None,
+            }
+        });
+        sched::drive_open_loop(&mut core, arrivals, sink);
+        core.finish()
+    };
+    let (mut report, mut outcomes, summaries) = run_stages(cfg, work, Some(source), scheduler);
+    for summary in summaries {
+        report.residency.accumulate(&summary.residency);
+        report.per_instance.push(summary);
+    }
+    outcomes.sort_unstable_by_key(|o| o.id);
+    Ok(ClusterRun { report, outcomes })
+}
+
+/// Narrows a 1-instance cluster report to the serving-queue report shape.
+fn serve_report_of(report: ClusterReport) -> ServeReport {
+    ServeReport {
+        latencies: report.latencies,
+        batch_sizes: report.batch_sizes,
+        rejected: report.rejected,
+        makespan: report.makespan,
+    }
+}
+
+/// The staged counterpart of [`crate::queue::simulate_open_loop`]: same
+/// report, bit for bit, with the pipeline doing the work.
+///
+/// # Errors
+///
+/// Rejects an invalid policy, a short execution table, or an invalid
+/// staged config.
+pub fn run_queue_staged_open(
+    arrivals: &[u64],
+    exec: &[u64],
+    policy: &BatchPolicy,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+) -> Result<ServeReport> {
+    queue::validate_exec(exec, policy)?;
+    let requests: Vec<Request> =
+        arrivals.iter().map(|&arrival| Request { model: 0, arrival, deadline: None }).collect();
+    let (service, spec) = queue::single_instance(exec, policy.clone());
+    let services = [service];
+    let run = run_cluster_staged(&requests, &services, &spec, cfg, work)?;
+    Ok(serve_report_of(run.report))
+}
+
+/// The staged counterpart of [`crate::queue::simulate_closed_loop`]: same
+/// report, bit for bit. The closed loop's arrivals are a function of
+/// completions, so they are generated inside the scheduler stage (which
+/// owns virtual time) — the admission stage collapses away.
+///
+/// # Errors
+///
+/// Rejects an invalid policy, a zero concurrency, a short execution
+/// table, or an invalid staged config.
+pub fn run_queue_staged_closed(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+) -> Result<ServeReport> {
+    queue::validate_exec(exec, policy)?;
+    if concurrency == 0 {
+        return Err(BoxError::from("closed-loop concurrency must be at least 1"));
+    }
+    cfg.validate()?;
+    // Closed loops are bounded by their concurrency, not the queue cap —
+    // mirror `simulate_closed_loop` exactly.
+    let uncapped = BatchPolicy { queue_cap: usize::MAX, ..policy.clone() };
+    let (service, spec) = queue::single_instance(exec, uncapped);
+    let services = [service];
+    let core = ClusterCore::new(&services, &spec)?;
+    let scheduler = move |sink: &mut dyn FnMut(SchedEvent) -> bool| {
+        let mut core = core;
+        sched::drive_closed_loop(&mut core, requests, concurrency, sink);
+        core.finish()
+    };
+    let (report, _, _) = run_stages(cfg, work, None::<fn()>, scheduler);
+    Ok(serve_report_of(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::RouterPolicy;
+    use crate::staged::NoWork;
+
+    fn exec(max: usize) -> Vec<u64> {
+        (1..=max).map(|k| 10 + 2 * k as u64).collect()
+    }
+
+    #[test]
+    fn staged_open_loop_matches_sim_on_a_smoke_trace() {
+        let policy = BatchPolicy { max_batch: 4, max_wait: 6, queue_cap: 3 };
+        let arrivals: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let sim = queue::simulate_open_loop(&arrivals, &exec(4), &policy).unwrap();
+        for cfg in
+            [StagedConfig::default(), StagedConfig { exec_workers: 4, channel_cap: 1, chunk: 7 }]
+        {
+            let staged =
+                run_queue_staged_open(&arrivals, &exec(4), &policy, &cfg, &NoWork).unwrap();
+            assert_eq!(staged, sim, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn staged_closed_loop_matches_sim_on_a_smoke_trace() {
+        let policy = BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 1 };
+        let sim = queue::simulate_closed_loop(9, 3, &exec(4), &policy).unwrap();
+        let staged = run_queue_staged_closed(
+            9,
+            3,
+            &exec(4),
+            &policy,
+            &StagedConfig { exec_workers: 3, channel_cap: 2, chunk: 1 },
+            &NoWork,
+        )
+        .unwrap();
+        assert_eq!(staged, sim);
+    }
+
+    #[test]
+    fn staged_cluster_matches_sim_run_including_outcomes() {
+        let services = [
+            ModelService {
+                name: "a".into(),
+                streamed: vec![100, 120, 140, 160],
+                resident: vec![80, 100, 120, 140],
+                footprint_bytes: 600,
+                switch_cycles: 10,
+            },
+            ModelService {
+                name: "b".into(),
+                streamed: vec![90, 110, 130, 150],
+                resident: vec![70, 90, 110, 130],
+                footprint_bytes: 500,
+                switch_cycles: 8,
+            },
+        ];
+        let spec = ClusterSpec {
+            instances: 2,
+            router: RouterPolicy::ModelAffinity,
+            policy: BatchPolicy { max_batch: 4, max_wait: 50, queue_cap: 8 },
+            buffer_bytes: Some(700),
+        };
+        let requests: Vec<Request> = (0..200)
+            .map(|i| Request {
+                model: (i % 2) as usize,
+                arrival: i * 40,
+                deadline: Some(i * 40 + 400),
+            })
+            .collect();
+        let oracle = sim::simulate_cluster_run(&requests, &services, &spec).unwrap();
+        let staged = run_cluster_staged(
+            &requests,
+            &services,
+            &spec,
+            &StagedConfig { exec_workers: 4, channel_cap: 8, chunk: 16 },
+            &NoWork,
+        )
+        .unwrap();
+        assert_eq!(staged, oracle);
+    }
+
+    #[test]
+    fn invalid_configs_error_loudly() {
+        let policy = BatchPolicy::default();
+        let bad = StagedConfig { exec_workers: 0, ..Default::default() };
+        assert!(run_queue_staged_open(&[0], &exec(8), &policy, &bad, &NoWork).is_err());
+        let bad = StagedConfig { channel_cap: 0, ..Default::default() };
+        assert!(run_queue_staged_closed(1, 1, &exec(8), &policy, &bad, &NoWork).is_err());
+        let bad = StagedConfig { chunk: 0, ..Default::default() };
+        assert!(run_queue_staged_open(&[0], &exec(8), &policy, &bad, &NoWork).is_err());
+        assert!(run_queue_staged_closed(
+            1,
+            0,
+            &exec(8),
+            &policy,
+            &StagedConfig::default(),
+            &NoWork
+        )
+        .is_err());
+    }
+}

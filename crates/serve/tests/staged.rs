@@ -1,0 +1,196 @@
+//! The staged runtime's determinism contract, property-tested against the
+//! discrete-event sim as oracle:
+//!
+//! * **open-loop** random arrival traces and batch policies: the staged
+//!   report equals `queue::simulate_open_loop` bit for bit, for random
+//!   worker counts, channel capacities, and admission chunk sizes;
+//! * **closed-loop** random workloads: equality with
+//!   `queue::simulate_closed_loop`;
+//! * **mixed-model cluster** streams (random routers, deadlines, and
+//!   weight buffers): the full `ClusterRun` — per-request outcomes
+//!   included — equals `simulate_cluster_run`;
+//! * **graceful drain**: shutdown loses no request — every issued request
+//!   is accounted for exactly once (served or rejected) even at the
+//!   smallest channel capacity, where every stage blocks on backpressure.
+
+use proptest::prelude::*;
+use se_serve::cluster::{simulate_cluster_run, ClusterSpec, ModelService, RouterPolicy};
+use se_serve::queue::{self, BatchPolicy};
+use se_serve::workload::Request;
+use se_serve::{
+    run_cluster_staged, run_queue_staged_closed, run_queue_staged_open, Disposition, NoWork,
+    StagedConfig,
+};
+
+/// A service whose batch table grows linearly (`base + per·k`), with a
+/// model-specific footprint so residency decisions differ per model.
+fn service(name: &str, base: u64, per: u64, max_batch: usize, footprint: u64) -> ModelService {
+    let streamed: Vec<u64> = (1..=max_batch as u64).map(|k| base + per * k).collect();
+    let resident: Vec<u64> = streamed.iter().map(|c| c - c / 4).collect();
+    ModelService {
+        name: name.into(),
+        streamed,
+        resident,
+        footprint_bytes: footprint,
+        switch_cycles: base / 2,
+    }
+}
+
+fn router_of(idx: usize) -> RouterPolicy {
+    match idx % 3 {
+        0 => RouterPolicy::RoundRobin,
+        1 => RouterPolicy::JoinShortestQueue,
+        _ => RouterPolicy::ModelAffinity,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Open loop: staged == sim, bit for bit, over random traces, batch
+    /// policies, and staged tuning knobs.
+    #[test]
+    fn staged_open_loop_equals_sim_on_random_traces(
+        gaps in proptest::collection::vec(0u64..2000, 1..60),
+        max_batch in 1usize..6,
+        max_wait in 0u64..3000,
+        queue_cap in 1usize..12,
+        base in 100u64..4000,
+        per in 1u64..500,
+        exec_workers in 1usize..5,
+        channel_cap in 1usize..5,
+        chunk in 1usize..9,
+    ) {
+        let mut arrivals = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for g in &gaps {
+            t += g;
+            arrivals.push(t);
+        }
+        let exec: Vec<u64> = (1..=max_batch as u64).map(|k| base + per * k).collect();
+        let policy = BatchPolicy { max_batch, max_wait, queue_cap };
+        let sim = queue::simulate_open_loop(&arrivals, &exec, &policy).unwrap();
+        let cfg = StagedConfig { exec_workers, channel_cap, chunk };
+        let staged = run_queue_staged_open(&arrivals, &exec, &policy, &cfg, &NoWork).unwrap();
+        prop_assert_eq!(&staged, &sim);
+        // Graceful drain: every request is accounted for, none twice.
+        prop_assert_eq!(staged.completed() + staged.rejected as usize, arrivals.len());
+    }
+
+    /// Closed loop: staged == sim over random concurrency and knobs. The
+    /// closed loop has no admission stage (arrivals are a function of
+    /// completions), so this exercises the scheduler-owned generation.
+    #[test]
+    fn staged_closed_loop_equals_sim_on_random_workloads(
+        requests in 1usize..120,
+        concurrency in 1usize..12,
+        max_batch in 1usize..6,
+        max_wait in 0u64..2000,
+        queue_cap in 1usize..8,
+        base in 100u64..3000,
+        per in 1u64..400,
+        exec_workers in 1usize..5,
+        channel_cap in 1usize..4,
+    ) {
+        let exec: Vec<u64> = (1..=max_batch as u64).map(|k| base + per * k).collect();
+        let policy = BatchPolicy { max_batch, max_wait, queue_cap };
+        let sim = queue::simulate_closed_loop(requests, concurrency, &exec, &policy).unwrap();
+        let cfg = StagedConfig { exec_workers, channel_cap, chunk: 1 };
+        let staged =
+            run_queue_staged_closed(requests, concurrency, &exec, &policy, &cfg, &NoWork).unwrap();
+        prop_assert_eq!(&staged, &sim);
+        // Closed loops never reject: every request completes.
+        prop_assert_eq!(staged.completed(), requests);
+    }
+
+    /// Mixed-model cluster streams: random routers, instance counts,
+    /// deadlines, and weight buffers. Equality of the whole `ClusterRun`
+    /// — report and per-request outcome set — at random staged knobs.
+    #[test]
+    fn staged_cluster_equals_sim_on_random_mixed_streams(
+        gaps in proptest::collection::vec(0u64..1500, 1..80),
+        model_picks in proptest::collection::vec(0usize..3, 80..81),
+        instances in 1usize..4,
+        router_idx in 0usize..3,
+        max_batch in 1usize..5,
+        max_wait in 0u64..2500,
+        queue_cap in 1usize..10,
+        raw_deadline in 0u64..6000,
+        raw_buffer in 0u64..2000,
+        exec_workers in 1usize..5,
+        channel_cap in 1usize..4,
+        chunk in 1usize..7,
+    ) {
+        // Low raw values mean "absent" (the vendored proptest stub has no
+        // Option strategy).
+        let deadline_budget = (raw_deadline >= 500).then_some(raw_deadline);
+        let buffer = (raw_buffer >= 400).then_some(raw_buffer);
+        let services = [
+            service("a", 300, 60, max_batch, 700),
+            service("b", 250, 90, max_batch, 500),
+            service("c", 400, 30, max_batch, 900),
+        ];
+        let mut requests = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for (i, g) in gaps.iter().enumerate() {
+            t += g;
+            requests.push(Request {
+                model: model_picks[i],
+                arrival: t,
+                deadline: deadline_budget.map(|d| t + d),
+            });
+        }
+        let spec = ClusterSpec {
+            instances,
+            router: router_of(router_idx),
+            policy: BatchPolicy { max_batch, max_wait, queue_cap },
+            buffer_bytes: buffer,
+        };
+        let oracle = simulate_cluster_run(&requests, &services, &spec).unwrap();
+        let cfg = StagedConfig { exec_workers, channel_cap, chunk };
+        let staged = run_cluster_staged(&requests, &services, &spec, &cfg, &NoWork).unwrap();
+        prop_assert_eq!(&staged, &oracle);
+
+        // Graceful drain, outcome-level: exactly one outcome per request,
+        // in id order, and the served/rejected split matches the report.
+        prop_assert_eq!(staged.outcomes.len(), requests.len());
+        let mut served = 0usize;
+        let mut rejected = 0u64;
+        for (id, outcome) in staged.outcomes.iter().enumerate() {
+            prop_assert_eq!(outcome.id, id);
+            match outcome.disposition {
+                Disposition::Rejected => rejected += 1,
+                Disposition::Served { .. } => served += 1,
+            }
+        }
+        prop_assert_eq!(served, staged.report.completed());
+        prop_assert_eq!(rejected, staged.report.rejected);
+    }
+}
+
+/// The drain edge cases proptest shrinks away from: an empty trace, a
+/// trace smaller than one chunk, and a channel capacity of 1 with many
+/// more launched batches than the pipeline can buffer — the shutdown
+/// paths where a dropped sender must still flush everything downstream.
+#[test]
+fn drain_holds_at_the_boundaries() {
+    let exec = [100u64, 150, 200];
+    let policy = BatchPolicy { max_batch: 3, max_wait: 50, queue_cap: 2 };
+    let tight = StagedConfig { exec_workers: 4, channel_cap: 1, chunk: 64 };
+
+    let empty = run_queue_staged_open(&[], &exec, &policy, &tight, &NoWork).unwrap();
+    assert_eq!(empty.completed(), 0);
+    assert_eq!(empty.rejected, 0);
+
+    let one = run_queue_staged_open(&[7], &exec, &policy, &tight, &NoWork).unwrap();
+    assert_eq!(one.completed(), 1);
+
+    // 500 near-simultaneous arrivals against cap-1 channels: most are
+    // rejected by the bounded queue, and served + rejected must still
+    // account for every single one.
+    let arrivals: Vec<u64> = (0..500).map(|i| i / 10).collect();
+    let report = run_queue_staged_open(&arrivals, &exec, &policy, &tight, &NoWork).unwrap();
+    assert_eq!(report.completed() + report.rejected as usize, arrivals.len());
+    assert!(report.rejected > 0, "the bounded queue must overflow in this trace");
+    assert_eq!(report, queue::simulate_open_loop(&arrivals, &exec, &policy).unwrap());
+}
