@@ -77,6 +77,18 @@ pub struct Flags {
     /// `--bench-out FILE`: where `se bench serve` writes its
     /// machine-readable JSON report (default `BENCH_serve.json`).
     pub bench_out: Option<std::path::PathBuf>,
+    /// `--kill i@t_us`: scripted instance kills for `se cluster`
+    /// (repeatable; comma-separated specs). Raw specs, parsed and
+    /// validated by [`Flags::fault_plan`].
+    pub kill: Vec<String>,
+    /// `--restart i@t_us`: scripted instance restarts for `se cluster`
+    /// (repeatable; comma-separated specs). A restarted instance rejoins
+    /// with an empty queue and a cold weight buffer.
+    pub restart: Vec<String>,
+    /// `--autoscale hi:lo`: queue-depth autoscaling thresholds for
+    /// `se cluster` (spawn above `hi` waiting requests per accepting
+    /// instance, drain below `lo`).
+    pub autoscale: Option<String>,
 }
 
 /// Serving back end selected by `--runtime` (see
@@ -116,6 +128,9 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--exec-workers",
     "--workers",
     "--bench-out",
+    "--kill",
+    "--restart",
+    "--autoscale",
 ];
 
 impl Flags {
@@ -195,6 +210,12 @@ impl Flags {
                 self.workers = Some(counts).filter(|v| !v.is_empty());
             }
             "--bench-out" => self.bench_out = Some(std::path::PathBuf::from(value)),
+            // Kill/restart specs accumulate across repeats and commas;
+            // they stay raw strings here and are parsed loudly by
+            // `fault_plan` (a malformed spec must error, not vanish).
+            "--kill" => self.kill.extend(value.split(',').map(|s| s.trim().to_string())),
+            "--restart" => self.restart.extend(value.split(',').map(|s| s.trim().to_string())),
+            "--autoscale" => self.autoscale = Some(value.to_string()),
             other => unreachable!("VALUE_FLAGS entry {other} not handled"),
         }
     }
@@ -232,6 +253,75 @@ impl Flags {
                 .into());
         }
         Ok(kind)
+    }
+
+    /// Whether any fault-injection flag (`--kill`, `--restart`,
+    /// `--autoscale`) was given. Subcommands without a fault model use
+    /// this to reject the flags loudly instead of silently ignoring them.
+    pub fn has_fault_flags(&self) -> bool {
+        !self.kill.is_empty() || !self.restart.is_empty() || self.autoscale.is_some()
+    }
+
+    /// The fault plan described by `--kill` / `--restart` / `--autoscale`,
+    /// with event times converted from microseconds to cycles at
+    /// `frequency_hz`. Events are ordered by `(time, instance)`; the
+    /// per-instance kill/restart alternation and instance bounds are
+    /// checked later by `ClusterSpec::validate`, which knows the instance
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed specs: `--kill`/`--restart` values must be
+    /// `instance@t_us` with a non-negative time, `--autoscale` must be
+    /// `hi:lo` with `hi >= 1` and `hi > lo`.
+    pub fn fault_plan(&self, frequency_hz: f64) -> Result<se_serve::FaultPlan> {
+        let event = |spec: &str, action: se_serve::FaultAction| -> Result<se_serve::FaultEvent> {
+            let flag = match action {
+                se_serve::FaultAction::Kill => "--kill",
+                se_serve::FaultAction::Restart => "--restart",
+            };
+            let (inst, t_us) = spec
+                .split_once('@')
+                .ok_or_else(|| format!("{flag} {spec:?}: expected instance@t_us (e.g. 1@500)"))?;
+            let instance: usize = inst
+                .parse()
+                .map_err(|_| format!("{flag} {spec:?}: instance must be a non-negative integer"))?;
+            let t_us: f64 =
+                t_us.parse().ok().filter(|t: &f64| t.is_finite() && *t >= 0.0).ok_or_else(
+                    || format!("{flag} {spec:?}: time must be non-negative microseconds"),
+                )?;
+            Ok(se_serve::FaultEvent {
+                at: (t_us * 1e-6 * frequency_hz).round() as u64,
+                instance,
+                action,
+            })
+        };
+        let mut events = Vec::with_capacity(self.kill.len() + self.restart.len());
+        for spec in &self.kill {
+            events.push(event(spec, se_serve::FaultAction::Kill)?);
+        }
+        for spec in &self.restart {
+            events.push(event(spec, se_serve::FaultAction::Restart)?);
+        }
+        events.sort_unstable_by_key(|e| (e.at, e.instance));
+        let autoscale = match self.autoscale.as_deref() {
+            None => None,
+            Some(raw) => {
+                let parsed = raw.split_once(':').and_then(|(hi, lo)| {
+                    Some(se_serve::AutoscalePolicy {
+                        spawn_above: hi.parse().ok()?,
+                        drain_below: lo.parse().ok()?,
+                    })
+                });
+                let policy = parsed
+                    .filter(|p| p.spawn_above >= 1 && p.spawn_above > p.drain_below)
+                    .ok_or_else(|| {
+                        format!("--autoscale {raw:?}: expected hi:lo with hi >= 1 and hi > lo")
+                    })?;
+                Some(policy)
+            }
+        };
+        Ok(se_serve::FaultPlan { events, autoscale })
     }
 
     /// The staged-runtime config these flags describe: `--exec-workers`
@@ -386,6 +476,54 @@ mod tests {
         for args in [&["--exec-workers", "4"][..], &["--runtime", "sim", "--exec-workers", "4"]] {
             let err = parse(args).runtime_kind().unwrap_err();
             assert!(err.to_string().contains("--sim-parallelism"), "{err}");
+        }
+    }
+
+    #[test]
+    fn fault_flags_accumulate_and_parse_into_a_plan() {
+        use se_serve::FaultAction;
+        let f = parse(&["--kill", "0@10,1@20", "--restart", "0@50", "--kill", "2@30"]);
+        assert_eq!(f.kill, vec!["0@10", "1@20", "2@30"]);
+        assert_eq!(f.restart, vec!["0@50"]);
+        assert!(f.has_fault_flags());
+        assert!(!Flags::default().has_fault_flags());
+        // 1 MHz: t_us == cycles, ordered by (at, instance).
+        let plan = f.fault_plan(1e6).unwrap();
+        let shape: Vec<(u64, usize, FaultAction)> =
+            plan.events.iter().map(|e| (e.at, e.instance, e.action)).collect();
+        assert_eq!(
+            shape,
+            vec![
+                (10, 0, FaultAction::Kill),
+                (20, 1, FaultAction::Kill),
+                (30, 2, FaultAction::Kill),
+                (50, 0, FaultAction::Restart),
+            ]
+        );
+        assert!(plan.autoscale.is_none());
+        // Autoscale thresholds parse and are ordered.
+        let auto = parse(&["--autoscale", "8:2"]).fault_plan(1e6).unwrap();
+        let policy = auto.autoscale.unwrap();
+        assert_eq!((policy.spawn_above, policy.drain_below), (8, 2));
+        assert!(auto.events.is_empty());
+    }
+
+    #[test]
+    fn malformed_fault_specs_error_loudly() {
+        for args in [
+            &["--kill", "nope"][..],
+            &["--kill", "0@-5"],
+            &["--kill", "x@10"],
+            &["--restart", "1"],
+            &["--autoscale", "2"],
+            &["--autoscale", "2:2"],
+            &["--autoscale", "0:0"],
+        ] {
+            let err = parse(args).fault_plan(1e9).unwrap_err();
+            assert!(
+                err.to_string().contains(args[0]),
+                "error for {args:?} should name the flag: {err}"
+            );
         }
     }
 

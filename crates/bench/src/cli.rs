@@ -87,7 +87,11 @@ pub fn usage() -> String {
          CLUSTER FLAGS (se cluster):\n  \
          --instances N        accelerator instances behind the shared front (default 4)\n  \
          --router KIND        rr | jsq | affinity routing policy (default jsq)\n  \
-         --buffer-kb F        per-instance weight buffer; enables residency modeling\n\n\
+         --buffer-kb F        per-instance weight buffer; enables residency modeling\n  \
+         --kill i@t_us        kill instance i at t microseconds (repeatable; in-flight\n  \
+                              requests re-route with original arrival/deadline)\n  \
+         --restart i@t_us     restart a killed instance (empty queue, cold weight buffer)\n  \
+         --autoscale hi:lo    spawn above hi waiting/instance, drain below lo\n\n\
          BENCH FLAGS (se bench serve):\n  \
          --workers 1,4,8      staged worker counts swept (default 1,min(4,host),host)\n  \
          --bench-out FILE     machine-readable report path (default BENCH_serve.json)\n\n\

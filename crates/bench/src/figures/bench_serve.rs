@@ -25,7 +25,10 @@ use se_ir::NetworkDesc;
 use se_serve::cluster::{simulate_cluster_run, ClusterRun, ClusterSpec, ModelService};
 use se_serve::queue::BatchPolicy;
 use se_serve::workload::{self, ArrivalPattern};
-use se_serve::{BatchEngine, EngineWork, Request, RouterPolicy, StagedConfig, SE_LANE};
+use se_serve::{
+    BatchEngine, EngineWork, FaultAction, FaultEvent, FaultPlan, Request, RouterPolicy,
+    StagedConfig, SE_LANE,
+};
 use std::io::Write;
 use std::time::Instant;
 
@@ -84,6 +87,11 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                     --exec-workers only applies to se serve / se cluster"
             .into());
     }
+    if flags.has_fault_flags() {
+        return Err("se bench serve scripts its own churn axis (none / kill-restart); \
+                    --kill/--restart/--autoscale only apply to se cluster"
+            .into());
+    }
     if models.is_empty() {
         return Err("se bench serve needs at least one model (check --models)".into());
     }
@@ -140,46 +148,94 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             models.len(),
             deadline,
         )?;
+        // The churn axis: every multi-instance config is measured healthy
+        // ("none") and with one instance killed mid-run and restarted
+        // later ("kill-restart") — the wall-clock cost of re-routing and
+        // cold-restart re-fetches. Single instances skip churn: killing
+        // the only instance measures an outage, not elasticity.
+        let last_arrival = stream.last().map_or(0, |r| r.arrival);
+        let churns: &[&str] =
+            if instances > 1 && last_arrival > 0 { &["none", "kill-restart"] } else { &["none"] };
         for router in &routers {
             for &max_batch in &max_batches {
-                let policy = BatchPolicy {
-                    max_batch,
-                    max_wait: (flags.max_wait_us.unwrap_or(50.0) * 1e-6 * freq).round() as u64,
-                    queue_cap: flags.queue_cap.unwrap_or(256),
-                };
-                let spec = ClusterSpec { instances, router: *router, policy, buffer_bytes };
-                let services: Vec<ModelService> = models
-                    .iter()
-                    .zip(&per_image)
-                    .map(|(net, r)| {
-                        ModelService::from_engine(&engine, SE_LANE, net.name(), r, max_batch)
-                    })
-                    .collect();
-                eprintln!(
-                    "  bench: {} instance(s), router {}, max batch {}...",
-                    instances,
-                    router.name(),
-                    max_batch
-                );
-                let measured =
-                    measure_config(&stream, &services, &spec, &engine, &per_image, &workers)?;
-                let oracle = &measured[0].run;
-                for m in &measured[1..] {
-                    if m.run != *oracle {
+                for &churn in churns {
+                    let policy = BatchPolicy {
+                        max_batch,
+                        max_wait: (flags.max_wait_us.unwrap_or(50.0) * 1e-6 * freq).round() as u64,
+                        queue_cap: flags.queue_cap.unwrap_or(256),
+                    };
+                    let faults = match churn {
+                        "none" => FaultPlan::default(),
+                        _ => FaultPlan {
+                            events: vec![
+                                FaultEvent {
+                                    at: (last_arrival / 3).max(1),
+                                    instance: 0,
+                                    action: FaultAction::Kill,
+                                },
+                                FaultEvent {
+                                    at: (2 * last_arrival / 3).max((last_arrival / 3).max(1) + 1),
+                                    instance: 0,
+                                    action: FaultAction::Restart,
+                                },
+                            ],
+                            autoscale: None,
+                        },
+                    };
+                    let spec =
+                        ClusterSpec { instances, router: *router, policy, buffer_bytes, faults };
+                    let services: Vec<ModelService> = models
+                        .iter()
+                        .zip(&per_image)
+                        .map(|(net, r)| {
+                            ModelService::from_engine(&engine, SE_LANE, net.name(), r, max_batch)
+                        })
+                        .collect();
+                    eprintln!(
+                        "  bench: {} instance(s), router {}, max batch {}, churn {}...",
+                        instances,
+                        router.name(),
+                        max_batch,
+                        churn
+                    );
+                    let measured =
+                        measure_config(&stream, &services, &spec, &engine, &per_image, &workers)?;
+                    let oracle = &measured[0].run;
+                    if !oracle.report.conserves(stream.len()) {
                         return Err(format!(
-                            "staged outcomes diverge from the sim at {} instance(s), \
-                             router {}, max batch {}, {} worker(s) — determinism bug",
+                            "request conservation violated at {} instance(s), router {}, \
+                             max batch {}, churn {}: {} completed + {} rejected + {} lost \
+                             != {} submitted",
                             instances,
                             router.name(),
                             max_batch,
-                            m.exec_workers.unwrap_or(0)
+                            churn,
+                            oracle.report.completed(),
+                            oracle.report.rejected,
+                            oracle.report.lost,
+                            stream.len()
                         )
                         .into());
                     }
-                }
-                for m in &measured {
-                    rows.push(summary_row(instances, router, max_batch, m, freq));
-                    configs.push(config_json(instances, router, max_batch, m, freq));
+                    for m in &measured[1..] {
+                        if m.run != *oracle {
+                            return Err(format!(
+                                "staged outcomes diverge from the sim at {} instance(s), \
+                                 router {}, max batch {}, churn {}, {} worker(s) — \
+                                 determinism bug",
+                                instances,
+                                router.name(),
+                                max_batch,
+                                churn,
+                                m.exec_workers.unwrap_or(0)
+                            )
+                            .into());
+                        }
+                    }
+                    for m in &measured {
+                        rows.push(summary_row(instances, router, max_batch, churn, m, freq));
+                        configs.push(config_json(instances, router, max_batch, churn, m, freq));
+                    }
                 }
             }
         }
@@ -193,6 +249,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                 "inst",
                 "router",
                 "batch",
+                "churn",
                 "runtime",
                 "workers",
                 "wall ms",
@@ -207,7 +264,9 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
 
     let doc = Json::Obj(vec![
         ("bench".into(), Json::Str("serve".into())),
-        ("schema_version".into(), Json::Num(1.0)),
+        // v2: churn axis (churn/lost/rerouted/killed_batches per config)
+        // and null percentiles for empty latency samples.
+        ("schema_version".into(), Json::Num(2.0)),
         (
             "models".into(),
             Json::Arr(models.iter().map(|m| Json::Str(m.name().to_string())).collect()),
@@ -271,6 +330,7 @@ fn summary_row(
     instances: usize,
     router: &RouterPolicy,
     max_batch: usize,
+    churn: &str,
     m: &Measured,
     freq: f64,
 ) -> Vec<String> {
@@ -279,11 +339,15 @@ fn summary_row(
         instances.to_string(),
         router.name().to_string(),
         max_batch.to_string(),
+        churn.to_string(),
         m.runtime.to_string(),
         m.exec_workers.map_or_else(|| "-".into(), |w| w.to_string()),
         format!("{:.1}", m.wall_ms),
         format!("{:.0}", report.completed() as f64 / (m.wall_ms / 1e3)),
-        format!("{:.4}", latency::ms(freq, report.latency_percentile(99.0) as f64)),
+        match report.latency_percentile(99.0) {
+            Some(p) => format!("{:.4}", latency::ms(freq, p as f64)),
+            None => "-".to_string(),
+        },
         format!("{:.1}", report.goodput_per_s(freq)),
         format!("{:.2}", report.residency.bytes_fetched as f64 / (1024.0 * 1024.0)),
     ]
@@ -293,26 +357,36 @@ fn config_json(
     instances: usize,
     router: &RouterPolicy,
     max_batch: usize,
+    churn: &str,
     m: &Measured,
     freq: f64,
 ) -> Json {
     let report = &m.run.report;
     let wall_s = m.wall_ms / 1e3;
+    // An all-rejected/all-lost run has no latency sample: percentiles are
+    // null, not a fake 0.
+    let pct = |p: f64| {
+        report.latency_percentile(p).map_or(Json::Null, |c| Json::Num(latency::ms(freq, c as f64)))
+    };
     Json::Obj(vec![
         ("runtime".into(), Json::Str(m.runtime.into())),
         ("instances".into(), Json::Num(instances as f64)),
         ("router".into(), Json::Str(router.name().into())),
         ("max_batch".into(), Json::Num(max_batch as f64)),
+        ("churn".into(), Json::Str(churn.into())),
         ("exec_workers".into(), m.exec_workers.map_or(Json::Null, |w| Json::Num(w as f64))),
         ("wall_ms".into(), Json::Num(m.wall_ms)),
         ("throughput_rps".into(), Json::Num(report.completed() as f64 / wall_s)),
         ("completed".into(), Json::Num(report.completed() as f64)),
         ("rejected".into(), Json::Num(report.rejected as f64)),
         ("misses".into(), Json::Num(report.misses as f64)),
+        ("lost".into(), Json::Num(report.lost as f64)),
+        ("rerouted".into(), Json::Num(report.rerouted as f64)),
+        ("killed_batches".into(), Json::Num(report.killed_batches as f64)),
         ("goodput_per_s".into(), Json::Num(report.goodput_per_s(freq))),
-        ("p50_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(50.0) as f64))),
-        ("p95_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(95.0) as f64))),
-        ("p99_ms".into(), Json::Num(latency::ms(freq, report.latency_percentile(99.0) as f64))),
+        ("p50_ms".into(), pct(50.0)),
+        ("p95_ms".into(), pct(95.0)),
+        ("p99_ms".into(), pct(99.0)),
         ("weight_fetches".into(), Json::Num(report.residency.fetches as f64)),
         ("fetch_mb".into(), Json::Num(report.residency.bytes_fetched as f64 / (1024.0 * 1024.0))),
         ("outcomes_match_sim".into(), Json::Bool(true)),
@@ -330,8 +404,8 @@ pub fn validate_report(doc: &Json) -> Result<()> {
     if field("bench")?.as_str() != Some("serve") {
         return Err("`bench` must be \"serve\"".into());
     }
-    if field("schema_version")?.as_f64() != Some(1.0) {
-        return Err("`schema_version` must be 1".into());
+    if field("schema_version")?.as_f64() != Some(2.0) {
+        return Err("`schema_version` must be 2".into());
     }
     for key in ["frequency_hz", "requests_per_config", "host_parallelism"] {
         if field(key)?.as_f64().is_none() {
@@ -366,6 +440,14 @@ pub fn validate_report(doc: &Json) -> Result<()> {
         if field("router")?.as_str().is_none() {
             return Err(format!("config {i}: `router` must be a string").into());
         }
+        match field("churn")?.as_str() {
+            Some("none" | "kill-restart") => {}
+            _ => {
+                return Err(
+                    format!("config {i}: `churn` must be \"none\" or \"kill-restart\"").into()
+                )
+            }
+        }
         for key in [
             "instances",
             "max_batch",
@@ -374,15 +456,21 @@ pub fn validate_report(doc: &Json) -> Result<()> {
             "completed",
             "rejected",
             "misses",
+            "lost",
+            "rerouted",
+            "killed_batches",
             "goodput_per_s",
-            "p50_ms",
-            "p95_ms",
-            "p99_ms",
             "weight_fetches",
             "fetch_mb",
         ] {
             if field(key)?.as_f64().is_none() {
                 return Err(format!("config {i}: `{key}` must be a number").into());
+            }
+        }
+        for key in ["p50_ms", "p95_ms", "p99_ms"] {
+            let v = field(key)?;
+            if v.as_f64().is_none() && *v != Json::Null {
+                return Err(format!("config {i}: `{key}` must be a number or null").into());
             }
         }
         if field("outcomes_match_sim")?.as_bool() != Some(true) {

@@ -77,7 +77,9 @@ fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
         router,
         policy,
         buffer_bytes: flags.buffer_kb.map(|kb| (kb * 1024.0).round() as u64),
+        faults: flags.fault_plan(frequency_hz)?,
     };
+    spec.faults.validate(spec.instances)?;
     Ok(Scenario {
         spec,
         requests: flags.requests.unwrap_or(256),
@@ -158,6 +160,39 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             None => "unmodeled (weights streamed per batch)".to_string(),
         }
     )?;
+    // Fault-free runs print nothing here: stdout stays byte-identical to
+    // a build without failure injection.
+    if !sc.spec.faults.is_empty() {
+        let scripted: Vec<String> = sc
+            .spec
+            .faults
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{} inst {} @ {} cycles",
+                    match e.action {
+                        se_serve::FaultAction::Kill => "kill",
+                        se_serve::FaultAction::Restart => "restart",
+                    },
+                    e.instance,
+                    e.at
+                )
+            })
+            .collect();
+        writeln!(
+            out,
+            "faults: {}; autoscale: {}",
+            if scripted.is_empty() { "none scripted".to_string() } else { scripted.join(", ") },
+            match &sc.spec.faults.autoscale {
+                Some(p) => format!(
+                    "spawn above {} waiting/instance, drain below {}",
+                    p.spawn_above, p.drain_below
+                ),
+                None => "off".to_string(),
+            }
+        )?;
+    }
     writeln!(out)?;
 
     // Per-model weight footprints: what a switch re-fetches on each lane —
@@ -194,6 +229,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
 
     // Replay the same stream against every lane.
     let mut rows = Vec::new();
+    let mut churn_lines: Vec<String> = Vec::new();
     for (lane, lane_name) in ACCEL_NAMES.iter().enumerate() {
         let services: Option<Vec<ModelService>> = models
             .iter()
@@ -213,7 +249,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         let Some(services) = services else {
             rows.push(
                 std::iter::once((*lane_name).to_string())
-                    .chain(std::iter::repeat_n("n/a".to_string(), 11))
+                    .chain(std::iter::repeat_n("n/a".to_string(), 13))
                     .collect(),
             );
             continue;
@@ -247,7 +283,34 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             report.residency.fetches.to_string(),
             format!("{:.2}", report.residency.bytes_fetched as f64 / (1024.0 * 1024.0)),
             report.residency.evictions.to_string(),
+            report.rerouted.to_string(),
+            report.lost.to_string(),
         ]);
+        if !sc.spec.faults.is_empty() {
+            for e in &report.events {
+                churn_lines.push(format!(
+                    "  {}: {} inst {} @ {} cycles{}",
+                    lane_name,
+                    e.kind.tag(),
+                    e.instance,
+                    e.at,
+                    match e.kind {
+                        se_serve::ClusterEventKind::Kill { in_flight, rerouted, lost } =>
+                            format!(" (in-flight {in_flight}, rerouted {rerouted}, lost {lost})"),
+                        _ => String::new(),
+                    }
+                ));
+            }
+            churn_lines.push(format!(
+                "  {}: accounting: {} completed + {} rejected + {} lost == {} submitted ({})",
+                lane_name,
+                report.completed(),
+                report.rejected,
+                report.lost,
+                stream.len(),
+                if report.conserves(stream.len()) { "ok" } else { "VIOLATED" }
+            ));
+        }
     }
     writeln!(out, "cluster serving, all lanes on the same request stream:")?;
     writeln!(
@@ -267,10 +330,19 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                 "wgt fetches",
                 "fetch MB",
                 "evictions",
+                "rerouted",
+                "lost",
             ],
             &rows,
         )
     )?;
+    if !churn_lines.is_empty() {
+        writeln!(out, "fault timeline and conservation accounting per lane:")?;
+        for line in &churn_lines {
+            writeln!(out, "{line}")?;
+        }
+        writeln!(out)?;
+    }
     writeln!(
         out,
         "determinism: output is bit-identical for any worker count\n\

@@ -17,9 +17,12 @@ pub fn ms(frequency_hz: f64, cycles: f64) -> f64 {
 
 /// The [`REPORT_PERCENTILES`] of `latencies` formatted in milliseconds
 /// (`{:.4}`), in order — the p50/p95/p99 cells of both serving reports.
+/// An empty sample (nothing completed) renders as `-`, never as a
+/// fake `0.0000`.
 pub fn percentile_cells(latencies: &[u64], frequency_hz: f64) -> [String; 3] {
-    REPORT_PERCENTILES.map(|p| {
-        format!("{:.4}", ms(frequency_hz, se_serve::queue::percentile(latencies, p) as f64))
+    REPORT_PERCENTILES.map(|p| match se_serve::queue::percentile(latencies, p) {
+        Some(cycles) => format!("{:.4}", ms(frequency_hz, cycles as f64)),
+        None => "-".to_string(),
     })
 }
 
@@ -53,6 +56,8 @@ mod tests {
         assert_eq!(ms(1e9, 2_000_000.0), 2.0);
         let cells = percentile_cells(&[1_000_000, 2_000_000, 3_000_000, 4_000_000], 1e9);
         assert_eq!(cells, ["2.0000".to_string(), "4.0000".to_string(), "4.0000".to_string()]);
+        let empty = percentile_cells(&[], 1e9);
+        assert_eq!(empty, ["-".to_string(), "-".to_string(), "-".to_string()]);
         assert_eq!(deadline_cycles(Some(500.0), 1e9), Some(500_000));
         assert_eq!(deadline_cycles(None, 1e9), None);
         assert_eq!(miss_cells(None, 10), ("n/a".into(), "n/a".into()));

@@ -92,6 +92,12 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
 ///
 /// Propagates trace, simulation, policy, and I/O failures.
 pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Write) -> Result<()> {
+    if flags.has_fault_flags() {
+        return Err("fault injection (--kill/--restart/--autoscale) applies to \
+                    se cluster; the single-instance se serve queue has no \
+                    fault model"
+            .into());
+    }
     let opts = flags.runner_options()?;
     let runtime = flags.runtime_kind()?;
     let staged_cfg = flags.staged_config();
@@ -201,7 +207,10 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             vec!["latency p99 ms".into(), p99],
             vec![
                 "latency max ms".into(),
-                format!("{:.4}", latency::ms(freq, report.latency_percentile(100.0) as f64)),
+                match report.latency_percentile(100.0) {
+                    Some(max) => format!("{:.4}", latency::ms(freq, max as f64)),
+                    None => "-".to_string(),
+                },
             ],
             vec!["deadline missed".into(), missed],
             vec!["miss %".into(), miss_pct],

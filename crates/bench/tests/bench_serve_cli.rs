@@ -49,20 +49,33 @@ fn dry_run_emits_a_valid_schema_checked_report() {
     bench_serve::validate_report(&doc).unwrap();
     assert_eq!(doc.get("requests_per_config").unwrap().as_f64(), Some(300.0));
     let configs = doc.get("configs").unwrap().as_array().unwrap();
-    // instances pinned to {2} x routers {rr, jsq} x max_batch {1, 8},
-    // each measured as sim + staged x {1, 2} workers.
-    // 1 instance count x 2 routers x 2 batch sizes, each measured as
-    // sim + staged x {1, 2} workers = 3 runtime entries.
-    assert_eq!(configs.len(), 2 * 2 * 3, "sweep shape");
+    // instances pinned to {2} x routers {rr, jsq} x max_batch {1, 8} x
+    // churn {none, kill-restart} (multi-instance configs get the churn
+    // axis), each measured as sim + staged x {1, 2} workers = 3 runtime
+    // entries.
+    assert_eq!(configs.len(), 2 * 2 * 2 * 3, "sweep shape");
     let sims = configs.iter().filter(|c| c.get("runtime").unwrap().as_str() == Some("sim"));
-    assert_eq!(sims.count(), 4);
+    assert_eq!(sims.count(), 8);
     for workers in [1.0, 2.0] {
         let staged = configs.iter().filter(|c| {
             c.get("runtime").unwrap().as_str() == Some("staged")
                 && c.get("exec_workers").unwrap().as_f64() == Some(workers)
         });
-        assert_eq!(staged.count(), 4, "staged entries at {workers} worker(s)");
+        assert_eq!(staged.count(), 8, "staged entries at {workers} worker(s)");
     }
+    // The churn axis is half the sweep, and churned configs account for
+    // the kill: a killed batch or a re-route must actually show up
+    // (the kill lands mid-run by construction).
+    let churned: Vec<_> = configs
+        .iter()
+        .filter(|c| c.get("churn").unwrap().as_str() == Some("kill-restart"))
+        .collect();
+    assert_eq!(churned.len(), configs.len() / 2);
+    assert!(
+        churned.iter().any(|c| c.get("rerouted").unwrap().as_f64() > Some(0.0)
+            || c.get("killed_batches").unwrap().as_f64() > Some(0.0)),
+        "churned configs must show fault activity"
+    );
     // The mixed two-model stream through a small buffer exercises the
     // residency lane of the report.
     assert!(

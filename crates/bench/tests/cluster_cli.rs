@@ -93,6 +93,58 @@ fn cluster_output_is_bit_identical_across_worker_counts() {
 }
 
 #[test]
+fn cluster_with_churn_prints_the_timeline_and_stays_deterministic() {
+    let models = model_set();
+    let base = Flags {
+        kill: vec!["0@50".into()],
+        restart: vec!["0@200".into()],
+        autoscale: Some("64:1".into()),
+        ..cluster_flags()
+    };
+    let churned = cluster_output(&base, &models);
+    assert!(churned.contains("faults: kill inst 0 @ 50000 cycles"), "{churned}");
+    assert!(churned.contains("restart inst 0 @ 200000 cycles"), "{churned}");
+    assert!(churned.contains("autoscale: spawn above 64"), "{churned}");
+    assert!(churned.contains("rerouted"), "lane table gains the churn columns: {churned}");
+    assert!(churned.contains("fault timeline and conservation accounting"), "{churned}");
+    assert!(churned.contains("== 48 submitted (ok)"), "{churned}");
+    assert!(!churned.contains("VIOLATED"), "{churned}");
+    // Churn is part of the determinism contract: byte-identical across
+    // worker counts and across runtimes.
+    let parallel = cluster_output(&Flags { sim_parallelism: Some(4), ..base.clone() }, &models);
+    assert_eq!(churned, parallel);
+    let staged = cluster_output(
+        &Flags { runtime: Some("staged".into()), exec_workers: Some(3), ..base.clone() },
+        &models,
+    );
+    assert_eq!(churned, staged);
+    // Fault-free output carries no churn prose (stdout stays identical to
+    // the pre-fault-injection format except for the two new columns).
+    let healthy = cluster_output(&cluster_flags(), &models);
+    assert!(!healthy.contains("fault timeline"), "{healthy}");
+    assert!(!healthy.contains("faults:"), "{healthy}");
+
+    // A kill without a matching restart history errors loudly, as does a
+    // kill aimed past the instance count.
+    let bad = Flags { restart: vec!["1@10".into()], ..cluster_flags() };
+    let mut out = Vec::new();
+    let err = figures::cluster::run_with_models(&bad, &models, &mut out).unwrap_err();
+    assert!(err.to_string().contains("restart"), "{err}");
+    let bad = Flags { kill: vec!["9@10".into()], ..cluster_flags() };
+    let err = figures::cluster::run_with_models(&bad, &models, &mut out).unwrap_err();
+    assert!(err.to_string().contains("instance"), "{err}");
+}
+
+#[test]
+fn serve_rejects_fault_flags() {
+    let models = vec![model_set().remove(0)];
+    let flags = Flags { kill: vec!["0@10".into()], ..Flags::default() };
+    let mut out = Vec::new();
+    let err = figures::serve::run_with_models(&flags, &models, &mut out).unwrap_err();
+    assert!(err.to_string().contains("se cluster"), "{err}");
+}
+
+#[test]
 fn cluster_replays_trace_artifacts_byte_identically() {
     let models = model_set();
     let dir = std::env::temp_dir().join(format!("se-cluster-cache-{}", std::process::id()));

@@ -131,6 +131,15 @@ impl WeightBuffer {
         self.resident.push((model, bytes));
         Admission::Fetched { evicted }
     }
+
+    /// Drops all residency — the state of the buffer after its instance
+    /// restarts — while keeping the lifetime counters, so the re-fetches
+    /// a restart forces are charged to the same stats. Restart evictions
+    /// are not counted as LRU evictions: nothing was displaced *by* a
+    /// fetch, the contents simply did not survive the power cycle.
+    pub fn cold_restart(&mut self) {
+        self.resident.clear();
+    }
 }
 
 /// DRAM cycles to move a `bytes`-sized weight footprint at the given
@@ -214,6 +223,21 @@ mod tests {
         assert!(!buf.is_resident(1));
         assert_eq!(buf.stats().fetches, 2);
         assert_eq!(buf.stats().bytes_fetched, 230);
+    }
+
+    #[test]
+    fn cold_restart_clears_residency_but_keeps_counters() {
+        let mut buf = WeightBuffer::new(200);
+        buf.admit(0, 60);
+        buf.admit(0, 60);
+        assert_eq!(buf.stats().hits, 1);
+        buf.cold_restart();
+        assert!(!buf.is_resident(0), "restart leaves nothing resident");
+        assert_eq!(buf.occupied_bytes(), 0);
+        assert_eq!(buf.stats().hits, 1, "lifetime counters survive the restart");
+        assert_eq!(buf.stats().evictions, 0, "a restart is not an LRU eviction");
+        assert_eq!(buf.admit(0, 60), Admission::Fetched { evicted: vec![] }, "re-fetch is charged");
+        assert_eq!(buf.stats().fetches, 2);
     }
 
     #[test]

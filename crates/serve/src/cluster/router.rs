@@ -15,6 +15,10 @@ pub struct InstanceView {
     /// Whether the request's model is currently resident in the instance's
     /// weight buffer (always `false` with residency modeling disabled).
     pub resident: bool,
+    /// Whether the instance accepts new requests. Killed instances and
+    /// draining autoscaled instances ([`crate::fault`]) are skipped by
+    /// every policy; without failure injection this is always `true`.
+    pub accepting: bool,
 }
 
 /// Sharding/routing policy of the cluster front.
@@ -59,25 +63,27 @@ impl RouterPolicy {
 
     /// Routes the `seq`-th arrival (counting every arrival, including ones
     /// later rejected by a full queue) targeting `model` across the given
-    /// instance views. Ties break toward the lowest instance index.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty cluster (`views` must be non-empty).
-    pub fn route(&self, seq: u64, model: usize, views: &[InstanceView]) -> usize {
-        assert!(!views.is_empty(), "routing requires at least one instance");
+    /// instance views. Only accepting instances are candidates; ties break
+    /// toward the lowest instance index, and round-robin / affinity homes
+    /// count over the accepting subset in index order — so the decision
+    /// stays a deterministic pure function of the snapshot under churn.
+    /// Returns `None` when no instance accepts (the whole cluster is
+    /// down), in which case the arrival is rejected.
+    pub fn route(&self, seq: u64, model: usize, views: &[InstanceView]) -> Option<usize> {
+        let accepting: Vec<usize> = (0..views.len()).filter(|&i| views[i].accepting).collect();
+        if accepting.is_empty() {
+            return None;
+        }
         let shortest = |candidates: &mut dyn Iterator<Item = usize>| -> Option<usize> {
             candidates.min_by_key(|&i| (views[i].queued, i))
         };
         match self {
-            RouterPolicy::RoundRobin => (seq % views.len() as u64) as usize,
-            RouterPolicy::JoinShortestQueue => {
-                shortest(&mut (0..views.len())).expect("non-empty cluster")
-            }
-            RouterPolicy::ModelAffinity => {
-                shortest(&mut (0..views.len()).filter(|&i| views[i].resident))
-                    .unwrap_or(model % views.len())
-            }
+            RouterPolicy::RoundRobin => Some(accepting[(seq % accepting.len() as u64) as usize]),
+            RouterPolicy::JoinShortestQueue => shortest(&mut accepting.iter().copied()),
+            RouterPolicy::ModelAffinity => Some(
+                shortest(&mut accepting.iter().copied().filter(|&i| views[i].resident))
+                    .unwrap_or(accepting[model % accepting.len()]),
+            ),
         }
     }
 }
@@ -90,7 +96,7 @@ mod tests {
         queued
             .iter()
             .zip(resident)
-            .map(|(&queued, &resident)| InstanceView { queued, resident })
+            .map(|(&queued, &resident)| InstanceView { queued, resident, accepting: true })
             .collect()
     }
 
@@ -98,16 +104,20 @@ mod tests {
     fn round_robin_cycles_by_sequence() {
         let v = views(&[9, 0, 0], &[false; 3]);
         let rr = RouterPolicy::RoundRobin;
-        assert_eq!(rr.route(0, 0, &v), 0);
-        assert_eq!(rr.route(1, 0, &v), 1);
-        assert_eq!(rr.route(5, 7, &v), 2, "model is irrelevant to round-robin");
+        assert_eq!(rr.route(0, 0, &v), Some(0));
+        assert_eq!(rr.route(1, 0, &v), Some(1));
+        assert_eq!(rr.route(5, 7, &v), Some(2), "model is irrelevant to round-robin");
     }
 
     #[test]
     fn jsq_picks_the_shortest_with_low_index_ties() {
         let jsq = RouterPolicy::JoinShortestQueue;
-        assert_eq!(jsq.route(0, 0, &views(&[3, 1, 2], &[false; 3])), 1);
-        assert_eq!(jsq.route(0, 0, &views(&[2, 1, 1], &[false; 3])), 1, "tie -> lowest index");
+        assert_eq!(jsq.route(0, 0, &views(&[3, 1, 2], &[false; 3])), Some(1));
+        assert_eq!(
+            jsq.route(0, 0, &views(&[2, 1, 1], &[false; 3])),
+            Some(1),
+            "tie -> lowest index"
+        );
     }
 
     #[test]
@@ -115,10 +125,42 @@ mod tests {
         let aff = RouterPolicy::ModelAffinity;
         // Model resident on 1 and 2: shortest of those wins, even though
         // instance 0 is idle.
-        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false, true, true])), 2);
+        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false, true, true])), Some(2));
         // Nothing resident: home instance model % n.
-        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false; 3])), 2);
-        assert_eq!(aff.route(0, 4, &views(&[9, 4, 2], &[false; 3])), 1);
+        assert_eq!(aff.route(0, 5, &views(&[0, 4, 2], &[false; 3])), Some(2));
+        assert_eq!(aff.route(0, 4, &views(&[9, 4, 2], &[false; 3])), Some(1));
+    }
+
+    #[test]
+    fn dead_instances_are_skipped_with_deterministic_tie_breaks() {
+        let mut v = views(&[0, 1, 2], &[false, true, true]);
+        v[1].accepting = false;
+        // Round-robin counts over the accepting subset {0, 2} in order.
+        let rr = RouterPolicy::RoundRobin;
+        assert_eq!(rr.route(0, 0, &v), Some(0));
+        assert_eq!(rr.route(1, 0, &v), Some(2));
+        assert_eq!(rr.route(2, 0, &v), Some(0));
+        // JSQ never picks the dead shortest queue.
+        let mut loaded = views(&[5, 0, 2], &[false; 3]);
+        loaded[1].accepting = false;
+        assert_eq!(RouterPolicy::JoinShortestQueue.route(0, 0, &loaded), Some(2));
+        // Affinity ignores residency on a dead instance: of {1, 2} only 2
+        // accepts, so the model lands there.
+        assert_eq!(RouterPolicy::ModelAffinity.route(0, 1, &v), Some(2));
+        // With no accepting resident instance, the home counts over the
+        // accepting subset: model 1 of {0, 2} is instance 2.
+        let mut none_resident = views(&[0, 1, 2], &[false; 3]);
+        none_resident[1].accepting = false;
+        assert_eq!(RouterPolicy::ModelAffinity.route(0, 1, &none_resident), Some(2));
+        // A fully-down cluster routes nowhere.
+        let mut down = views(&[0, 0], &[false; 2]);
+        down[0].accepting = false;
+        down[1].accepting = false;
+        for policy in
+            [RouterPolicy::RoundRobin, RouterPolicy::JoinShortestQueue, RouterPolicy::ModelAffinity]
+        {
+            assert_eq!(policy.route(3, 1, &down), None);
+        }
     }
 
     #[test]

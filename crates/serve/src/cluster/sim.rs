@@ -36,8 +36,9 @@
 
 use crate::cluster::router::RouterPolicy;
 use crate::engine::BatchEngine;
+use crate::fault::{ClusterEvent, FaultPlan};
 use crate::queue::{percentile, BatchPolicy};
-use crate::sched::{self, ClusterCore, Disposition, RequestOutcome, SchedEvent};
+use crate::sched::{self, ClusterCore, CoreFinish, Disposition, RequestOutcome, SchedEvent};
 use crate::workload::Request;
 use crate::{BoxError, Result};
 use se_hw::residency::{fetch_cycles, ResidencyStats};
@@ -104,6 +105,10 @@ pub struct ClusterSpec {
     /// residency modeling (every batch streams its weights, the `se serve`
     /// execution model).
     pub buffer_bytes: Option<u64>,
+    /// Deterministic failure injection and elasticity script (see
+    /// [`crate::fault`]). The default empty plan reproduces a cluster
+    /// without churn bit for bit.
+    pub faults: FaultPlan,
 }
 
 impl ClusterSpec {
@@ -111,13 +116,15 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Rejects an empty cluster, an invalid batch policy, an empty model
-    /// set, and service tables shorter than `max_batch`.
+    /// Rejects an empty cluster, an invalid batch policy, an invalid
+    /// fault plan, an empty model set, and service tables shorter than
+    /// `max_batch`.
     pub fn validate(&self, services: &[ModelService]) -> Result<()> {
         if self.instances == 0 {
             return Err(BoxError::from("a cluster needs at least one instance"));
         }
         self.policy.validate()?;
+        self.faults.validate(self.instances)?;
         if services.is_empty() {
             return Err(BoxError::from("a cluster needs at least one model service"));
         }
@@ -163,8 +170,20 @@ pub struct ClusterReport {
     pub makespan: u64,
     /// Cluster-wide residency counters (sum over instances).
     pub residency: ResidencyStats,
-    /// Per-instance summaries.
+    /// Per-instance summaries (spawned instances appended after the base
+    /// cluster).
     pub per_instance: Vec<InstanceSummary>,
+    /// Membership changes that fired (kills, restarts, spawns, drains),
+    /// in the order they fired. Empty without failure injection.
+    pub events: Vec<ClusterEvent>,
+    /// In-flight batches failed by an instance kill (their members either
+    /// re-routed or were lost; none completed in the failed batch).
+    pub killed_batches: u64,
+    /// Kill victims re-admitted through the router.
+    pub rerouted: u64,
+    /// Kill victims that could not be re-routed — terminal
+    /// [`Disposition::Lost`] outcomes.
+    pub lost: u64,
 }
 
 impl ClusterReport {
@@ -182,9 +201,18 @@ impl ClusterReport {
     }
 
     /// The `p`-th latency percentile in cycles (shared nearest-rank
-    /// definition — [`crate::queue::percentile`]).
-    pub fn latency_percentile(&self, p: f64) -> u64 {
+    /// definition — [`crate::queue::percentile`]); `None` when nothing
+    /// completed, so an all-rejected/all-lost run is distinguishable from
+    /// a zero-latency one.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
         percentile(&self.latencies, p)
+    }
+
+    /// The conservation law of the serving front: every submitted request
+    /// ends in exactly one of completed (on time or late), rejected, or
+    /// lost. `true` when the counters account for `submitted` exactly.
+    pub fn conserves(&self, submitted: usize) -> bool {
+        self.completed() as u64 + self.rejected + self.lost == submitted as u64
     }
 
     /// Deadline-miss rate over completed requests (0 when nothing
@@ -245,6 +273,20 @@ pub(crate) fn record_event(
                 disposition: Disposition::Rejected,
             });
         }
+        SchedEvent::Lost(id, req, at) => {
+            report.lost += 1;
+            outcomes.push(RequestOutcome {
+                id: *id,
+                model: req.model,
+                arrival: req.arrival,
+                disposition: Disposition::Lost { at: *at },
+            });
+        }
+        // A batch overlapping its instance's kill completes nothing: its
+        // members' fates are decided when the kill re-routes them.
+        SchedEvent::Launched(batch) if batch.killed_at.is_some() => {
+            report.killed_batches += 1;
+        }
         SchedEvent::Launched(batch) => {
             for m in &batch.members {
                 let missed = m.req.deadline.is_some_and(|d| batch.done > d);
@@ -268,6 +310,18 @@ pub(crate) fn record_event(
             report.makespan = report.makespan.max(batch.done);
         }
     }
+}
+
+/// Folds the core's teardown — per-instance summaries and the membership
+/// event log — into the report (shared by the sim and the staged
+/// collector, so both report identical churn).
+pub(crate) fn fold_finish(fin: CoreFinish, report: &mut ClusterReport) {
+    for summary in fin.summaries {
+        report.residency.accumulate(&summary.residency);
+        report.per_instance.push(summary);
+    }
+    report.rerouted = fin.events.iter().map(|e| e.kind.rerouted()).sum();
+    report.events = fin.events;
 }
 
 /// Checks every request's model index against the service set (shared by
@@ -307,10 +361,7 @@ pub fn simulate_cluster_run(
         record_event(&event, &mut report, &mut outcomes);
         true
     });
-    for summary in core.finish() {
-        report.residency.accumulate(&summary.residency);
-        report.per_instance.push(summary);
-    }
+    fold_finish(core.finish(), &mut report);
     outcomes.sort_unstable_by_key(|o| o.id);
     Ok(ClusterRun { report, outcomes })
 }
@@ -352,6 +403,7 @@ mod tests {
             router,
             policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
             buffer_bytes: buffer,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -523,11 +575,52 @@ mod tests {
         };
         assert_eq!(r.completed(), 4);
         assert_eq!(r.mean_latency(), 25.0);
-        assert_eq!(r.latency_percentile(50.0), 20);
-        assert_eq!(r.latency_percentile(99.0), 40);
+        assert_eq!(r.latency_percentile(50.0), Some(20));
+        assert_eq!(r.latency_percentile(99.0), Some(40));
         assert_eq!(r.throughput_per_s(1000.0), 40.0);
         assert_eq!(r.goodput_per_s(1000.0), 30.0);
+        assert!(r.conserves(5), "4 completed + 1 rejected");
+        assert!(!r.conserves(6));
         assert_eq!(ClusterReport::default().miss_rate(), 0.0);
         assert_eq!(ClusterReport::default().goodput_per_s(1e9), 0.0);
+        assert_eq!(
+            ClusterReport::default().latency_percentile(99.0),
+            None,
+            "an empty sample has no percentile, not a perfect one"
+        );
+    }
+
+    #[test]
+    fn a_kill_mid_run_conserves_requests_and_reports_the_event() {
+        use crate::fault::{ClusterEventKind, FaultAction, FaultEvent};
+        // Two instances; instance 0 dies while loaded and comes back
+        // later. Nothing may vanish: completed + rejected + lost ==
+        // submitted, and the report carries the event lines.
+        let services = [svc("m", 100, 2, 640, 64)];
+        let mut sp = spec(2, RouterPolicy::RoundRobin, Some(1000));
+        sp.faults.events = vec![
+            FaultEvent { at: 50, instance: 0, action: FaultAction::Kill },
+            FaultEvent { at: 10_000, instance: 0, action: FaultAction::Restart },
+        ];
+        let rs = reqs(&[(0, 0), (0, 0), (0, 0), (0, 0), (20_000, 0), (20_000, 0)]);
+        let r = simulate_cluster(&rs, &services, &sp).unwrap();
+        assert!(
+            r.conserves(rs.len()),
+            "completed {} rejected {} lost {}",
+            r.completed(),
+            r.rejected,
+            r.lost
+        );
+        assert_eq!(r.killed_batches, 1, "instance 0's in-flight batch failed");
+        assert!(r.rerouted >= 2, "its members re-routed to instance 1");
+        assert_eq!(r.lost, 0, "instance 1 had queue room for every victim");
+        let tags: Vec<&str> = r.events.iter().map(|e| e.kind.tag()).collect();
+        assert_eq!(tags, vec!["kill", "restart"]);
+        assert!(matches!(r.events[0].kind, ClusterEventKind::Kill { in_flight: 2, .. }));
+        // The restarted instance is cold: its post-restart batch at
+        // 20_000 re-fetches the model even though it was resident before
+        // the kill (fetch at first batch + fetch after restart on
+        // instance 0, plus instance 1's own cold fetch).
+        assert_eq!(r.residency.fetches, 3);
     }
 }

@@ -30,6 +30,12 @@
 //!   staged runtime: admission, routing, EDF batch formation, and
 //!   residency as one virtual-time state machine emitting a canonical
 //!   event stream.
+//! * [`fault`] — **failure injection and elastic membership**: scripted
+//!   kill/restart events and queue-depth autoscaling consumed by the
+//!   scheduling core, so both runtimes replay the same churn by
+//!   construction. Killed batches re-route their requests with original
+//!   arrival and deadline intact; restarted instances rejoin with cold
+//!   weight buffers.
 //! * [`staged`] — the **staged runtime**: admission → scheduling →
 //!   execution → collection as concurrent threads over bounded channels,
 //!   producing outcomes bit-identical to the sim while fanning real
@@ -51,6 +57,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod queue;
 pub mod sched;
 pub mod staged;
@@ -58,6 +65,9 @@ pub mod workload;
 
 pub use cluster::{ClusterReport, ClusterRun, ClusterSpec, ModelService, RouterPolicy};
 pub use engine::{BatchEngine, ACCEL_NAMES, SE_LANE};
+pub use fault::{
+    AutoscalePolicy, ClusterEvent, ClusterEventKind, FaultAction, FaultEvent, FaultPlan,
+};
 pub use queue::{BatchPolicy, ServeReport};
 pub use sched::{Disposition, PlannedBatch, Queued, RequestOutcome, SchedEvent};
 pub use staged::{

@@ -103,8 +103,9 @@ impl ServeReport {
         self.latencies.iter().sum::<u64>() as f64 / self.latencies.len() as f64
     }
 
-    /// The `p`-th latency percentile in cycles (see [`percentile`]).
-    pub fn latency_percentile(&self, p: f64) -> u64 {
+    /// The `p`-th latency percentile in cycles (see [`percentile`]);
+    /// `None` when nothing completed.
+    pub fn latency_percentile(&self, p: f64) -> Option<u64> {
         percentile(&self.latencies, p)
     }
 
@@ -138,17 +139,19 @@ impl ServeReport {
 }
 
 /// The `p`-th percentile of `values` (`p` in `[0, 100]`; nearest-rank on
-/// the sorted values). Zero for an empty slice. The single percentile
-/// definition shared by the serving and cluster reports, so their latency
-/// columns are directly comparable.
-pub fn percentile(values: &[u64], p: f64) -> u64 {
+/// the sorted values). `None` for an empty sample — a run where every
+/// request was rejected or lost has *no* latency percentile, and must
+/// not print the `0` of a perfect run (reports render it as `-`). The
+/// single percentile definition shared by the serving and cluster
+/// reports, so their latency columns are directly comparable.
+pub fn percentile(values: &[u64], p: f64) -> Option<u64> {
     if values.is_empty() {
-        return 0;
+        return None;
     }
     let mut sorted = values.to_vec();
     sorted.sort_unstable();
     let rank = ((p.clamp(0.0, 100.0) / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
 }
 
 /// Validates the policy against the execution table (shared by both entry
@@ -176,8 +179,13 @@ pub(crate) fn single_instance(exec: &[u64], policy: BatchPolicy) -> (ModelServic
         footprint_bytes: 0,
         switch_cycles: 0,
     };
-    let spec =
-        ClusterSpec { instances: 1, router: RouterPolicy::RoundRobin, policy, buffer_bytes: None };
+    let spec = ClusterSpec {
+        instances: 1,
+        router: RouterPolicy::RoundRobin,
+        policy,
+        buffer_bytes: None,
+        faults: crate::fault::FaultPlan::default(),
+    };
     (service, spec)
 }
 
@@ -187,7 +195,13 @@ pub(crate) fn single_instance(exec: &[u64], policy: BatchPolicy) -> (ModelServic
 pub(crate) fn record_event(event: &SchedEvent, report: &mut ServeReport) {
     match event {
         SchedEvent::Rejected(..) => report.rejected += 1,
+        // The single-instance entry points never script faults, so no
+        // batch is ever killed and no request lost here.
+        SchedEvent::Lost(..) => {
+            debug_assert!(false, "single-instance queues have no fault plan");
+        }
         SchedEvent::Launched(batch) => {
+            debug_assert!(batch.killed_at.is_none(), "single-instance queues have no fault plan");
             for m in &batch.members {
                 report.latencies.push(batch.done - m.req.arrival);
             }
@@ -359,18 +373,28 @@ mod tests {
         };
         assert_eq!(r.completed(), 4);
         assert_eq!(r.mean_latency(), 25.0);
-        assert_eq!(r.latency_percentile(50.0), 20);
-        assert_eq!(r.latency_percentile(100.0), 40);
-        assert_eq!(r.latency_percentile(0.0), 10);
+        assert_eq!(r.latency_percentile(50.0), Some(20));
+        assert_eq!(r.latency_percentile(100.0), Some(40));
+        assert_eq!(r.latency_percentile(0.0), Some(10));
         assert_eq!(r.misses_over_budget(25), 2);
         assert_eq!(r.misses_over_budget(40), 0);
-        assert_eq!(percentile(&[], 99.0), 0);
-        assert_eq!(percentile(&[5, 1, 3], 99.0), 5);
+        assert_eq!(percentile(&[5, 1, 3], 99.0), Some(5));
         assert_eq!(r.throughput_per_s(1000.0), 40.0);
         assert_eq!(r.batch_histogram(4), vec![0, 2, 0, 0]);
-        assert_eq!(ServeReport::default().latency_percentile(99.0), 0);
         assert_eq!(ServeReport::default().throughput_per_s(1e9), 0.0);
         assert_eq!(ServeReport::default().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn empty_samples_have_no_percentile() {
+        // Regression: an all-rejected run used to report p50/p95/p99 = 0,
+        // indistinguishable from a perfect zero-latency run.
+        assert_eq!(percentile(&[], 99.0), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(ServeReport::default().latency_percentile(99.0), None);
+        let all_rejected = ServeReport { rejected: 7, ..Default::default() };
+        assert_eq!(all_rejected.latency_percentile(50.0), None);
+        assert_eq!(percentile(&[0], 50.0), Some(0), "a real zero latency still reports 0");
     }
 
     #[test]

@@ -3,28 +3,36 @@
 //! Both serving runtimes — the deterministic discrete-event simulation
 //! ([`crate::queue`], [`crate::cluster::sim`]) and the concurrent staged
 //! pipeline ([`crate::staged`]) — make their admission, routing, batch
-//! formation, and residency decisions through the one state machine here,
-//! `ClusterCore`. The sim drives it from a serial loop; the staged
-//! runtime drives it from its scheduling stage. Because every decision is
-//! a pure function of the arrival order and the service tables (never of
-//! wall-clock time), the two runtimes produce **identical per-request
-//! outcome sets** by construction — the determinism contract that lets
-//! the sim act as the staged runtime's oracle (and that the property
-//! tests in `tests/staged.rs` enforce end to end).
+//! formation, residency, and failure-injection decisions through the one
+//! state machine here, `ClusterCore`. The sim drives it from a serial
+//! loop; the staged runtime drives it from its scheduling stage. Because
+//! every decision is a pure function of the arrival order, the service
+//! tables, and the scripted fault plan (never of wall-clock time), the
+//! two runtimes produce **identical per-request outcome sets** by
+//! construction — the determinism contract that lets the sim act as the
+//! staged runtime's oracle (and that the property tests in
+//! `tests/staged.rs` and `tests/fault.rs` enforce end to end).
 //!
 //! The core advances a *virtual* clock: `ClusterCore::admit` routes one
-//! arrival into an instance queue (or bounces it off the cap), and
+//! arrival into an instance queue (or bounces it off the cap),
 //! `ClusterCore::launch_next` forms and launches the earliest pending
 //! batch, returning a [`PlannedBatch`] whose completion time is already
-//! known (execution latencies come from pre-computed batch tables). The
-//! drivers `drive_open_loop` and `drive_closed_loop` encode the one
-//! legal interleaving of those two operations: an arrival is admitted
-//! before any batch that would launch at or after its arrival time.
+//! known (execution latencies come from pre-computed batch tables), and
+//! `ClusterCore::apply_next_fault` fires the next scripted membership
+//! change ([`crate::fault::FaultPlan`]): a kill re-routes the dead
+//! instance's in-flight and queued requests with their original arrival
+//! and deadline intact, a restart brings the instance back empty with a
+//! cold weight buffer. The drivers `drive_open_loop` and
+//! `drive_closed_loop` encode the one legal interleaving of those
+//! operations: a due fault fires before anything else at its cycle, and
+//! an arrival is admitted before any batch that would launch at or after
+//! its arrival time.
 
 use std::collections::VecDeque;
 
 use crate::cluster::router::InstanceView;
 use crate::cluster::sim::{ClusterSpec, InstanceSummary, ModelService};
+use crate::fault::{ClusterEvent, ClusterEventKind, FaultAction};
 use crate::workload::Request;
 use crate::Result;
 use se_hw::residency::{Admission, WeightBuffer};
@@ -38,6 +46,12 @@ pub struct Queued {
     pub id: usize,
     /// The request itself.
     pub req: Request,
+    /// The cycle the request joined its *current* queue: the arrival for
+    /// a first admission, the kill cycle for a re-routed victim (whose
+    /// original `req.arrival` — and so its latency and deadline clock —
+    /// is untouched). Batch formation cannot start a batch before its
+    /// members are physically enqueued.
+    pub enqueued_at: u64,
 }
 
 impl Queued {
@@ -67,13 +81,19 @@ pub struct PlannedBatch {
     pub done: u64,
     /// Batch members in EDF order — the order completions are recorded.
     pub members: Vec<Queued>,
+    /// `Some(cycle)` when a scripted kill of the instance fires before
+    /// `done`: the batch fails at that cycle, none of its members
+    /// complete, and they re-enter the router when the kill is applied.
+    /// Always `None` without failure injection.
+    pub killed_at: Option<u64>,
 }
 
 /// What finally happened to one request — the unit of the determinism
 /// contract between the sim and staged runtimes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Disposition {
-    /// Bounced off a full instance queue at arrival.
+    /// Bounced off a full instance queue at arrival (or arrived while no
+    /// instance was accepting).
     Rejected,
     /// Served to completion.
     Served {
@@ -85,6 +105,13 @@ pub enum Disposition {
         done: u64,
         /// Whether completion overran the request's deadline.
         missed: bool,
+    },
+    /// Admitted, then caught by an instance kill and not re-routable —
+    /// every live queue was full, or nothing was accepting. A terminal
+    /// outcome: the request is charged, never silently dropped.
+    Lost {
+        /// The kill cycle that orphaned it.
+        at: u64,
     },
 }
 
@@ -109,6 +136,9 @@ pub enum SchedEvent {
     Rejected(usize, Request),
     /// A batch was formed and launched.
     Launched(PlannedBatch),
+    /// A kill victim could not be re-routed (id, request, kill cycle) —
+    /// the terminal [`Disposition::Lost`] outcome.
+    Lost(usize, Request, u64),
 }
 
 /// One instance's private state, including its memoized launch plan.
@@ -117,6 +147,17 @@ struct Instance {
     free: u64,
     buffer: Option<WeightBuffer>,
     summary: InstanceSummary,
+    /// `false` between a kill and the matching restart: the instance
+    /// neither launches nor accepts.
+    up: bool,
+    /// `false` when killed *or* draining (an autoscaled instance told to
+    /// stop accepting; it still launches until its queue empties).
+    accepting: bool,
+    /// Spawned by autoscale (drain only ever retires these).
+    dynamic: bool,
+    /// Members of an in-flight batch doomed by a pending kill, parked
+    /// here between the launch and the kill event that re-routes them.
+    doomed: Vec<Queued>,
     /// Memoized next-launch plan: `None` = stale (queue or `free`
     /// changed), `Some(None)` = empty queue, `Some(Some((members in EDF
     /// order as queue positions, start)))` otherwise.
@@ -124,14 +165,32 @@ struct Instance {
 }
 
 impl Instance {
+    /// A fresh (empty, cold) instance, free from `free`.
+    fn fresh(spec: &ClusterSpec, free: u64, dynamic: bool) -> Instance {
+        Instance {
+            queue: Vec::new(),
+            free,
+            buffer: spec.buffer_bytes.map(WeightBuffer::new),
+            summary: InstanceSummary::default(),
+            up: true,
+            accepting: true,
+            dynamic,
+            doomed: Vec::new(),
+            plan: Some(None),
+        }
+    }
+
     /// The batch this instance would launch next: member positions (EDF
     /// order) and the earliest start time. Memoized until the queue or
     /// server availability changes.
-    fn plan(&mut self, spec: &ClusterSpec) -> &Option<(Vec<usize>, u64)> {
+    fn plan(&mut self, spec: &ClusterSpec) -> Option<&(Vec<usize>, u64)> {
         if self.plan.is_none() {
             self.plan = Some(self.compute_plan(spec));
         }
-        self.plan.as_ref().expect("plan just computed")
+        match &self.plan {
+            Some(plan) => plan.as_ref(),
+            None => None,
+        }
     }
 
     fn compute_plan(&self, spec: &ClusterSpec) -> Option<(Vec<usize>, u64)> {
@@ -141,36 +200,52 @@ impl Instance {
         let policy = &spec.policy;
         // Head = EDF-minimum over the whole queue (O(Q)); only the head
         // model's requests — the batch candidates — need sorting.
-        let head_pos =
-            (0..self.queue.len()).min_by_key(|&i| self.queue[i].key()).expect("non-empty queue");
+        let head_pos = (0..self.queue.len()).min_by_key(|&i| self.queue[i].key())?;
         let head = &self.queue[head_pos];
         let mut members: Vec<usize> =
             (0..self.queue.len()).filter(|&i| self.queue[i].req.model == head.req.model).collect();
         members.sort_by_key(|&i| self.queue[i].key());
         members.truncate(policy.max_batch);
         let start = if members.len() >= policy.max_batch {
-            // Full batch: ready as soon as its last member has arrived.
-            let last_arrival =
-                members.iter().map(|&i| self.queue[i].req.arrival).max().expect("non-empty batch");
-            self.free.max(last_arrival)
+            // Full batch: ready as soon as its last member is enqueued
+            // (= its arrival, or the kill cycle for a re-routed victim).
+            let last_enqueued =
+                members.iter().map(|&i| self.queue[i].enqueued_at).max().unwrap_or(0);
+            self.free.max(last_enqueued)
         } else {
             // Short batch: wait out the head-of-line request's patience.
-            self.free.max(head.req.arrival + policy.max_wait)
+            self.free.max(head.enqueued_at.saturating_add(policy.max_wait))
         };
         Some((members, start))
     }
 }
 
+/// What tearing a core down yields: the per-instance summaries (instance
+/// order, spawned instances appended) plus the membership events that
+/// fired — produced by the scheduler itself, never the event sink, so
+/// both runtimes report identical churn by construction.
+pub(crate) struct CoreFinish {
+    /// Per-instance outcome summaries.
+    pub(crate) summaries: Vec<InstanceSummary>,
+    /// Membership changes (kills, restarts, spawns, drains) in the order
+    /// they fired.
+    pub(crate) events: Vec<ClusterEvent>,
+}
+
 /// The incremental cluster scheduler: instance queues, weight buffers,
-/// and the batch-formation logic, advanced one admission or one launch at
-/// a time. Decisions depend only on the admission order, so any driver
-/// that preserves the canonical interleaving (see [`drive_open_loop`])
-/// reproduces the discrete-event simulation exactly.
+/// batch formation, and scripted churn, advanced one admission, launch,
+/// or fault at a time. Decisions depend only on the admission order and
+/// the spec, so any driver that preserves the canonical interleaving
+/// (see [`drive_open_loop`]) reproduces the discrete-event simulation
+/// exactly.
 pub(crate) struct ClusterCore<'a> {
     services: &'a [ModelService],
     spec: &'a ClusterSpec,
     instances: Vec<Instance>,
     launched: u64,
+    /// Next unapplied event in `spec.faults.events`.
+    fault_cursor: usize,
+    events: Vec<ClusterEvent>,
 }
 
 impl<'a> ClusterCore<'a> {
@@ -181,65 +256,199 @@ impl<'a> ClusterCore<'a> {
     /// Rejects an invalid spec (see [`ClusterSpec::validate`]).
     pub(crate) fn new(services: &'a [ModelService], spec: &'a ClusterSpec) -> Result<Self> {
         spec.validate(services)?;
-        let instances = (0..spec.instances)
-            .map(|_| Instance {
-                queue: Vec::new(),
-                free: 0,
-                buffer: spec.buffer_bytes.map(WeightBuffer::new),
-                summary: InstanceSummary::default(),
-                plan: Some(None),
-            })
-            .collect();
-        Ok(ClusterCore { services, spec, instances, launched: 0 })
+        let instances = (0..spec.instances).map(|_| Instance::fresh(spec, 0, false)).collect();
+        Ok(ClusterCore {
+            services,
+            spec,
+            instances,
+            launched: 0,
+            fault_cursor: 0,
+            events: Vec::new(),
+        })
+    }
+
+    /// The cycle of the next unapplied scripted fault, if any.
+    pub(crate) fn next_fault_at(&self) -> Option<u64> {
+        self.spec.faults.events.get(self.fault_cursor).map(|e| e.at)
     }
 
     /// The earliest pending launch across the cluster as `(start,
     /// instance)` — ties break toward the lowest instance index — or
-    /// `None` when every queue is empty.
+    /// `None` when every live queue is empty. Killed instances never
+    /// launch; draining ones still flush their queues.
     pub(crate) fn next_launch(&mut self) -> Option<(u64, usize)> {
         let spec = self.spec;
         self.instances
             .iter_mut()
             .enumerate()
-            .filter_map(|(i, inst)| inst.plan(spec).as_ref().map(|&(_, start)| (start, i)))
+            .filter(|(_, inst)| inst.up)
+            .filter_map(|(i, inst)| inst.plan(spec).map(|&(_, start)| (start, i)))
             .min()
     }
 
     /// Routes one arrival: snapshot the instances, ask the policy, join or
-    /// bounce off the bounded queue. Returns `false` when rejected.
+    /// bounce off the bounded queue. Returns `false` when rejected (full
+    /// target queue, or no accepting instance).
     pub(crate) fn admit(&mut self, id: usize, req: Request) -> bool {
-        let views: Vec<InstanceView> = self
-            .instances
-            .iter()
-            .map(|inst| InstanceView {
-                queued: inst.queue.len(),
-                resident: inst.buffer.as_ref().is_some_and(|b| b.is_resident(req.model)),
-            })
-            .collect();
-        let target = self.spec.router.route(id as u64, req.model, &views);
+        self.enqueue(Queued { id, req, enqueued_at: req.arrival }, req.arrival)
+    }
+
+    /// The shared admission path of first arrivals and kill re-routes:
+    /// run the autoscale spawn check, route over the accepting
+    /// instances, join or bounce. `now` is the cycle the request joins
+    /// the queue at (arrival or kill cycle).
+    fn enqueue(&mut self, mut item: Queued, now: u64) -> bool {
+        self.autoscale_spawn(now);
+        let views = self.views(item.req.model);
+        let Some(target) = self.spec.router.route(item.id as u64, item.req.model, &views) else {
+            return false;
+        };
         if self.instances[target].queue.len() >= self.spec.policy.queue_cap {
             return false;
         }
-        self.instances[target].queue.push(Queued { id, req });
+        item.enqueued_at = now;
+        self.instances[target].queue.push(item);
         self.instances[target].plan = None;
         true
     }
 
+    fn views(&self, model: usize) -> Vec<InstanceView> {
+        self.instances
+            .iter()
+            .map(|inst| InstanceView {
+                queued: inst.queue.len(),
+                resident: inst.buffer.as_ref().is_some_and(|b| b.is_resident(model)),
+                accepting: inst.accepting,
+            })
+            .collect()
+    }
+
+    /// The first unapplied kill of `instance` strictly before `done`, if
+    /// any — the scripted fate of a batch completing at `done`. (Only
+    /// the instance's *next* event can be a kill while it is up, and
+    /// every unapplied event fires after the batch's start, so a single
+    /// lookup decides.)
+    fn next_kill_before(&self, instance: usize, done: u64) -> Option<u64> {
+        self.spec.faults.events[self.fault_cursor..]
+            .iter()
+            .find(|e| e.instance == instance)
+            .filter(|e| e.action == FaultAction::Kill && e.at < done)
+            .map(|e| e.at)
+    }
+
+    /// Fires the next scripted fault. A kill takes its instance down and
+    /// re-routes the victims (doomed in-flight members first joined by
+    /// the waiting queue, in ascending request id) through the router at
+    /// the kill cycle; victims that cannot be placed come back as
+    /// [`SchedEvent::Lost`] for the caller's sink. A restart brings the
+    /// instance back empty, free from the restart cycle, with a cold
+    /// weight buffer. No-op when no fault is pending.
+    pub(crate) fn apply_next_fault(&mut self) -> Vec<SchedEvent> {
+        let Some(&event) = self.spec.faults.events.get(self.fault_cursor) else {
+            return Vec::new();
+        };
+        self.fault_cursor += 1;
+        let mut out = Vec::new();
+        match event.action {
+            FaultAction::Kill => {
+                let (mut victims, in_flight) = {
+                    let inst = &mut self.instances[event.instance];
+                    inst.up = false;
+                    inst.accepting = false;
+                    inst.plan = Some(None);
+                    let mut victims = std::mem::take(&mut inst.doomed);
+                    let in_flight = victims.len() as u64;
+                    victims.append(&mut inst.queue);
+                    (victims, in_flight)
+                };
+                victims.sort_unstable_by_key(|q| q.id);
+                let mut rerouted = 0u64;
+                let mut lost = 0u64;
+                for victim in victims {
+                    if self.enqueue(victim, event.at) {
+                        rerouted += 1;
+                    } else {
+                        lost += 1;
+                        out.push(SchedEvent::Lost(victim.id, victim.req, event.at));
+                    }
+                }
+                self.events.push(ClusterEvent {
+                    at: event.at,
+                    instance: event.instance,
+                    kind: ClusterEventKind::Kill { in_flight, rerouted, lost },
+                });
+            }
+            FaultAction::Restart => {
+                let inst = &mut self.instances[event.instance];
+                inst.up = true;
+                inst.accepting = true;
+                inst.free = event.at;
+                inst.plan = Some(None);
+                if let Some(buffer) = inst.buffer.as_mut() {
+                    buffer.cold_restart();
+                }
+                self.events.push(ClusterEvent {
+                    at: event.at,
+                    instance: event.instance,
+                    kind: ClusterEventKind::Restart,
+                });
+            }
+        }
+        out
+    }
+
+    /// Spawns a fresh instance when the accepting queues exceed the
+    /// autoscale high-water mark (checked at every admission), up to
+    /// twice the base cluster size.
+    fn autoscale_spawn(&mut self, now: u64) {
+        let Some(auto) = self.spec.faults.autoscale else { return };
+        if self.instances.len() >= 2 * self.spec.instances {
+            return;
+        }
+        let accepting = self.instances.iter().filter(|i| i.accepting).count() as u64;
+        let queued: u64 =
+            self.instances.iter().filter(|i| i.accepting).map(|i| i.queue.len() as u64).sum();
+        if queued > auto.spawn_above.saturating_mul(accepting) {
+            let instance = self.instances.len();
+            self.instances.push(Instance::fresh(self.spec, now, true));
+            self.events.push(ClusterEvent { at: now, instance, kind: ClusterEventKind::Spawn });
+        }
+    }
+
+    /// Retires the highest-indexed accepting autoscaled instance when the
+    /// accepting queues fall under the low-water mark (checked at every
+    /// launch). The drained instance flushes its queue and idles; base
+    /// instances are never drained.
+    fn autoscale_drain(&mut self, now: u64) {
+        let Some(auto) = self.spec.faults.autoscale else { return };
+        let accepting = self.instances.iter().filter(|i| i.accepting).count() as u64;
+        let queued: u64 =
+            self.instances.iter().filter(|i| i.accepting).map(|i| i.queue.len() as u64).sum();
+        if queued < auto.drain_below.saturating_mul(accepting) {
+            if let Some(instance) = self.instances.iter().rposition(|i| i.dynamic && i.accepting) {
+                self.instances[instance].accepting = false;
+                self.events.push(ClusterEvent { at: now, instance, kind: ClusterEventKind::Drain });
+            }
+        }
+    }
+
     /// Forms and launches the earliest pending batch: admits the model's
     /// weights, charges the batch (plus any switch fetch), removes the
-    /// members from their queue, and returns the launched batch. `None`
-    /// when every queue is empty.
+    /// members from their queue, and returns the launched batch. A batch
+    /// overlapping a scripted kill of its instance launches with
+    /// `killed_at` set and its members parked for re-routing instead of
+    /// completing. `None` when every live queue is empty.
     pub(crate) fn launch_next(&mut self) -> Option<PlannedBatch> {
         let (_, idx) = self.next_launch()?;
         let spec = self.spec;
-        let (positions, start) =
-            self.instances[idx].plan(spec).clone().expect("chosen instance has a plan");
+        let services = self.services;
+        let (positions, start) = self.instances[idx].plan(spec)?.clone();
         let inst = &mut self.instances[idx];
         let k = positions.len();
         debug_assert!(k >= 1, "launch requires a non-empty batch");
         let members: Vec<Queued> = positions.iter().map(|&i| inst.queue[i]).collect();
-        let model = members[0].req.model;
-        let svc = &self.services[model];
+        let model = members.first()?.req.model;
+        let svc = services.get(model)?;
         let exec = match inst.buffer.as_mut() {
             None => svc.streamed[k - 1],
             Some(buffer) => match buffer.admit(model, svc.footprint_bytes) {
@@ -248,7 +457,7 @@ impl<'a> ClusterCore<'a> {
                 Admission::Streamed => svc.streamed[k - 1],
             },
         };
-        let done = start + exec;
+        let done = start.saturating_add(exec);
         // Compact the queue, preserving the keepers' relative order.
         let mut taken = vec![false; inst.queue.len()];
         for &i in &positions {
@@ -265,29 +474,46 @@ impl<'a> ClusterCore<'a> {
         inst.free = done;
         inst.plan = None;
         inst.summary.batches += 1;
-        inst.summary.completed += k as u64;
         if let Some(buffer) = inst.buffer.as_ref() {
             inst.summary.residency = *buffer.stats();
         }
+        let killed_at = self.next_kill_before(idx, done);
+        let inst = &mut self.instances[idx];
+        if killed_at.is_some() {
+            // The kill fires before this batch completes: its members
+            // never finish here. Park them for the kill to re-route.
+            debug_assert!(inst.doomed.is_empty(), "one in-flight batch per kill");
+            inst.doomed.extend(members.iter().copied());
+        } else {
+            inst.summary.completed += k as u64;
+        }
+        self.autoscale_drain(start);
         let seq = self.launched;
         self.launched += 1;
-        Some(PlannedBatch { seq, instance: idx, model, start, done, members })
+        Some(PlannedBatch { seq, instance: idx, model, start, done, members, killed_at })
     }
 
-    /// Tears the core down into its per-instance summaries (in instance
-    /// order).
-    pub(crate) fn finish(self) -> Vec<InstanceSummary> {
-        self.instances.into_iter().map(|inst| inst.summary).collect()
+    /// Tears the core down into its per-instance summaries and the
+    /// membership event log.
+    pub(crate) fn finish(self) -> CoreFinish {
+        CoreFinish {
+            summaries: self.instances.into_iter().map(|inst| inst.summary).collect(),
+            events: self.events,
+        }
     }
 }
 
 /// Drives `core` over an **open-loop** arrival stream (pre-stamped `(id,
 /// request)` pairs in non-decreasing arrival order), surfacing every
-/// decision to `sink` in the canonical order: an arrival is admitted
+/// decision to `sink` in the canonical order: a scripted fault due at or
+/// before the next arrival and the next launch fires first (so a kill
+/// pre-empts a batch launching at the kill cycle, and a restart is
+/// visible to a same-cycle arrival); otherwise an arrival is admitted
 /// before any batch launching at or after its arrival time — exactly the
 /// event interleaving of the discrete-event simulation. Returns `false`
 /// if `sink` asked to stop early (its return value), `true` on a full
-/// drain.
+/// drain (which includes firing any faults scripted after the last
+/// launch).
 pub(crate) fn drive_open_loop<I>(
     core: &mut ClusterCore<'_>,
     arrivals: I,
@@ -300,6 +526,18 @@ where
     let mut pending = it.next();
     loop {
         let next_launch = core.next_launch();
+        if let Some(fault_at) = core.next_fault_at() {
+            let beats_arrival = pending.is_none_or(|(_, req)| fault_at <= req.arrival);
+            let beats_launch = next_launch.is_none_or(|(start, _)| fault_at <= start);
+            if beats_arrival && beats_launch {
+                for event in core.apply_next_fault() {
+                    if !sink(event) {
+                        return false;
+                    }
+                }
+                continue;
+            }
+        }
         match (pending, next_launch) {
             (None, None) => return true,
             // Arrivals landing before (or exactly when) the next batch
@@ -312,9 +550,10 @@ where
                 pending = it.next();
             }
             (_, Some(_)) => {
-                let batch = core.launch_next().expect("a launch is pending");
-                if !sink(SchedEvent::Launched(batch)) {
-                    return false;
+                if let Some(batch) = core.launch_next() {
+                    if !sink(SchedEvent::Launched(batch)) {
+                        return false;
+                    }
                 }
             }
             (Some(_), None) => unreachable!("the guard admits arrivals when no launch pends"),
@@ -327,13 +566,16 @@ where
 /// submitting the next the moment the previous completes, until
 /// `requests` total have been issued. The caller's spec must disable the
 /// queue cap (closed loops are bounded by their concurrency, not the
-/// queue). Returns as [`drive_open_loop`].
+/// queue) and must not script faults — closed-loop arrivals are derived
+/// from completions, which failure injection would sever. Returns as
+/// [`drive_open_loop`].
 pub(crate) fn drive_closed_loop(
     core: &mut ClusterCore<'_>,
     requests: usize,
     concurrency: usize,
     sink: &mut dyn FnMut(SchedEvent) -> bool,
 ) -> bool {
+    debug_assert!(core.spec.faults.is_empty(), "closed-loop workloads do not support fault plans");
     // All future arrivals, kept sorted: completions append arrivals with
     // time >= every queued entry, so a plain FIFO stays sorted.
     let mut issued = concurrency.min(requests);
@@ -350,7 +592,9 @@ pub(crate) fn drive_closed_loop(
                 next_id += 1;
             }
             (_, Some(_)) => {
-                let batch = core.launch_next().expect("a launch is pending");
+                let Some(batch) = core.launch_next() else {
+                    continue;
+                };
                 // Each completed request unblocks its client, which
                 // immediately submits the next request.
                 for _ in 0..batch.members.len() {
@@ -372,6 +616,7 @@ pub(crate) fn drive_closed_loop(
 mod tests {
     use super::*;
     use crate::cluster::router::RouterPolicy;
+    use crate::fault::{AutoscalePolicy, FaultEvent, FaultPlan};
     use crate::queue::BatchPolicy;
 
     fn svc(exec: &[u64]) -> ModelService {
@@ -390,7 +635,25 @@ mod tests {
             router: RouterPolicy::RoundRobin,
             policy: BatchPolicy { max_batch, max_wait, queue_cap: cap },
             buffer_bytes: None,
+            faults: FaultPlan::default(),
         }
+    }
+
+    fn drive(core: &mut ClusterCore<'_>, arrivals: &[u64]) -> Vec<SchedEvent> {
+        let mut events = Vec::new();
+        let done = drive_open_loop(
+            core,
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| (i, Request { model: 0, arrival: a, deadline: None })),
+            &mut |e| {
+                events.push(e);
+                true
+            },
+        );
+        assert!(done);
+        events
     }
 
     #[test]
@@ -398,22 +661,11 @@ mod tests {
         let services = [svc(&[10, 12, 14, 16])];
         let sp = spec(4, 0, 8);
         let mut core = ClusterCore::new(&services, &sp).unwrap();
-        let arrivals = [0u64, 0, 0, 0, 0, 0];
-        let mut batches = Vec::new();
-        let done = drive_open_loop(
-            &mut core,
-            arrivals
-                .iter()
-                .enumerate()
-                .map(|(i, &a)| (i, Request { model: 0, arrival: a, deadline: None })),
-            &mut |e| {
-                if let SchedEvent::Launched(b) = e {
-                    batches.push(b);
-                }
-                true
-            },
-        );
-        assert!(done);
+        let events = drive(&mut core, &[0, 0, 0, 0, 0, 0]);
+        let batches: Vec<_> = events
+            .into_iter()
+            .filter_map(|e| if let SchedEvent::Launched(b) = e { Some(b) } else { None })
+            .collect();
         assert_eq!(batches.len(), 2);
         assert_eq!(batches[0].seq, 0);
         assert_eq!(batches[1].seq, 1);
@@ -421,9 +673,11 @@ mod tests {
         assert_eq!(batches[1].members.len(), 2);
         assert_eq!(batches[0].done, 16);
         assert_eq!(batches[1].done, 16 + 12);
-        let summaries = core.finish();
-        assert_eq!(summaries[0].batches, 2);
-        assert_eq!(summaries[0].completed, 6);
+        assert_eq!(batches[0].killed_at, None);
+        let fin = core.finish();
+        assert_eq!(fin.summaries[0].batches, 2);
+        assert_eq!(fin.summaries[0].completed, 6);
+        assert!(fin.events.is_empty());
     }
 
     #[test]
@@ -451,25 +705,140 @@ mod tests {
         let services = [svc(&[7, 9])];
         let sp = spec(2, 5, 16);
         let mut core = ClusterCore::new(&services, &sp).unwrap();
-        let mut events = Vec::new();
-        drive_open_loop(
-            &mut core,
-            [0u64, 1, 2, 30, 31, 60]
-                .iter()
-                .enumerate()
-                .map(|(i, &a)| (i, Request { model: 0, arrival: a, deadline: None })),
-            &mut |e| {
-                events.push(e);
-                true
-            },
-        );
-        let batches: Vec<_> = events
+        let events = drive(&mut core, &[0, 1, 2, 30, 31, 60]);
+        let served: usize = events
             .iter()
             .filter_map(|e| match e {
                 SchedEvent::Launched(b) => Some(b.members.len()),
-                SchedEvent::Rejected(..) => None,
+                _ => None,
+            })
+            .sum();
+        assert_eq!(served, 6, "every request served");
+    }
+
+    #[test]
+    fn kill_fails_the_in_flight_batch_and_reroutes_with_original_arrival() {
+        // Two instances, round-robin. A burst at 0 launches a batch on
+        // each; instance 0 dies at cycle 5, mid-flight. Its members (and
+        // nothing of instance 1's) must re-route to instance 1 with their
+        // original arrival intact.
+        let services = [svc(&[10, 12])];
+        let mut sp = spec(2, 0, 8);
+        sp.instances = 2;
+        sp.faults.events = vec![FaultEvent { at: 5, instance: 0, action: FaultAction::Kill }];
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let events = drive(&mut core, &[0, 0, 0, 0]);
+        let batches: Vec<_> = events
+            .iter()
+            .filter_map(|e| if let SchedEvent::Launched(b) = e { Some(b) } else { None })
+            .collect();
+        // Batch on instance 0 (ids 0, 2) is killed at 5; instance 1's
+        // batch (ids 1, 3) completes; the victims re-run on instance 1.
+        let killed: Vec<_> = batches.iter().filter(|b| b.killed_at.is_some()).collect();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(killed[0].instance, 0);
+        assert_eq!(killed[0].killed_at, Some(5));
+        let completed: Vec<usize> = batches
+            .iter()
+            .filter(|b| b.killed_at.is_none())
+            .flat_map(|b| b.members.iter().map(|m| m.id))
+            .collect();
+        let mut all = completed.clone();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "every request completes somewhere");
+        // Re-routed members keep their original arrival (latency clock)
+        // but re-enqueue at the kill cycle.
+        let rerouted: Vec<&Queued> = batches
+            .iter()
+            .filter(|b| b.killed_at.is_none() && b.instance == 1)
+            .flat_map(|b| b.members.iter())
+            .filter(|m| m.enqueued_at == 5)
+            .collect();
+        assert_eq!(rerouted.len(), 2);
+        assert!(rerouted.iter().all(|m| m.req.arrival == 0));
+        let fin = core.finish();
+        assert_eq!(fin.events.len(), 1);
+        assert_eq!(
+            fin.events[0].kind,
+            ClusterEventKind::Kill { in_flight: 2, rerouted: 2, lost: 0 }
+        );
+        assert_eq!(fin.summaries[0].completed, 0, "killed batch completes nothing");
+        assert_eq!(fin.summaries[0].batches, 1);
+    }
+
+    #[test]
+    fn victims_with_nowhere_to_go_are_lost_not_dropped() {
+        // One instance, killed while requests wait: no accepting instance
+        // remains, so every victim surfaces as Lost.
+        let services = [svc(&[100])];
+        let mut sp = spec(1, 0, 8);
+        sp.faults.events = vec![FaultEvent { at: 50, instance: 0, action: FaultAction::Kill }];
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let events = drive(&mut core, &[0, 0, 0]);
+        let lost: Vec<_> = events
+            .iter()
+            .filter_map(
+                |e| if let SchedEvent::Lost(id, _, at) = e { Some((*id, *at)) } else { None },
+            )
+            .collect();
+        assert_eq!(lost, vec![(0, 50), (1, 50), (2, 50)], "in-flight + queued, by id");
+        let fin = core.finish();
+        assert_eq!(
+            fin.events[0].kind,
+            ClusterEventKind::Kill { in_flight: 1, rerouted: 0, lost: 3 }
+        );
+    }
+
+    #[test]
+    fn restart_rejoins_empty_and_serves_again() {
+        // Kill at 5, restart at 40: the late arrival at 60 must be served
+        // by the restarted instance.
+        let services = [svc(&[10])];
+        let mut sp = spec(1, 0, 8);
+        sp.faults.events = vec![
+            FaultEvent { at: 5, instance: 0, action: FaultAction::Kill },
+            FaultEvent { at: 40, instance: 0, action: FaultAction::Restart },
+        ];
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let events = drive(&mut core, &[0, 60]);
+        let lost = events.iter().filter(|e| matches!(e, SchedEvent::Lost(..))).count();
+        assert_eq!(lost, 1, "the request in flight at the kill is lost");
+        let served: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Launched(b) if b.killed_at.is_none() => Some((b.start, b.done)),
+                _ => None,
             })
             .collect();
-        assert_eq!(batches.iter().sum::<usize>(), 6, "every request served");
+        assert_eq!(served, vec![(60, 70)], "the restarted instance serves the late arrival");
+        // An arrival during the outage is rejected (nothing accepting).
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        let events = drive(&mut core, &[0, 20]);
+        assert!(events.iter().any(|e| matches!(e, SchedEvent::Rejected(1, _))));
+    }
+
+    #[test]
+    fn autoscale_spawns_under_pressure_and_drains_when_idle() {
+        let services = [svc(&[10, 12, 14, 16])];
+        let mut sp = spec(4, 0, 64);
+        sp.faults.autoscale = Some(AutoscalePolicy { spawn_above: 2, drain_below: 1 });
+        let mut core = ClusterCore::new(&services, &sp).unwrap();
+        // A burst of 8 at cycle 0: more than 2 queued per accepting
+        // instance triggers a spawn (capped at 2x base = 2 instances).
+        let arrivals = [0u64, 0, 0, 0, 0, 0, 0, 0, 500, 501];
+        let events = drive(&mut core, &arrivals);
+        let served: usize = events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Launched(b) => Some(b.members.len()),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(served, 10, "nothing is lost to elasticity");
+        let fin = core.finish();
+        let tags: Vec<&str> = fin.events.iter().map(|e| e.kind.tag()).collect();
+        assert!(tags.contains(&"spawn"), "burst spawned an instance: {tags:?}");
+        assert!(tags.contains(&"drain"), "idle period drained it again: {tags:?}");
+        assert_eq!(fin.summaries.len(), 2, "spawned instance reports a summary");
     }
 }

@@ -8,12 +8,11 @@ use se_core::pipeline::bounded;
 
 use crate::cluster::sim::{self, ClusterReport, ClusterRun, ClusterSpec, ModelService};
 use crate::queue::{self, BatchPolicy, ServeReport};
-use crate::sched::{self, ClusterCore, RequestOutcome, SchedEvent};
+use crate::sched::{self, ClusterCore, CoreFinish, RequestOutcome, SchedEvent};
 use crate::workload::Request;
 use crate::{BoxError, Result};
 
 use super::{ExecWork, StagedConfig};
-use crate::cluster::InstanceSummary;
 
 /// Wires up and runs the pipeline back end shared by every entry point:
 ///
@@ -22,8 +21,8 @@ use crate::cluster::InstanceSummary;
 ///   owns virtual time, so they have no source);
 /// * the **scheduler** thread: `scheduler` receives the event sink, drives
 ///   the [`ClusterCore`] to completion, and returns the per-instance
-///   summaries. The sink returns `false` if downstream is gone (stop
-///   early rather than deadlock);
+///   summaries and churn event log ([`CoreFinish`]). The sink returns
+///   `false` if downstream is gone (stop early rather than deadlock);
 /// * `exec_workers` **execution** threads competing for launched batches
 ///   (cloned channel halves), running [`ExecWork`] per batch;
 /// * the **collector**, on the calling thread: re-orders executed batches
@@ -33,15 +32,20 @@ use crate::cluster::InstanceSummary;
 ///
 /// Shutdown is purely drop-driven: each stage returns when its receiver
 /// yields `None`, closing its own sender, and the scope joins everything.
+///
+/// # Errors
+///
+/// Surfaces a panicked scheduler stage as an error instead of poisoning
+/// the collector mid-drain.
 fn run_stages<S, D>(
     cfg: &StagedConfig,
     work: &dyn ExecWork,
     source: Option<S>,
     scheduler: D,
-) -> (ClusterReport, Vec<RequestOutcome>, Vec<InstanceSummary>)
+) -> Result<(ClusterReport, Vec<RequestOutcome>, CoreFinish)>
 where
     S: FnOnce() + Send,
-    D: FnOnce(&mut dyn FnMut(SchedEvent) -> bool) -> Vec<InstanceSummary> + Send,
+    D: FnOnce(&mut dyn FnMut(SchedEvent) -> bool) -> CoreFinish + Send,
 {
     let (ev_tx, ev_rx) = bounded::<SchedEvent>(cfg.channel_cap);
     let (out_tx, out_rx) = bounded::<SchedEvent>(cfg.channel_cap);
@@ -77,8 +81,11 @@ where
         let mut stash = BTreeMap::new();
         while let Some(event) = out_rx.recv() {
             match event {
-                rejected @ SchedEvent::Rejected(..) => {
-                    sim::record_event(&rejected, &mut report, &mut outcomes);
+                // Rejections and losses are per-request counters, so the
+                // collector may fold them the moment they arrive; only
+                // launched batches need seq-order replay.
+                terminal @ (SchedEvent::Rejected(..) | SchedEvent::Lost(..)) => {
+                    sim::record_event(&terminal, &mut report, &mut outcomes);
                 }
                 SchedEvent::Launched(batch) => {
                     stash.insert(batch.seq, batch);
@@ -90,8 +97,10 @@ where
             }
         }
         debug_assert!(stash.is_empty(), "every launched batch was replayed in seq order");
-        let summaries = sched_handle.join().expect("scheduler stage never panics");
-        (report, outcomes, summaries)
+        let fin = sched_handle
+            .join()
+            .map_err(|_| BoxError::from("scheduler stage panicked; staged run aborted"))?;
+        Ok((report, outcomes, fin))
     })
 }
 
@@ -147,11 +156,8 @@ pub fn run_cluster_staged(
         sched::drive_open_loop(&mut core, arrivals, sink);
         core.finish()
     };
-    let (mut report, mut outcomes, summaries) = run_stages(cfg, work, Some(source), scheduler);
-    for summary in summaries {
-        report.residency.accumulate(&summary.residency);
-        report.per_instance.push(summary);
-    }
+    let (mut report, mut outcomes, fin) = run_stages(cfg, work, Some(source), scheduler)?;
+    sim::fold_finish(fin, &mut report);
     outcomes.sort_unstable_by_key(|o| o.id);
     Ok(ClusterRun { report, outcomes })
 }
@@ -222,7 +228,7 @@ pub fn run_queue_staged_closed(
         sched::drive_closed_loop(&mut core, requests, concurrency, sink);
         core.finish()
     };
-    let (report, _, _) = run_stages(cfg, work, None::<fn()>, scheduler);
+    let (report, _, _) = run_stages(cfg, work, None::<fn()>, scheduler)?;
     Ok(serve_report_of(report))
 }
 
@@ -289,6 +295,7 @@ mod tests {
             router: RouterPolicy::ModelAffinity,
             policy: BatchPolicy { max_batch: 4, max_wait: 50, queue_cap: 8 },
             buffer_bytes: Some(700),
+            faults: crate::fault::FaultPlan::default(),
         };
         let requests: Vec<Request> = (0..200)
             .map(|i| Request {

@@ -71,7 +71,10 @@ pub struct Request {
 ///
 /// # Errors
 ///
-/// As [`open_loop_arrivals`], plus a zero model count.
+/// As [`open_loop_arrivals`], plus a zero model count, plus an
+/// `arrival + deadline` sum that overflows `u64` (a late arrival combined
+/// with a huge SLO budget must fail loudly, not wrap into the past and
+/// charge a spurious miss).
 pub fn request_stream(
     requests: usize,
     rate_hz: f64,
@@ -83,15 +86,22 @@ pub fn request_stream(
     if models == 0 {
         return Err(BoxError::from("a request stream needs at least one model"));
     }
-    Ok(open_loop_arrivals(requests, rate_hz, frequency_hz, pattern)?
-        .into_iter()
-        .enumerate()
-        .map(|(i, arrival)| Request {
-            model: i % models,
-            arrival,
-            deadline: deadline.map(|d| arrival + d),
-        })
-        .collect())
+    let mut stream = Vec::with_capacity(requests);
+    for (i, arrival) in
+        open_loop_arrivals(requests, rate_hz, frequency_hz, pattern)?.into_iter().enumerate()
+    {
+        let deadline = match deadline {
+            None => None,
+            Some(d) => Some(arrival.checked_add(d).ok_or_else(|| {
+                BoxError::from(format!(
+                    "deadline overflows the cycle clock: request {i} arrives at \
+                     cycle {arrival} with SLO budget {d}"
+                ))
+            })?),
+        };
+        stream.push(Request { model: i % models, arrival, deadline });
+    }
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -125,6 +135,19 @@ mod tests {
         let best_effort = request_stream(3, 1e3, 1e6, ArrivalPattern::Uniform, 1, None).unwrap();
         assert!(best_effort.iter().all(|r| r.deadline.is_none() && r.model == 0));
         assert!(request_stream(3, 1e3, 1e6, ArrivalPattern::Uniform, 0, None).is_err());
+    }
+
+    #[test]
+    fn overflowing_deadlines_error_instead_of_wrapping() {
+        // The second arrival is at cycle 1000; adding u64::MAX would wrap
+        // to the distant past and count as an instant deadline miss.
+        let err = request_stream(2, 1e3, 1e6, ArrivalPattern::Uniform, 1, Some(u64::MAX))
+            .expect_err("wrapping deadline must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("overflows"), "unexpected error: {msg}");
+        assert!(msg.contains("request 1"), "should name the offending request: {msg}");
+        // A budget that fits is unaffected.
+        assert!(request_stream(2, 1e3, 1e6, ArrivalPattern::Uniform, 1, Some(1)).is_ok());
     }
 
     #[test]

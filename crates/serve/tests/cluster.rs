@@ -17,6 +17,7 @@ use se_hw::SeAcceleratorConfig;
 use se_ir::{Dataset, LayerDesc, LayerKind, NetworkDesc};
 use se_models::traces::{trace_pairs, TraceOptions};
 use se_serve::cluster::{simulate_cluster, ClusterSpec, ModelService, RouterPolicy};
+use se_serve::fault::FaultPlan;
 use se_serve::queue::{self, BatchPolicy};
 use se_serve::workload::Request;
 use se_serve::{BatchEngine, ACCEL_NAMES, SE_LANE};
@@ -96,6 +97,7 @@ proptest! {
             router: RouterPolicy::RoundRobin,
             policy,
             buffer_bytes: None,
+            faults: FaultPlan::default(),
         };
         let cluster = simulate_cluster(&requests, &[stream_only_service(&exec)], &spec).unwrap();
 
@@ -118,6 +120,7 @@ fn cluster_reports_are_bit_identical_across_worker_counts() {
         router: RouterPolicy::JoinShortestQueue,
         policy: BatchPolicy { max_batch: 4, max_wait: 500, queue_cap: 32 },
         buffer_bytes: Some(2048),
+        faults: FaultPlan::default(),
     };
     let requests: Vec<Request> = (0..40)
         .map(|i| Request {
@@ -168,6 +171,7 @@ fn residency_fetches_once_when_resident_and_thrashes_when_not() {
         router: RouterPolicy::RoundRobin,
         policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
         buffer_bytes: Some(buffer),
+        faults: FaultPlan::default(),
     };
 
     // One model, far-apart arrivals (every batch is a single): weights are
@@ -235,6 +239,7 @@ fn se_lane_refetches_less_and_sustains_goodput_vs_dense_at_equal_buffer() {
         router: RouterPolicy::RoundRobin,
         policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
         buffer_bytes: Some(buffer),
+        faults: FaultPlan::default(),
     };
     // Interleaved models, uniform arrivals, a deadline the resident SE
     // lane can hold.

@@ -15,6 +15,7 @@
 
 use proptest::prelude::*;
 use se_serve::cluster::{simulate_cluster_run, ClusterSpec, ModelService, RouterPolicy};
+use se_serve::fault::FaultPlan;
 use se_serve::queue::{self, BatchPolicy};
 use se_serve::workload::Request;
 use se_serve::{
@@ -145,6 +146,7 @@ proptest! {
             router: router_of(router_idx),
             policy: BatchPolicy { max_batch, max_wait, queue_cap },
             buffer_bytes: buffer,
+            faults: FaultPlan::default(),
         };
         let oracle = simulate_cluster_run(&requests, &services, &spec).unwrap();
         let cfg = StagedConfig { exec_workers, channel_cap, chunk };
@@ -161,6 +163,9 @@ proptest! {
             match outcome.disposition {
                 Disposition::Rejected => rejected += 1,
                 Disposition::Served { .. } => served += 1,
+                Disposition::Lost { .. } => {
+                    return Err(TestCaseError::fail("no faults scripted, nothing may be lost"));
+                }
             }
         }
         prop_assert_eq!(served, staged.report.completed());
