@@ -89,6 +89,13 @@ pub struct Flags {
     /// `se cluster` (spawn above `hi` waiting requests per accepting
     /// instance, drain below `lo`).
     pub autoscale: Option<String>,
+    /// `--tiers name:CAP:BW,...`: per-instance tiered weight store for
+    /// `se cluster` (top tier first, e.g.
+    /// `buf:64kb:16,dram:4mb:8,ssd:2gb:1`). Capacities take `kb`/`mb`/
+    /// `gb` suffixes (plain numbers are bytes), bandwidths are bytes per
+    /// cycle. Raw string here; parsed and validated loudly by
+    /// [`Flags::tier_specs`]. Mutually exclusive with `--buffer-kb`.
+    pub tiers: Option<String>,
 }
 
 /// Serving back end selected by `--runtime` (see
@@ -131,6 +138,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--kill",
     "--restart",
     "--autoscale",
+    "--tiers",
 ];
 
 impl Flags {
@@ -216,6 +224,7 @@ impl Flags {
             "--kill" => self.kill.extend(value.split(',').map(|s| s.trim().to_string())),
             "--restart" => self.restart.extend(value.split(',').map(|s| s.trim().to_string())),
             "--autoscale" => self.autoscale = Some(value.to_string()),
+            "--tiers" => self.tiers = Some(value.to_string()),
             other => unreachable!("VALUE_FLAGS entry {other} not handled"),
         }
     }
@@ -322,6 +331,77 @@ impl Flags {
             }
         };
         Ok(se_serve::FaultPlan { events, autoscale })
+    }
+
+    /// The tier stack described by `--tiers`: comma-separated
+    /// `name:CAP:BW` triples, top (on-chip) tier first. `CAP` takes
+    /// `kb`/`mb`/`gb` suffixes (a bare number is bytes) and `BW` is
+    /// bytes per cycle. Returns `Ok(None)` when the flag is absent —
+    /// the single-buffer default stays bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed triples, non-positive capacities or
+    /// bandwidths, fewer than two tiers (a one-tier "stack" is exactly
+    /// `--buffer-kb`), and combining `--tiers` with `--buffer-kb`.
+    pub fn tier_specs(&self) -> Result<Option<Vec<se_serve::TierSpec>>> {
+        let Some(raw) = self.tiers.as_deref() else {
+            return Ok(None);
+        };
+        if self.buffer_kb.is_some() {
+            return Err("--tiers replaces --buffer-kb (the stack's top tier is the weight \
+                        buffer); give one or the other"
+                .into());
+        }
+        let capacity = |spec: &str, field: &str| -> Result<u64> {
+            let lower = field.to_ascii_lowercase();
+            let (digits, scale) = match lower {
+                _ if lower.ends_with("kb") => (&lower[..lower.len() - 2], 1024.0),
+                _ if lower.ends_with("mb") => (&lower[..lower.len() - 2], 1024.0 * 1024.0),
+                _ if lower.ends_with("gb") => (&lower[..lower.len() - 2], 1024.0 * 1024.0 * 1024.0),
+                _ => (&lower[..], 1.0),
+            };
+            let value: f64 =
+                digits.parse().ok().filter(|v: &f64| v.is_finite() && *v > 0.0).ok_or_else(
+                    || {
+                        format!(
+                            "--tiers {spec:?}: capacity {field:?} must be a positive number of \
+                         bytes with an optional kb/mb/gb suffix"
+                        )
+                    },
+                )?;
+            Ok((value * scale).round() as u64)
+        };
+        let mut specs = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            let mut fields = part.split(':');
+            let (name, cap, bw) = match (fields.next(), fields.next(), fields.next(), fields.next())
+            {
+                (Some(name), Some(cap), Some(bw), None) => (name, cap, bw),
+                _ => {
+                    return Err(format!(
+                        "--tiers {part:?}: expected name:capacity:bytes_per_cycle \
+                         (e.g. buf:64kb:16)"
+                    )
+                    .into());
+                }
+            };
+            if name.is_empty() {
+                return Err(format!("--tiers {part:?}: tier name must be non-empty").into());
+            }
+            let bytes_per_cycle: f64 =
+                bw.parse().ok().filter(|b: &f64| b.is_finite() && *b > 0.0).ok_or_else(|| {
+                    format!("--tiers {part:?}: bandwidth {bw:?} must be positive bytes per cycle")
+                })?;
+            specs.push(se_serve::TierSpec::new(name, capacity(part, cap)?, bytes_per_cycle));
+        }
+        if specs.len() < 2 {
+            return Err("--tiers needs at least two tiers (top buffer + a backing tier); a \
+                        single-tier stack is exactly --buffer-kb"
+                .into());
+        }
+        Ok(Some(specs))
     }
 
     /// The staged-runtime config these flags describe: `--exec-workers`
@@ -525,6 +605,49 @@ mod tests {
                 "error for {args:?} should name the flag: {err}"
             );
         }
+    }
+
+    #[test]
+    fn tier_specs_parse_suffixes_and_order() {
+        let f = parse(&["--tiers", "buf:64kb:16,dram:4mb:8,ssd:2gb:1"]);
+        let tiers = f.tier_specs().unwrap().unwrap();
+        assert_eq!(tiers.len(), 3);
+        assert_eq!(tiers[0].name, "buf");
+        assert_eq!(tiers[0].capacity_bytes, 64 * 1024);
+        assert_eq!(tiers[0].bytes_per_cycle, 16.0);
+        assert_eq!(tiers[1].capacity_bytes, 4 * 1024 * 1024);
+        assert_eq!(tiers[2].name, "ssd");
+        assert_eq!(tiers[2].capacity_bytes, 2 * 1024 * 1024 * 1024);
+        assert_eq!(tiers[2].bytes_per_cycle, 1.0);
+        // Bare numbers are bytes; fractional capacities round.
+        let f = parse(&["--tiers", "a:1000:2,b:1.5kb:0.5"]);
+        let tiers = f.tier_specs().unwrap().unwrap();
+        assert_eq!(tiers[0].capacity_bytes, 1000);
+        assert_eq!(tiers[1].capacity_bytes, 1536);
+        assert_eq!(tiers[1].bytes_per_cycle, 0.5);
+        // Absent flag: None, not an error.
+        assert_eq!(Flags::default().tier_specs().unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_tier_specs_error_loudly() {
+        for args in [
+            &["--tiers", "buf:64kb:16"][..],           // one tier
+            &["--tiers", "buf:64kb"],                  // missing bandwidth
+            &["--tiers", "buf:64kb:16:extra,d:1mb:1"], // too many fields
+            &["--tiers", ":64kb:16,d:1mb:1"],          // empty name
+            &["--tiers", "buf:0:16,d:1mb:1"],          // zero capacity
+            &["--tiers", "buf:64xb:16,d:1mb:1"],       // bad suffix
+            &["--tiers", "buf:64kb:0,d:1mb:1"],        // zero bandwidth
+            &["--tiers", "buf:64kb:nan,d:1mb:1"],      // non-finite bandwidth
+        ] {
+            let err = parse(args).tier_specs().unwrap_err();
+            assert!(err.to_string().contains("--tiers"), "error for {args:?}: {err}");
+        }
+        let err = parse(&["--tiers", "buf:64kb:16,d:1mb:1", "--buffer-kb", "64"])
+            .tier_specs()
+            .unwrap_err();
+        assert!(err.to_string().contains("--buffer-kb"), "{err}");
     }
 
     #[test]

@@ -88,6 +88,8 @@ pub fn usage() -> String {
          --instances N        accelerator instances behind the shared front (default 4)\n  \
          --router KIND        rr | jsq | affinity routing policy (default jsq)\n  \
          --buffer-kb F        per-instance weight buffer; enables residency modeling\n  \
+         --tiers SPECS        tiered weight store, top tier first (replaces --buffer-kb):\n  \
+                              name:CAP:BW triples, e.g. buf:64kb:16,dram:4mb:8,ssd:2gb:1\n  \
          --kill i@t_us        kill instance i at t microseconds (repeatable; in-flight\n  \
                               requests re-route with original arrival/deadline)\n  \
          --restart i@t_us     restart a killed instance (empty queue, cold weight buffer)\n  \

@@ -27,34 +27,39 @@ use se_serve::queue::BatchPolicy;
 use se_serve::workload::{self, ArrivalPattern};
 use se_serve::{
     BatchEngine, EngineWork, FaultAction, FaultEvent, FaultPlan, Request, RouterPolicy,
-    StagedConfig, SE_LANE,
+    StagedConfig, TierSpec, SE_LANE,
 };
 use std::io::Write;
+use std::path::Path;
 use std::time::Instant;
 
-/// Dispatches the `bench` subcommand's action (`serve` is the only one).
+/// Dispatches the `bench` subcommand's action: `serve` runs the sweep,
+/// `diff <baseline.json> <candidate.json>` compares two snapshots.
 ///
 /// # Errors
 ///
 /// Fails without a valid action and propagates driver failures.
 pub fn run(rest: &[String], flags: &Flags, out: &mut dyn Write) -> Result<()> {
-    // Positional-action scan, same as `se trace`: flag values (inventory
+    // Positional scan, same as `se trace`: flag values (inventory
     // `args::VALUE_FLAGS`) are not positionals.
-    let mut action = None;
+    let mut positionals: Vec<&str> = Vec::new();
     let mut iter = rest.iter();
     while let Some(arg) = iter.next() {
         if crate::args::VALUE_FLAGS.contains(&arg.as_str()) {
             iter.next();
         } else if !arg.starts_with("--") {
-            action = Some(arg.as_str());
-            break;
+            positionals.push(arg.as_str());
         }
     }
-    match action {
-        Some("serve") => run_with_models(flags, &cli::selected_models(flags), out),
+    match positionals.split_first() {
+        Some((&"serve", _)) => run_with_models(flags, &cli::selected_models(flags), out),
+        Some((&"diff", [baseline, candidate])) => {
+            run_diff(Path::new(baseline), Path::new(candidate), out)
+        }
+        Some((&"diff", _)) => Err("usage: se bench diff <baseline.json> <candidate.json>".into()),
         other => Err(format!(
-            "usage: se bench <serve> [flags] (got {:?}); see docs/CLI.md",
-            other.unwrap_or("no action")
+            "usage: se bench <serve|diff> [flags] (got {:?}); see docs/CLI.md",
+            other.map_or("no action", |(first, _)| first)
         )
         .into()),
     }
@@ -127,6 +132,30 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     // throughput and says nothing).
     let deadline = latency::deadline_cycles(flags.deadline_us.or(Some(2000.0)), freq);
     let buffer_bytes = flags.buffer_kb.map(|kb| (kb * 1024.0).round() as u64);
+    // The memory axis: every config runs "flat" (the --buffer-kb buffer,
+    // possibly unmodeled) and "tiered" (--tiers if given, else a stack
+    // derived from the model footprints: a top buffer that fits exactly
+    // the largest model, a DRAM tier that fits them all, and a deep SSD
+    // origin — the shape where demotions and promotions actually occur).
+    let tier_stack: Vec<TierSpec> = match flags.tier_specs()? {
+        Some(stack) => stack,
+        None => {
+            let footprints: Vec<u64> = models
+                .iter()
+                .zip(&per_image)
+                .map(|(net, r)| {
+                    ModelService::from_engine(&engine, SE_LANE, net.name(), r, 1).footprint_bytes
+                })
+                .collect();
+            let max_fp = footprints.iter().copied().max().unwrap_or(1);
+            let sum_fp: u64 = footprints.iter().sum();
+            vec![
+                TierSpec::new("buf", max_fp + 1, 16.0),
+                TierSpec::new("dram", sum_fp.max(max_fp + 1), 4.0),
+                TierSpec::new("ssd", 1 << 40, 1.0),
+            ]
+        }
+    };
 
     writeln!(
         out,
@@ -159,82 +188,107 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         for router in &routers {
             for &max_batch in &max_batches {
                 for &churn in churns {
-                    let policy = BatchPolicy {
-                        max_batch,
-                        max_wait: (flags.max_wait_us.unwrap_or(50.0) * 1e-6 * freq).round() as u64,
-                        queue_cap: flags.queue_cap.unwrap_or(256),
-                    };
-                    let faults = match churn {
-                        "none" => FaultPlan::default(),
-                        _ => FaultPlan {
-                            events: vec![
-                                FaultEvent {
-                                    at: (last_arrival / 3).max(1),
-                                    instance: 0,
-                                    action: FaultAction::Kill,
-                                },
-                                FaultEvent {
-                                    at: (2 * last_arrival / 3).max((last_arrival / 3).max(1) + 1),
-                                    instance: 0,
-                                    action: FaultAction::Restart,
-                                },
-                            ],
-                            autoscale: None,
-                        },
-                    };
-                    let spec =
-                        ClusterSpec { instances, router: *router, policy, buffer_bytes, faults };
-                    let services: Vec<ModelService> = models
-                        .iter()
-                        .zip(&per_image)
-                        .map(|(net, r)| {
-                            ModelService::from_engine(&engine, SE_LANE, net.name(), r, max_batch)
-                        })
-                        .collect();
-                    eprintln!(
-                        "  bench: {} instance(s), router {}, max batch {}, churn {}...",
-                        instances,
-                        router.name(),
-                        max_batch,
-                        churn
-                    );
-                    let measured =
-                        measure_config(&stream, &services, &spec, &engine, &per_image, &workers)?;
-                    let oracle = &measured[0].run;
-                    if !oracle.report.conserves(stream.len()) {
-                        return Err(format!(
-                            "request conservation violated at {} instance(s), router {}, \
-                             max batch {}, churn {}: {} completed + {} rejected + {} lost \
-                             != {} submitted",
+                    for memory in ["flat", "tiered"] {
+                        let policy = BatchPolicy {
+                            max_batch,
+                            max_wait: (flags.max_wait_us.unwrap_or(50.0) * 1e-6 * freq).round()
+                                as u64,
+                            queue_cap: flags.queue_cap.unwrap_or(256),
+                        };
+                        let faults = match churn {
+                            "none" => FaultPlan::default(),
+                            _ => FaultPlan {
+                                events: vec![
+                                    FaultEvent {
+                                        at: (last_arrival / 3).max(1),
+                                        instance: 0,
+                                        action: FaultAction::Kill,
+                                    },
+                                    FaultEvent {
+                                        at: (2 * last_arrival / 3)
+                                            .max((last_arrival / 3).max(1) + 1),
+                                        instance: 0,
+                                        action: FaultAction::Restart,
+                                    },
+                                ],
+                                autoscale: None,
+                            },
+                        };
+                        let spec = ClusterSpec {
+                            instances,
+                            router: *router,
+                            policy,
+                            buffer_bytes: if memory == "flat" { buffer_bytes } else { None },
+                            tiers: (memory == "tiered").then(|| tier_stack.clone()),
+                            faults,
+                        };
+                        let services: Vec<ModelService> = models
+                            .iter()
+                            .zip(&per_image)
+                            .map(|(net, r)| {
+                                ModelService::from_engine(
+                                    &engine,
+                                    SE_LANE,
+                                    net.name(),
+                                    r,
+                                    max_batch,
+                                )
+                            })
+                            .collect();
+                        eprintln!(
+                            "  bench: {} instance(s), router {}, max batch {}, churn {}, \
+                             memory {}...",
                             instances,
                             router.name(),
                             max_batch,
                             churn,
-                            oracle.report.completed(),
-                            oracle.report.rejected,
-                            oracle.report.lost,
-                            stream.len()
-                        )
-                        .into());
-                    }
-                    for m in &measured[1..] {
-                        if m.run != *oracle {
+                            memory
+                        );
+                        let measured = measure_config(
+                            &stream, &services, &spec, &engine, &per_image, &workers,
+                        )?;
+                        let oracle = &measured[0].run;
+                        if !oracle.report.conserves(stream.len()) {
                             return Err(format!(
-                                "staged outcomes diverge from the sim at {} instance(s), \
-                                 router {}, max batch {}, churn {}, {} worker(s) — \
-                                 determinism bug",
+                                "request conservation violated at {} instance(s), router {}, \
+                                 max batch {}, churn {}, memory {}: {} completed + {} rejected \
+                                 + {} lost != {} submitted",
                                 instances,
                                 router.name(),
                                 max_batch,
                                 churn,
-                                m.exec_workers.unwrap_or(0)
+                                memory,
+                                oracle.report.completed(),
+                                oracle.report.rejected,
+                                oracle.report.lost,
+                                stream.len()
                             )
                             .into());
                         }
-                    }
-                    for m in &measured {
-                        rows.push(summary_row(instances, router, max_batch, churn, m, freq));
-                        configs.push(config_json(instances, router, max_batch, churn, m, freq));
+                        for m in &measured[1..] {
+                            if m.run != *oracle {
+                                return Err(format!(
+                                    "staged outcomes diverge from the sim at {} instance(s), \
+                                     router {}, max batch {}, churn {}, memory {}, {} \
+                                     worker(s) — determinism bug",
+                                    instances,
+                                    router.name(),
+                                    max_batch,
+                                    churn,
+                                    memory,
+                                    m.exec_workers.unwrap_or(0)
+                                )
+                                .into());
+                            }
+                        }
+                        for m in &measured {
+                            rows.push(summary_row(
+                                instances, router, max_batch, churn, memory, m, freq,
+                            ));
+                            configs.push(config_json(
+                                instances, router, max_batch, churn, memory, &spec, m, freq,
+                            ));
+                        }
                     }
                 }
             }
@@ -250,6 +304,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                 "router",
                 "batch",
                 "churn",
+                "memory",
                 "runtime",
                 "workers",
                 "wall ms",
@@ -266,7 +321,10 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         ("bench".into(), Json::Str("serve".into())),
         // v2: churn axis (churn/lost/rerouted/killed_batches per config)
         // and null percentiles for empty latency samples.
-        ("schema_version".into(), Json::Num(2.0)),
+        // v3: memory axis ("flat" | "tiered") with per-tier traffic
+        // (`tiers`: null for flat, else one entry per tier with spec and
+        // hit/promotion/demotion/eviction counters and bytes moved).
+        ("schema_version".into(), Json::Num(3.0)),
         (
             "models".into(),
             Json::Arr(models.iter().map(|m| Json::Str(m.name().to_string())).collect()),
@@ -331,6 +389,7 @@ fn summary_row(
     router: &RouterPolicy,
     max_batch: usize,
     churn: &str,
+    memory: &str,
     m: &Measured,
     freq: f64,
 ) -> Vec<String> {
@@ -340,6 +399,7 @@ fn summary_row(
         router.name().to_string(),
         max_batch.to_string(),
         churn.to_string(),
+        memory.to_string(),
         m.runtime.to_string(),
         m.exec_workers.map_or_else(|| "-".into(), |w| w.to_string()),
         format!("{:.1}", m.wall_ms),
@@ -353,11 +413,14 @@ fn summary_row(
     ]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn config_json(
     instances: usize,
     router: &RouterPolicy,
     max_batch: usize,
     churn: &str,
+    memory: &str,
+    spec: &ClusterSpec,
     m: &Measured,
     freq: f64,
 ) -> Json {
@@ -368,12 +431,39 @@ fn config_json(
     let pct = |p: f64| {
         report.latency_percentile(p).map_or(Json::Null, |c| Json::Num(latency::ms(freq, c as f64)))
     };
+    // Per-tier traffic: the spec's tier stack zipped with the report's
+    // accumulated counters (flat configs carry null, not an empty array,
+    // so the two memory shapes are unmistakable in the JSON).
+    let tiers = match &spec.tiers {
+        None => Json::Null,
+        Some(stack) => Json::Arr(
+            stack
+                .iter()
+                .zip(&report.tier_traffic)
+                .map(|(t, s)| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::Str(t.name.clone())),
+                        ("capacity_bytes".into(), Json::Num(t.capacity_bytes as f64)),
+                        ("bytes_per_cycle".into(), Json::Num(t.bytes_per_cycle)),
+                        ("hits".into(), Json::Num(s.hits as f64)),
+                        ("promotions".into(), Json::Num(s.promotions as f64)),
+                        ("demotions".into(), Json::Num(s.demotions as f64)),
+                        ("evictions".into(), Json::Num(s.evictions as f64)),
+                        ("up_mb".into(), Json::Num(s.bytes_up as f64 / (1024.0 * 1024.0))),
+                        ("down_mb".into(), Json::Num(s.bytes_down as f64 / (1024.0 * 1024.0))),
+                    ])
+                })
+                .collect(),
+        ),
+    };
     Json::Obj(vec![
         ("runtime".into(), Json::Str(m.runtime.into())),
         ("instances".into(), Json::Num(instances as f64)),
         ("router".into(), Json::Str(router.name().into())),
         ("max_batch".into(), Json::Num(max_batch as f64)),
         ("churn".into(), Json::Str(churn.into())),
+        ("memory".into(), Json::Str(memory.into())),
+        ("tiers".into(), tiers),
         ("exec_workers".into(), m.exec_workers.map_or(Json::Null, |w| Json::Num(w as f64))),
         ("wall_ms".into(), Json::Num(m.wall_ms)),
         ("throughput_rps".into(), Json::Num(report.completed() as f64 / wall_s)),
@@ -404,8 +494,8 @@ pub fn validate_report(doc: &Json) -> Result<()> {
     if field("bench")?.as_str() != Some("serve") {
         return Err("`bench` must be \"serve\"".into());
     }
-    if field("schema_version")?.as_f64() != Some(2.0) {
-        return Err("`schema_version` must be 2".into());
+    if field("schema_version")?.as_f64() != Some(3.0) {
+        return Err("`schema_version` must be 3".into());
     }
     for key in ["frequency_hz", "requests_per_config", "host_parallelism"] {
         if field(key)?.as_f64().is_none() {
@@ -448,6 +538,51 @@ pub fn validate_report(doc: &Json) -> Result<()> {
                 )
             }
         }
+        // v3 memory axis: flat configs carry `tiers: null`, tiered ones a
+        // non-empty per-tier traffic array.
+        let memory = match field("memory")?.as_str() {
+            Some(m @ ("flat" | "tiered")) => m,
+            _ => return Err(format!("config {i}: `memory` must be \"flat\" or \"tiered\"").into()),
+        };
+        let tiers = field("tiers")?;
+        match (memory, tiers) {
+            ("flat", Json::Null) => {}
+            ("tiered", Json::Arr(entries)) if !entries.is_empty() => {
+                for (k, entry) in entries.iter().enumerate() {
+                    let tf = |key: &str| {
+                        entry
+                            .get(key)
+                            .ok_or_else(|| format!("config {i} tier {k}: missing `{key}`"))
+                    };
+                    if tf("name")?.as_str().is_none() {
+                        return Err(format!("config {i} tier {k}: `name` must be a string").into());
+                    }
+                    for key in [
+                        "capacity_bytes",
+                        "bytes_per_cycle",
+                        "hits",
+                        "promotions",
+                        "demotions",
+                        "evictions",
+                        "up_mb",
+                        "down_mb",
+                    ] {
+                        if tf(key)?.as_f64().is_none() {
+                            return Err(
+                                format!("config {i} tier {k}: `{key}` must be a number").into()
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "config {i}: `tiers` must be null for flat memory and a non-empty \
+                     array for tiered memory"
+                )
+                .into())
+            }
+        }
         for key in [
             "instances",
             "max_batch",
@@ -478,4 +613,116 @@ pub fn validate_report(doc: &Json) -> Result<()> {
         }
     }
     Ok(())
+}
+
+/// The identity of one config within a snapshot: every sweep axis plus
+/// the runtime/worker split — the join key of `se bench diff`.
+fn config_key(cfg: &Json) -> String {
+    let s = |key: &str| cfg.get(key).and_then(Json::as_str).unwrap_or("?").to_string();
+    let n = |key: &str| {
+        cfg.get(key).map_or("null".to_string(), |v| {
+            v.as_f64().map_or("null".to_string(), |x| format!("{x}"))
+        })
+    };
+    format!(
+        "{} inst={} router={} batch={} churn={} memory={} workers={}",
+        s("runtime"),
+        n("instances"),
+        s("router"),
+        n("max_batch"),
+        s("churn"),
+        s("memory"),
+        n("exec_workers"),
+    )
+}
+
+/// `se bench diff <baseline.json> <candidate.json>` — the bench-snapshot
+/// regression check. Both files must pass the current schema (a drifted
+/// `schema_version` or a missing field fails right there), the two
+/// snapshots must cover the same config set, and no config's throughput
+/// may swing by more than 2x in either direction. Wall-clock noise stays
+/// well inside that band; a structural slowdown does not.
+///
+/// # Errors
+///
+/// Fails loudly on unreadable/unparsable files, schema drift, config-set
+/// drift, and any >2x throughput swing (all violations are listed).
+pub fn run_diff(baseline: &Path, candidate: &Path, out: &mut dyn Write) -> Result<()> {
+    let load = |path: &Path| -> Result<Json> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        validate_report(&doc).map_err(|e| format!("{}: schema drift: {e}", path.display()))?;
+        Ok(doc)
+    };
+    let base = load(baseline)?;
+    let cand = load(candidate)?;
+    let throughputs = |doc: &Json| -> Vec<(String, f64)> {
+        doc.get("configs")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|cfg| {
+                (config_key(cfg), cfg.get("throughput_rps").and_then(Json::as_f64).unwrap_or(0.0))
+            })
+            .collect()
+    };
+    let base_cfgs = throughputs(&base);
+    let cand_cfgs = throughputs(&cand);
+
+    let mut violations: Vec<String> = Vec::new();
+    for (key, _) in &base_cfgs {
+        if !cand_cfgs.iter().any(|(k, _)| k == key) {
+            violations.push(format!("config dropped from candidate: {key}"));
+        }
+    }
+    for (key, _) in &cand_cfgs {
+        if !base_cfgs.iter().any(|(k, _)| k == key) {
+            violations.push(format!("config absent from baseline: {key}"));
+        }
+    }
+
+    writeln!(
+        out,
+        "se bench diff: {} (baseline) vs {} (candidate)\n",
+        baseline.display(),
+        candidate.display()
+    )?;
+    let mut rows = Vec::new();
+    for (key, base_rps) in &base_cfgs {
+        let Some((_, cand_rps)) = cand_cfgs.iter().find(|(k, _)| k == key) else { continue };
+        let ratio = if *base_rps > 0.0 { cand_rps / base_rps } else { f64::INFINITY };
+        let ok = (0.5..=2.0).contains(&ratio);
+        if !ok {
+            violations.push(format!(
+                "throughput swing {ratio:.2}x at {key}: {base_rps:.0} -> {cand_rps:.0} req/s"
+            ));
+        }
+        rows.push(vec![
+            key.clone(),
+            format!("{base_rps:.0}"),
+            format!("{cand_rps:.0}"),
+            format!("{ratio:.2}"),
+            if ok { "ok".into() } else { "SWING".into() },
+        ]);
+    }
+    writeln!(
+        out,
+        "{}",
+        table::render(&["config", "baseline req/s", "candidate req/s", "ratio", "verdict"], &rows)
+    )?;
+
+    if violations.is_empty() {
+        writeln!(out, "ok: {} config(s) compared, all within 2x", rows.len())?;
+        return Ok(());
+    }
+    for v in &violations {
+        writeln!(out, "FAIL: {v}")?;
+    }
+    Err(format!(
+        "bench snapshot regression: {} violation(s) between {} and {}",
+        violations.len(),
+        baseline.display(),
+        candidate.display()
+    )
+    .into())
 }

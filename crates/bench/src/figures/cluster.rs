@@ -8,7 +8,11 @@
 //! model-affinity). With `--buffer-kb` each instance models a finite
 //! weight buffer: a model switch re-fetches the whole weight footprint
 //! (LRU eviction), while a resident model serves batch after batch
-//! without touching weight DRAM. The same stream is replayed against all
+//! without touching weight DRAM. With `--tiers` the flat buffer becomes
+//! a tiered store (weight buffer <-> DRAM <-> SSD): eviction demotes to
+//! the next tier down instead of dropping, and a promotion charges the
+//! serialized transfer through every tier it crosses — per-tier traffic
+//! prints on its own gated lines. The same stream is replayed against all
 //! five accelerator lanes, so the table reads as a head-to-head: the
 //! SmartExchange lane's compressed footprint fits where the dense
 //! footprints thrash, showing up as fewer weight fetches and higher
@@ -77,6 +81,7 @@ fn scenario(flags: &Flags, frequency_hz: f64) -> Result<Scenario> {
         router,
         policy,
         buffer_bytes: flags.buffer_kb.map(|kb| (kb * 1024.0).round() as u64),
+        tiers: flags.tier_specs()?,
         faults: flags.fault_plan(frequency_hz)?,
     };
     spec.faults.validate(spec.instances)?;
@@ -155,9 +160,23 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             Some(d) => format!("deadline {d} cycles/request (EDF batch formation)"),
             None => "best effort (no deadlines)".to_string(),
         },
-        match sc.spec.buffer_bytes {
-            Some(b) => format!("{:.0} KB/instance (LRU residency)", b as f64 / 1024.0),
-            None => "unmodeled (weights streamed per batch)".to_string(),
+        match (&sc.spec.tiers, sc.spec.buffer_bytes) {
+            (Some(tiers), _) => {
+                let stack: Vec<String> = tiers
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{} {:.0} KB @ {} B/cyc",
+                            t.name,
+                            t.capacity_bytes as f64 / 1024.0,
+                            t.bytes_per_cycle
+                        )
+                    })
+                    .collect();
+                format!("tiered store/instance ({})", stack.join(" <-> "))
+            }
+            (None, Some(b)) => format!("{:.0} KB/instance (LRU residency)", b as f64 / 1024.0),
+            (None, None) => "unmodeled (weights streamed per batch)".to_string(),
         }
     )?;
     // Fault-free runs print nothing here: stdout stays byte-identical to
@@ -230,6 +249,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     // Replay the same stream against every lane.
     let mut rows = Vec::new();
     let mut churn_lines: Vec<String> = Vec::new();
+    let mut tier_lines: Vec<String> = Vec::new();
     for (lane, lane_name) in ACCEL_NAMES.iter().enumerate() {
         let services: Option<Vec<ModelService>> = models
             .iter()
@@ -286,6 +306,26 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             report.rerouted.to_string(),
             report.lost.to_string(),
         ]);
+        // Tier-free runs print nothing here: stdout stays byte-identical
+        // to a build without the tiered store. The lane table's columns
+        // never change (CI's awk scripts index them by position) — tier
+        // traffic goes on its own gated lines.
+        if let Some(tiers) = &sc.spec.tiers {
+            for (t, stats) in tiers.iter().zip(&report.tier_traffic) {
+                tier_lines.push(format!(
+                    "  {}: tier {}: hits {}, promotions {}, demotions {}, evictions {}, \
+                     up {:.2} MB, down {:.2} MB",
+                    lane_name,
+                    t.name,
+                    stats.hits,
+                    stats.promotions,
+                    stats.demotions,
+                    stats.evictions,
+                    stats.bytes_up as f64 / (1024.0 * 1024.0),
+                    stats.bytes_down as f64 / (1024.0 * 1024.0),
+                ));
+            }
+        }
         if !sc.spec.faults.is_empty() {
             for e in &report.events {
                 churn_lines.push(format!(
@@ -336,6 +376,13 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             &rows,
         )
     )?;
+    if !tier_lines.is_empty() {
+        writeln!(out, "per-tier traffic per lane (top tier first, summed over instances):")?;
+        for line in &tier_lines {
+            writeln!(out, "{line}")?;
+        }
+        writeln!(out)?;
+    }
     if !churn_lines.is_empty() {
         writeln!(out, "fault timeline and conservation accounting per lane:")?;
         for line in &churn_lines {

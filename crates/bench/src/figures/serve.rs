@@ -98,6 +98,11 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                     fault model"
             .into());
     }
+    if flags.tiers.is_some() {
+        return Err("--tiers applies to se cluster; the single-instance \
+                    se serve queue has no residency model"
+            .into());
+    }
     let opts = flags.runner_options()?;
     let runtime = flags.runtime_kind()?;
     let staged_cfg = flags.staged_config();

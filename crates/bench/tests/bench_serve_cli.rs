@@ -51,17 +51,38 @@ fn dry_run_emits_a_valid_schema_checked_report() {
     let configs = doc.get("configs").unwrap().as_array().unwrap();
     // instances pinned to {2} x routers {rr, jsq} x max_batch {1, 8} x
     // churn {none, kill-restart} (multi-instance configs get the churn
-    // axis), each measured as sim + staged x {1, 2} workers = 3 runtime
-    // entries.
-    assert_eq!(configs.len(), 2 * 2 * 2 * 3, "sweep shape");
+    // axis) x memory {flat, tiered}, each measured as sim + staged x
+    // {1, 2} workers = 3 runtime entries.
+    assert_eq!(configs.len(), 2 * 2 * 2 * 2 * 3, "sweep shape");
     let sims = configs.iter().filter(|c| c.get("runtime").unwrap().as_str() == Some("sim"));
-    assert_eq!(sims.count(), 8);
+    assert_eq!(sims.count(), 16);
     for workers in [1.0, 2.0] {
         let staged = configs.iter().filter(|c| {
             c.get("runtime").unwrap().as_str() == Some("staged")
                 && c.get("exec_workers").unwrap().as_f64() == Some(workers)
         });
-        assert_eq!(staged.count(), 8, "staged entries at {workers} worker(s)");
+        assert_eq!(staged.count(), 16, "staged entries at {workers} worker(s)");
+    }
+    // The memory axis is the other half of the sweep: every tiered config
+    // carries a per-tier traffic array, every flat one a null.
+    let tiered: Vec<_> =
+        configs.iter().filter(|c| c.get("memory").unwrap().as_str() == Some("tiered")).collect();
+    assert_eq!(tiered.len(), configs.len() / 2);
+    for c in &tiered {
+        let tiers = c.get("tiers").unwrap().as_array().unwrap();
+        assert_eq!(tiers.len(), 3, "derived default stack is buf/dram/ssd");
+        assert_eq!(tiers[0].get("name").unwrap().as_str(), Some("buf"));
+    }
+    assert!(
+        tiered.iter().any(|c| {
+            let tiers = c.get("tiers").unwrap().as_array().unwrap();
+            tiers.iter().any(|t| t.get("hits").unwrap().as_f64() > Some(0.0))
+                && tiers.last().unwrap().get("up_mb").unwrap().as_f64() > Some(0.0)
+        }),
+        "tiered configs must show tier traffic (top-tier hits and bottom-tier bytes up)"
+    );
+    for c in configs.iter().filter(|c| c.get("memory").unwrap().as_str() == Some("flat")) {
+        assert_eq!(c.get("tiers"), Some(&Json::Null));
     }
     // The churn axis is half the sweep, and churned configs account for
     // the kill: a killed batch or a re-route must actually show up
@@ -113,9 +134,13 @@ fn bench_without_a_valid_action_errors_with_usage() {
     let mut out = Vec::new();
     let rest: Vec<String> = vec!["--requests".into(), "10".into()];
     let err = bench_serve::run(&rest, &Flags::default(), &mut out).unwrap_err();
-    assert!(err.to_string().contains("se bench <serve>"), "{err}");
+    assert!(err.to_string().contains("se bench <serve|diff>"), "{err}");
     // A flag value that looks like an action must not be taken for one.
     let rest: Vec<String> = vec!["--bench-out".into(), "serve".into()];
     let err = bench_serve::run(&rest, &Flags::default(), &mut out).unwrap_err();
     assert!(err.to_string().contains("no action"), "{err}");
+    // `diff` needs exactly two snapshot paths.
+    let rest: Vec<String> = vec!["diff".into(), "one.json".into()];
+    let err = bench_serve::run(&rest, &Flags::default(), &mut out).unwrap_err();
+    assert!(err.to_string().contains("se bench diff <baseline.json>"), "{err}");
 }

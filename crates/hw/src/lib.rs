@@ -48,7 +48,9 @@ pub use accelerator::Accelerator;
 pub use config::SeAcceleratorConfig;
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HwError;
-pub use residency::{Admission, ResidencyStats, WeightBuffer};
+pub use residency::{
+    Admission, ResidencyStats, TierAdmission, TierSpec, TierStats, TieredStore, WeightBuffer,
+};
 pub use schedule::{ScheduleCache, ScheduleKey, ScheduleRegistry};
 pub use stats::{LayerResult, MemCounters, OpCounters, RunResult};
 

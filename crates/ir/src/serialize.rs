@@ -228,6 +228,13 @@ impl<'a> ByteReader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Absolute byte offset of the next read — the cursor into the
+    /// borrowed buffer. Lets a caller record where a record started and
+    /// ended to build an offset index over the underlying bytes.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Fails unless the buffer was consumed exactly to its end — trailing
     /// garbage is as much a corruption signal as truncation.
     ///

@@ -75,6 +75,17 @@ pub fn write_network_file(
     Ok(path)
 }
 
+/// Serialized size in bytes of an artifact on disk, without reading or
+/// decoding it — the byte-accurate cold-load cost when the artifact
+/// file is the durable bottom tier of a tiered weight store.
+///
+/// # Errors
+///
+/// Propagates filesystem failures (missing file, permission).
+pub fn artifact_bytes(path: &Path) -> Result<u64> {
+    std::fs::metadata(path).map(|m| m.len()).map_err(|e| io_err(path, e))
+}
+
 /// Reads a compressed-network artifact via [`CompressedNetwork::from_bytes`].
 ///
 /// # Errors

@@ -28,6 +28,7 @@ pub mod router;
 pub mod sim;
 
 pub use router::{InstanceView, RouterPolicy};
+pub use se_hw::residency::{TierSpec, TierStats};
 pub use sim::{
     simulate_cluster, simulate_cluster_run, ClusterReport, ClusterRun, ClusterSpec,
     InstanceSummary, ModelService,

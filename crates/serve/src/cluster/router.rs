@@ -164,6 +164,45 @@ mod tests {
     }
 
     #[test]
+    fn tie_breaks_stay_lowest_index_with_dead_and_dynamic_instances_coexisting() {
+        // The shape mid-churn: two static instances (0 dead, 1 alive),
+        // two autoscaled ones appended at 2 and 3 (3 draining). The
+        // router sees only views; a spawned instance is just a trailing
+        // entry and a draining or dead one an `accepting = false` hole.
+        let mut v = views(&[4, 2, 2, 0], &[false, false, true, true]);
+        v[0].accepting = false; // killed static instance
+        v[3].accepting = false; // draining autoscaled instance
+
+        // JSQ: queues tie at 2 between static 1 and dynamic 2 — the
+        // lowest accepting index wins, dead/draining holes never count.
+        assert_eq!(RouterPolicy::JoinShortestQueue.route(0, 0, &v), Some(1));
+
+        // Round-robin counts over the accepting subset {1, 2} in index
+        // order, so dynamic instance 2 takes every odd arrival.
+        let rr = RouterPolicy::RoundRobin;
+        assert_eq!(rr.route(0, 0, &v), Some(1));
+        assert_eq!(rr.route(1, 0, &v), Some(2));
+        assert_eq!(rr.route(2, 0, &v), Some(1));
+
+        // Affinity: residency on the draining instance 3 is invisible;
+        // the dynamic instance 2 is the only accepting resident one.
+        assert_eq!(RouterPolicy::ModelAffinity.route(0, 0, &v), Some(2));
+        // With both resident instances accepting, the queue tie at 2
+        // breaks toward the lower index even though it is dynamic.
+        v[3].accepting = true;
+        v[3].queued = 2;
+        assert_eq!(RouterPolicy::ModelAffinity.route(0, 0, &v), Some(2));
+        // And with no resident instance at all, the home slot counts
+        // over the accepting subset {1, 2, 3}: model 4 % 3 -> slot 1,
+        // which is dynamic instance 2.
+        let mut none = v.clone();
+        for view in &mut none {
+            view.resident = false;
+        }
+        assert_eq!(RouterPolicy::ModelAffinity.route(0, 4, &none), Some(2));
+    }
+
+    #[test]
     fn parse_accepts_aliases_and_rejects_unknowns() {
         assert_eq!(RouterPolicy::parse("rr"), Some(RouterPolicy::RoundRobin));
         assert_eq!(RouterPolicy::parse("round-robin"), Some(RouterPolicy::RoundRobin));

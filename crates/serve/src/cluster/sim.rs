@@ -41,7 +41,7 @@ use crate::queue::{percentile, BatchPolicy};
 use crate::sched::{self, ClusterCore, CoreFinish, Disposition, RequestOutcome, SchedEvent};
 use crate::workload::Request;
 use crate::{BoxError, Result};
-use se_hw::residency::{fetch_cycles, ResidencyStats};
+use se_hw::residency::{fetch_cycles, ResidencyStats, TierSpec, TierStats};
 use se_hw::RunResult;
 
 /// One model's execution profile on one accelerator lane — everything the
@@ -105,6 +105,13 @@ pub struct ClusterSpec {
     /// residency modeling (every batch streams its weights, the `se serve`
     /// execution model).
     pub buffer_bytes: Option<u64>,
+    /// Per-instance tiered weight store (top tier first, bottom tier the
+    /// durable origin — see [`se_hw::residency::TieredStore`]); `None`
+    /// keeps the single-buffer model above. Mutually exclusive with
+    /// `buffer_bytes`: a tier stack *replaces* the flat buffer, charging
+    /// each admission its real tier-walk cost instead of the flat
+    /// `switch_cycles`.
+    pub tiers: Option<Vec<TierSpec>>,
     /// Deterministic failure injection and elasticity script (see
     /// [`crate::fault`]). The default empty plan reproduces a cluster
     /// without churn bit for bit.
@@ -139,6 +146,25 @@ impl ClusterSpec {
                 )));
             }
         }
+        if let Some(tiers) = &self.tiers {
+            if self.buffer_bytes.is_some() {
+                return Err(BoxError::from(
+                    "tiers and buffer_bytes are mutually exclusive: a tier stack replaces \
+                     the flat weight buffer",
+                ));
+            }
+            if tiers.is_empty() {
+                return Err(BoxError::from("a tier stack needs at least one tier"));
+            }
+            for t in tiers {
+                if !(t.bytes_per_cycle > 0.0 && t.bytes_per_cycle.is_finite()) {
+                    return Err(BoxError::from(format!(
+                        "tier {}: bandwidth must be positive and finite",
+                        t.name
+                    )));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -151,8 +177,12 @@ pub struct InstanceSummary {
     /// Requests completed.
     pub completed: u64,
     /// Residency counters of this instance's weight buffer (zeros with
-    /// residency modeling off).
+    /// residency modeling off). With a tiered store this is the legacy
+    /// summary view of the stack (top-tier hits / any-movement fetches).
     pub residency: ResidencyStats,
+    /// Per-tier traffic of this instance's tiered store, top tier first
+    /// (empty without `ClusterSpec::tiers`).
+    pub tier_traffic: Vec<TierStats>,
 }
 
 /// Outcome of one cluster simulation.
@@ -170,6 +200,9 @@ pub struct ClusterReport {
     pub makespan: u64,
     /// Cluster-wide residency counters (sum over instances).
     pub residency: ResidencyStats,
+    /// Cluster-wide per-tier traffic, top tier first (elementwise sum
+    /// over instances; empty without `ClusterSpec::tiers`).
+    pub tier_traffic: Vec<TierStats>,
     /// Per-instance summaries (spawned instances appended after the base
     /// cluster).
     pub per_instance: Vec<InstanceSummary>,
@@ -318,6 +351,12 @@ pub(crate) fn record_event(
 pub(crate) fn fold_finish(fin: CoreFinish, report: &mut ClusterReport) {
     for summary in fin.summaries {
         report.residency.accumulate(&summary.residency);
+        if report.tier_traffic.len() < summary.tier_traffic.len() {
+            report.tier_traffic.resize(summary.tier_traffic.len(), TierStats::default());
+        }
+        for (agg, tier) in report.tier_traffic.iter_mut().zip(&summary.tier_traffic) {
+            agg.accumulate(tier);
+        }
         report.per_instance.push(summary);
     }
     report.rerouted = fin.events.iter().map(|e| e.kind.rerouted()).sum();
@@ -403,6 +442,7 @@ mod tests {
             router,
             policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
             buffer_bytes: buffer,
+            tiers: None,
             faults: FaultPlan::default(),
         }
     }

@@ -63,7 +63,9 @@ pub mod sched;
 pub mod staged;
 pub mod workload;
 
-pub use cluster::{ClusterReport, ClusterRun, ClusterSpec, ModelService, RouterPolicy};
+pub use cluster::{
+    ClusterReport, ClusterRun, ClusterSpec, ModelService, RouterPolicy, TierSpec, TierStats,
+};
 pub use engine::{BatchEngine, ACCEL_NAMES, SE_LANE};
 pub use fault::{
     AutoscalePolicy, ClusterEvent, ClusterEventKind, FaultAction, FaultEvent, FaultPlan,

@@ -184,6 +184,7 @@ pub(crate) fn single_instance(exec: &[u64], policy: BatchPolicy) -> (ModelServic
         router: RouterPolicy::RoundRobin,
         policy,
         buffer_bytes: None,
+        tiers: None,
         faults: crate::fault::FaultPlan::default(),
     };
     (service, spec)

@@ -35,7 +35,7 @@ use crate::cluster::sim::{ClusterSpec, InstanceSummary, ModelService};
 use crate::fault::{ClusterEvent, ClusterEventKind, FaultAction};
 use crate::workload::Request;
 use crate::Result;
-use se_hw::residency::{Admission, WeightBuffer};
+use se_hw::residency::{Admission, TierAdmission, TieredStore, WeightBuffer};
 
 /// A queued request plus its issue order (the final EDF tie-breaker and
 /// the identity the determinism contract is stated over).
@@ -141,11 +141,49 @@ pub enum SchedEvent {
     Lost(usize, Request, u64),
 }
 
+/// One instance's weight-residency model: nothing (every batch streams),
+/// the legacy flat buffer (misses charge the service's pre-computed
+/// `switch_cycles`), or the tiered store (every admission charges its
+/// real tier-walk cost).
+enum Residency {
+    None,
+    Buffer(WeightBuffer),
+    Tiered(TieredStore),
+}
+
+impl Residency {
+    fn fresh(spec: &ClusterSpec) -> Residency {
+        match (&spec.tiers, spec.buffer_bytes) {
+            (Some(tiers), _) => Residency::Tiered(TieredStore::new(tiers.clone())),
+            (None, Some(bytes)) => Residency::Buffer(WeightBuffer::new(bytes)),
+            (None, None) => Residency::None,
+        }
+    }
+
+    /// What routing sees as "resident": top-tier residency only — a model
+    /// parked in a lower tier still pays a promotion walk.
+    fn is_resident(&self, model: usize) -> bool {
+        match self {
+            Residency::None => false,
+            Residency::Buffer(buffer) => buffer.is_resident(model),
+            Residency::Tiered(store) => store.is_resident_top(model),
+        }
+    }
+
+    fn cold_restart(&mut self) {
+        match self {
+            Residency::None => {}
+            Residency::Buffer(buffer) => buffer.cold_restart(),
+            Residency::Tiered(store) => store.cold_restart(),
+        }
+    }
+}
+
 /// One instance's private state, including its memoized launch plan.
 struct Instance {
     queue: Vec<Queued>,
     free: u64,
-    buffer: Option<WeightBuffer>,
+    residency: Residency,
     summary: InstanceSummary,
     /// `false` between a kill and the matching restart: the instance
     /// neither launches nor accepts.
@@ -170,7 +208,7 @@ impl Instance {
         Instance {
             queue: Vec::new(),
             free,
-            buffer: spec.buffer_bytes.map(WeightBuffer::new),
+            residency: Residency::fresh(spec),
             summary: InstanceSummary::default(),
             up: true,
             accepting: true,
@@ -317,7 +355,7 @@ impl<'a> ClusterCore<'a> {
             .iter()
             .map(|inst| InstanceView {
                 queued: inst.queue.len(),
-                resident: inst.buffer.as_ref().is_some_and(|b| b.is_resident(model)),
+                resident: inst.residency.is_resident(model),
                 accepting: inst.accepting,
             })
             .collect()
@@ -384,9 +422,7 @@ impl<'a> ClusterCore<'a> {
                 inst.accepting = true;
                 inst.free = event.at;
                 inst.plan = Some(None);
-                if let Some(buffer) = inst.buffer.as_mut() {
-                    buffer.cold_restart();
-                }
+                inst.residency.cold_restart();
                 self.events.push(ClusterEvent {
                     at: event.at,
                     instance: event.instance,
@@ -449,12 +485,23 @@ impl<'a> ClusterCore<'a> {
         let members: Vec<Queued> = positions.iter().map(|&i| inst.queue[i]).collect();
         let model = members.first()?.req.model;
         let svc = services.get(model)?;
-        let exec = match inst.buffer.as_mut() {
-            None => svc.streamed[k - 1],
-            Some(buffer) => match buffer.admit(model, svc.footprint_bytes) {
+        let exec = match &mut inst.residency {
+            Residency::None => svc.streamed[k - 1],
+            Residency::Buffer(buffer) => match buffer.admit(model, svc.footprint_bytes) {
                 Admission::Resident => svc.resident[k - 1],
                 Admission::Fetched { .. } => svc.switch_cycles + svc.resident[k - 1],
                 Admission::Streamed => svc.streamed[k - 1],
+            },
+            // The tiered store charges the real serialized walk through
+            // every crossed tier instead of the flat `switch_cycles`; a
+            // stream pays its deep haul on top of the per-batch-fetch
+            // table (whose fetch models the final staging-tier crossing).
+            Residency::Tiered(store) => match store.admit(model, svc.footprint_bytes) {
+                TierAdmission::Hit => svc.resident[k - 1],
+                walk @ (TierAdmission::Promoted { .. } | TierAdmission::Cold { .. }) => {
+                    walk.cycles() + svc.resident[k - 1]
+                }
+                walk @ TierAdmission::Streamed { .. } => walk.cycles() + svc.streamed[k - 1],
             },
         };
         let done = start.saturating_add(exec);
@@ -474,8 +521,13 @@ impl<'a> ClusterCore<'a> {
         inst.free = done;
         inst.plan = None;
         inst.summary.batches += 1;
-        if let Some(buffer) = inst.buffer.as_ref() {
-            inst.summary.residency = *buffer.stats();
+        match &inst.residency {
+            Residency::None => {}
+            Residency::Buffer(buffer) => inst.summary.residency = *buffer.stats(),
+            Residency::Tiered(store) => {
+                inst.summary.residency = *store.summary();
+                inst.summary.tier_traffic = store.tier_stats().to_vec();
+            }
         }
         let killed_at = self.next_kill_before(idx, done);
         let inst = &mut self.instances[idx];
@@ -635,6 +687,7 @@ mod tests {
             router: RouterPolicy::RoundRobin,
             policy: BatchPolicy { max_batch, max_wait, queue_cap: cap },
             buffer_bytes: None,
+            tiers: None,
             faults: FaultPlan::default(),
         }
     }

@@ -295,6 +295,7 @@ mod tests {
             router: RouterPolicy::ModelAffinity,
             policy: BatchPolicy { max_batch: 4, max_wait: 50, queue_cap: 8 },
             buffer_bytes: Some(700),
+            tiers: None,
             faults: crate::fault::FaultPlan::default(),
         };
         let requests: Vec<Request> = (0..200)

@@ -97,6 +97,7 @@ proptest! {
             router: RouterPolicy::RoundRobin,
             policy,
             buffer_bytes: None,
+            tiers: None,
             faults: FaultPlan::default(),
         };
         let cluster = simulate_cluster(&requests, &[stream_only_service(&exec)], &spec).unwrap();
@@ -120,6 +121,7 @@ fn cluster_reports_are_bit_identical_across_worker_counts() {
         router: RouterPolicy::JoinShortestQueue,
         policy: BatchPolicy { max_batch: 4, max_wait: 500, queue_cap: 32 },
         buffer_bytes: Some(2048),
+        tiers: None,
         faults: FaultPlan::default(),
     };
     let requests: Vec<Request> = (0..40)
@@ -171,6 +173,7 @@ fn residency_fetches_once_when_resident_and_thrashes_when_not() {
         router: RouterPolicy::RoundRobin,
         policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
         buffer_bytes: Some(buffer),
+        tiers: None,
         faults: FaultPlan::default(),
     };
 
@@ -239,6 +242,7 @@ fn se_lane_refetches_less_and_sustains_goodput_vs_dense_at_equal_buffer() {
         router: RouterPolicy::RoundRobin,
         policy: BatchPolicy { max_batch: 4, max_wait: 0, queue_cap: 64 },
         buffer_bytes: Some(buffer),
+        tiers: None,
         faults: FaultPlan::default(),
     };
     // Interleaved models, uniform arrivals, a deadline the resident SE

@@ -115,6 +115,7 @@ proptest! {
             router: router_of(router_idx),
             policy: BatchPolicy { max_batch, max_wait, queue_cap },
             buffer_bytes: buffer,
+            tiers: None,
             faults,
         };
         let oracle = simulate_cluster_run(&requests, &services, &spec).unwrap();
@@ -174,6 +175,7 @@ fn one_kill_mid_run_degrades_goodput_proportionally_not_to_zero() {
         router: RouterPolicy::RoundRobin,
         policy: BatchPolicy { max_batch: 4, max_wait: 120, queue_cap: 16 },
         buffer_bytes: Some(2000),
+        tiers: None,
         faults: FaultPlan::default(),
     };
     let churn_spec = ClusterSpec {

@@ -146,6 +146,7 @@ proptest! {
             router: router_of(router_idx),
             policy: BatchPolicy { max_batch, max_wait, queue_cap },
             buffer_bytes: buffer,
+            tiers: None,
             faults: FaultPlan::default(),
         };
         let oracle = simulate_cluster_run(&requests, &services, &spec).unwrap();
