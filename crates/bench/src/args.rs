@@ -96,6 +96,14 @@ pub struct Flags {
     /// cycle. Raw string here; parsed and validated loudly by
     /// [`Flags::tier_specs`]. Mutually exclusive with `--buffer-kb`.
     pub tiers: Option<String>,
+    /// `--trace-out FILE`: write the run's virtual-time scheduling trace
+    /// as Chrome-trace/Perfetto `traceEvents` JSON (`se serve`,
+    /// `se cluster`, `se bench serve`). The file is byte-identical across
+    /// `--sim-parallelism` values and `--runtime sim|staged`.
+    pub trace_out: Option<std::path::PathBuf>,
+    /// `--metrics-out FILE`: write the run's folded counters, gauges, and
+    /// latency histograms as Prometheus-style text exposition.
+    pub metrics_out: Option<std::path::PathBuf>,
 }
 
 /// Serving back end selected by `--runtime` (see
@@ -139,6 +147,8 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--restart",
     "--autoscale",
     "--tiers",
+    "--trace-out",
+    "--metrics-out",
 ];
 
 impl Flags {
@@ -225,6 +235,8 @@ impl Flags {
             "--restart" => self.restart.extend(value.split(',').map(|s| s.trim().to_string())),
             "--autoscale" => self.autoscale = Some(value.to_string()),
             "--tiers" => self.tiers = Some(value.to_string()),
+            "--trace-out" => self.trace_out = Some(std::path::PathBuf::from(value)),
+            "--metrics-out" => self.metrics_out = Some(std::path::PathBuf::from(value)),
             other => unreachable!("VALUE_FLAGS entry {other} not handled"),
         }
     }
@@ -549,6 +561,16 @@ mod tests {
             parse(&["--bench-out", "/tmp/b.json"]).bench_out.as_deref(),
             Some(std::path::Path::new("/tmp/b.json"))
         );
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let f = parse(&["--trace-out", "/tmp/t.json", "--metrics-out", "/tmp/m.prom"]);
+        assert_eq!(f.trace_out.as_deref(), Some(std::path::Path::new("/tmp/t.json")));
+        assert_eq!(f.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.prom")));
+        let f = parse(&["--trace-out"]); // missing value: ignored
+        assert!(f.trace_out.is_none());
+        assert!(Flags::default().metrics_out.is_none());
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub fn usage() -> String {
          --concurrency N      clients for --arrival closed (default 2x max batch)\n  \
          --deadline-us F      per-request deadline; misses are reported (se serve/cluster)\n  \
          --runtime KIND       sim | staged serving back end (default sim; same output)\n  \
-         --exec-workers N     staged execution-pool threads (default SE_PARALLELISM)\n\n\
+         --exec-workers N     staged execution-pool threads (default SE_PARALLELISM)\n  \
+         --trace-out FILE     write a Chrome-trace/Perfetto JSON of the run\n  \
+                              (se serve / se cluster / se bench serve)\n  \
+         --metrics-out FILE   write Prometheus-style text metrics of the run\n\n\
          CLUSTER FLAGS (se cluster):\n  \
          --instances N        accelerator instances behind the shared front (default 4)\n  \
          --router KIND        rr | jsq | affinity routing policy (default jsq)\n  \
@@ -98,7 +101,9 @@ pub fn usage() -> String {
          --workers 1,4,8      staged worker counts swept (default 1,min(4,host),host)\n  \
          --bench-out FILE     machine-readable report path (default BENCH_serve.json)\n\n\
          ENVIRONMENT:\n  \
-         SE_PARALLELISM       default worker count for all parallel stages\n",
+         SE_PARALLELISM       default worker count for all parallel stages\n  \
+         SE_LOG               stderr log level: error|warn|info|debug (default warn)\n  \
+         SE_TRACE_WALL        1 = annotate staged traces with wall-clock stage timings\n",
     );
     s
 }
@@ -182,7 +187,7 @@ pub fn selected_models(flags: &Flags) -> Vec<NetworkDesc> {
 /// Propagates option and sweep failures.
 pub fn comparison_sweep(flags: &Flags, models: &[NetworkDesc]) -> Result<Vec<ModelComparison>> {
     let opts = flags.runner_options()?;
-    eprintln!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
+    se_core::se_info!("running {} models x 5 accelerators (fast={})...", models.len(), flags.fast);
     runner::compare_models_cached(models, &opts, flags.traces_dir.as_deref())
 }
 

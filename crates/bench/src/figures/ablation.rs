@@ -113,7 +113,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     let mut prev_dram: Option<u64> = None;
     let mut base_dram_total = 0u64;
     for (name, cfg, use_se) in steps {
-        eprintln!("  {name}...");
+        se_core::se_info!("  {name}...");
         let r = run_step(cfg, &net, &opts, cached.as_deref(), use_se)?;
         let energy = r.energy(&em, &report_cfg).total();
         let cycles = r.total_cycles();

@@ -56,7 +56,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     let ecfg = SeAcceleratorConfig::default();
     writeln!(out, "se batch: weight-fetch amortization across batch sizes\n")?;
     for net in models {
-        eprintln!("  batching {} x{:?}...", net.name(), sizes);
+        se_core::se_info!("  batching {} x{:?}...", net.name(), sizes);
         let pairs = pairs_for(net, flags, &opts)?;
         let engine = BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())?;
         let runs = engine.per_image_comparison(&pairs, opts.sim_parallelism)?;

@@ -107,7 +107,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     // One per-image pass per model; every batch size derives from it.
     let mut per_image: Vec<RunResult> = Vec::with_capacity(models.len());
     for net in models {
-        eprintln!("  profiling {}...", net.name());
+        se_core::se_info!("  profiling {}...", net.name());
         let pairs = pairs_for(net, flags, &opts)?;
         per_image.push(engine.per_image_se(&pairs, opts.sim_parallelism)?);
     }
@@ -163,6 +163,12 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         requests, workers
     )?;
 
+    // With `--trace-out` / `--metrics-out`, each config's sim-oracle run
+    // narrates its scheduling decisions into a recorder (one trace pid
+    // per config; the staged repeats would duplicate the same stream by
+    // the determinism contract, so only the oracle is recorded).
+    let observing = flags.trace_out.is_some() || flags.metrics_out.is_some();
+    let mut obs_streams: Vec<(String, Vec<se_obs::Event>)> = Vec::new();
     let mut configs = Vec::new();
     let mut rows = Vec::new();
     for &instances in &instance_counts {
@@ -235,7 +241,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                                 )
                             })
                             .collect();
-                        eprintln!(
+                        se_core::se_info!(
                             "  bench: {} instance(s), router {}, max batch {}, churn {}, \
                              memory {}...",
                             instances,
@@ -244,9 +250,29 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                             churn,
                             memory
                         );
+                        let mut recorder = observing.then(se_obs::Recorder::new);
                         let measured = measure_config(
-                            &stream, &services, &spec, &engine, &per_image, &workers,
+                            &stream,
+                            &services,
+                            &spec,
+                            &engine,
+                            &per_image,
+                            &workers,
+                            recorder.as_mut(),
                         )?;
+                        if let Some(rec) = recorder {
+                            obs_streams.push((
+                                format!(
+                                    "inst{} {} b{} {} {}",
+                                    instances,
+                                    router.name(),
+                                    max_batch,
+                                    churn,
+                                    memory
+                                ),
+                                rec.into_events(),
+                            ));
+                        }
                         let oracle = &measured[0].run;
                         if !oracle.report.conserves(stream.len()) {
                             return Err(format!(
@@ -343,6 +369,11 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     validate_report(&Json::parse(&text)?)?;
     std::fs::write(&path, &text)?;
     writeln!(out, "wrote {} ({} configs)", path.display(), doc_configs(&doc))?;
+    crate::obs_export::write_observability(
+        flags.trace_out.as_deref(),
+        flags.metrics_out.as_deref(),
+        &obs_streams,
+    )?;
     Ok(())
 }
 
@@ -351,7 +382,8 @@ fn doc_configs(doc: &Json) -> usize {
 }
 
 /// Runs one configuration through the sim and through the staged runtime
-/// at each worker count. The sim is always `measured[0]`.
+/// at each worker count. The sim is always `measured[0]`; when a recorder
+/// is given, the sim-oracle run narrates into it.
 fn measure_config(
     stream: &[Request],
     services: &[ModelService],
@@ -359,10 +391,14 @@ fn measure_config(
     engine: &BatchEngine,
     per_image: &[RunResult],
     workers: &[usize],
+    recorder: Option<&mut se_obs::Recorder>,
 ) -> Result<Vec<Measured>> {
     let mut measured = Vec::with_capacity(1 + workers.len());
     let start = Instant::now();
-    let run = simulate_cluster_run(stream, services, spec)?;
+    let run = match recorder {
+        Some(rec) => se_serve::cluster::simulate_cluster_run_obs(stream, services, spec, rec)?,
+        None => simulate_cluster_run(stream, services, spec)?,
+    };
     measured.push(Measured {
         runtime: "sim",
         exec_workers: None,
@@ -701,14 +737,24 @@ pub fn run_diff(baseline: &Path, candidate: &Path, out: &mut dyn Write) -> Resul
             key.clone(),
             format!("{base_rps:.0}"),
             format!("{cand_rps:.0}"),
+            if ratio.is_finite() {
+                format!("{:+.1}%", (ratio - 1.0) * 100.0)
+            } else {
+                "inf".into()
+            },
             format!("{ratio:.2}"),
             if ok { "ok".into() } else { "SWING".into() },
         ]);
     }
+    // The per-config delta table prints on success too: snapshot drift is
+    // visible in CI logs well before it trips the 2x gate.
     writeln!(
         out,
         "{}",
-        table::render(&["config", "baseline req/s", "candidate req/s", "ratio", "verdict"], &rows)
+        table::render(
+            &["config", "baseline req/s", "candidate req/s", "delta", "ratio", "verdict"],
+            &rows
+        )
     )?;
 
     if violations.is_empty() {

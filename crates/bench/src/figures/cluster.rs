@@ -120,7 +120,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     if runtime == RuntimeKind::Staged {
         // Stdout stays byte-identical across runtimes (the determinism
         // contract CI diffs); the runtime note goes to stderr.
-        eprintln!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
+        se_core::se_info!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
     }
     let freq = SeAcceleratorConfig::default().frequency_hz;
     let sc = scenario(flags, freq)?;
@@ -130,7 +130,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     // profile and every batch size derive from it.
     let mut per_model: Vec<[Option<RunResult>; 5]> = Vec::with_capacity(models.len());
     for net in models {
-        eprintln!("  clustering {}...", net.name());
+        se_core::se_info!("  clustering {}...", net.name());
         let pairs = pairs_for(net, flags, &opts)?;
         per_model.push(engine.per_image_comparison(&pairs, opts.sim_parallelism)?);
     }
@@ -246,7 +246,13 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     let stream =
         workload::request_stream(sc.requests, rate, freq, sc.pattern, models.len(), sc.deadline)?;
 
-    // Replay the same stream against every lane.
+    // Replay the same stream against every lane. With `--trace-out` /
+    // `--metrics-out`, each lane's run additionally narrates its
+    // scheduling decisions into a recorder (one trace pid per lane); the
+    // virtual-time stream — and so the exported bytes — is identical for
+    // sim and staged runtimes at any worker count.
+    let observing = flags.trace_out.is_some() || flags.metrics_out.is_some();
+    let mut obs_streams: Vec<(String, Vec<se_obs::Event>)> = Vec::new();
     let mut rows = Vec::new();
     let mut churn_lines: Vec<String> = Vec::new();
     let mut tier_lines: Vec<String> = Vec::new();
@@ -274,17 +280,47 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
             );
             continue;
         };
-        let report = match runtime {
-            RuntimeKind::Sim => se_serve::cluster::simulate_cluster(&stream, &services, &sc.spec)?,
-            RuntimeKind::Staged => {
-                se_serve::run_cluster_staged(
-                    &stream,
-                    &services,
-                    &sc.spec,
-                    &staged_cfg,
-                    &se_serve::NoWork,
-                )?
-                .report
+        let report = if observing {
+            let mut recorder = se_obs::Recorder::new();
+            let report = match runtime {
+                RuntimeKind::Sim => {
+                    se_serve::cluster::simulate_cluster_run_obs(
+                        &stream,
+                        &services,
+                        &sc.spec,
+                        &mut recorder,
+                    )?
+                    .report
+                }
+                RuntimeKind::Staged => {
+                    se_serve::run_cluster_staged_obs(
+                        &stream,
+                        &services,
+                        &sc.spec,
+                        &staged_cfg,
+                        &se_serve::NoWork,
+                        &mut recorder,
+                    )?
+                    .report
+                }
+            };
+            obs_streams.push(((*lane_name).to_string(), recorder.into_events()));
+            report
+        } else {
+            match runtime {
+                RuntimeKind::Sim => {
+                    se_serve::cluster::simulate_cluster(&stream, &services, &sc.spec)?
+                }
+                RuntimeKind::Staged => {
+                    se_serve::run_cluster_staged(
+                        &stream,
+                        &services,
+                        &sc.spec,
+                        &staged_cfg,
+                        &se_serve::NoWork,
+                    )?
+                    .report
+                }
             }
         };
         let (missed, miss_pct) =
@@ -394,6 +430,11 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         out,
         "determinism: output is bit-identical for any worker count\n\
          (SE_PARALLELISM / --sim-parallelism) given the same flags."
+    )?;
+    crate::obs_export::write_observability(
+        flags.trace_out.as_deref(),
+        flags.metrics_out.as_deref(),
+        &obs_streams,
     )?;
     Ok(())
 }

@@ -39,7 +39,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
         writeln!(out, "Fig. 13 {title}: SmartExchange energy breakdown (% of total)\n")?;
         let mut rows = Vec::new();
         for net in &models {
-            eprintln!("  {} {title}...", net.name());
+            se_core::se_info!("  {} {title}...", net.name());
             let run = run_model(net, include_fc, flags)?;
             let e = run.energy(&em, &cfg);
             let total = e.total();

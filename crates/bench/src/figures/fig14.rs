@@ -39,7 +39,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     let mut rows = Vec::new();
     let mut base: Option<(f64, f64)> = None;
     for &sp in &ratios {
-        eprintln!("  sparsity {:.1}%...", sp * 100.0);
+        se_core::se_info!("  sparsity {:.1}%...", sp * 100.0);
         // Near-zero rows of the regenerated weights are what the relative
         // threshold prunes, so the Ce sparsity tracks the weight sparsity.
         let se_cfg = SeConfig::default()

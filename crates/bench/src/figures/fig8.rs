@@ -33,7 +33,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     let ds = data::procedural_digits(if flags.fast { 8 } else { 16 }, 77 + flags.seed)?;
     let epochs = if flags.fast { 5 } else { 8 };
 
-    eprintln!("training the base model...");
+    se_core::se_info!("training the base model...");
     let mut base = Sequential::new(vec![
         se_nn::layers::Layer::conv2d(1, 6, 3, 2, 1, 1000 + flags.seed)?,
         se_nn::layers::Layer::relu(),
@@ -149,7 +149,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     ];
 
     for (name, mut project) in methods {
-        eprintln!("  {name}...");
+        se_core::se_info!("  {name}...");
         let mut model = base.clone();
         let report = train::retrain_with_projection(&mut model, &ds, &recover, &mut project)?;
         // Size: measure the compressed storage of the final projected model.

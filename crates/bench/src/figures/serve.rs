@@ -109,7 +109,7 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     if runtime == RuntimeKind::Staged {
         // Stdout stays byte-identical across runtimes (the determinism
         // contract CI diffs); the runtime note goes to stderr.
-        eprintln!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
+        se_core::se_info!("  runtime: staged ({} exec workers)", staged_cfg.exec_workers);
     }
     let freq = SeAcceleratorConfig::default().frequency_hz;
     let sc = scenario(flags, freq)?;
@@ -139,13 +139,18 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
     )?;
     writeln!(out)?;
 
+    // With `--trace-out` / `--metrics-out`, each model's run narrates its
+    // scheduling decisions into a recorder (one trace pid per model).
+    let observing = flags.trace_out.is_some() || flags.metrics_out.is_some();
+    let mut obs_streams: Vec<(String, Vec<se_obs::Event>)> = Vec::new();
     for net in models {
-        eprintln!("  serving {}...", net.name());
+        se_core::se_info!("  serving {}...", net.name());
         let pairs = pairs_for(net, flags, &opts)?;
         let engine = BatchEngine::new(opts.se_cfg.clone(), opts.baseline_cfg.clone())?;
         let per_image = engine.per_image_se(&pairs, opts.sim_parallelism)?;
         let exec = engine.latency_table(SE_LANE, &per_image, sc.policy.max_batch);
 
+        let mut recorder = se_obs::Recorder::new();
         let report = match sc.open_loop {
             Some(pattern) => {
                 // Default pressure: 1.5x the single-image service rate —
@@ -153,22 +158,42 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                 // queueing at sane max-batch settings.
                 let rate = sc.rate_hz.unwrap_or_else(|| 1.5 * freq / exec[0] as f64);
                 let arrivals = workload::open_loop_arrivals(sc.requests, rate, freq, pattern)?;
-                match runtime {
-                    RuntimeKind::Sim => queue::simulate_open_loop(&arrivals, &exec, &sc.policy)?,
-                    RuntimeKind::Staged => se_serve::run_queue_staged_open(
+                match (runtime, observing) {
+                    (RuntimeKind::Sim, false) => {
+                        queue::simulate_open_loop(&arrivals, &exec, &sc.policy)?
+                    }
+                    (RuntimeKind::Sim, true) => {
+                        queue::simulate_open_loop_obs(&arrivals, &exec, &sc.policy, &mut recorder)?
+                    }
+                    (RuntimeKind::Staged, false) => se_serve::run_queue_staged_open(
                         &arrivals,
                         &exec,
                         &sc.policy,
                         &staged_cfg,
                         &se_serve::NoWork,
                     )?,
+                    (RuntimeKind::Staged, true) => se_serve::run_queue_staged_open_obs(
+                        &arrivals,
+                        &exec,
+                        &sc.policy,
+                        &staged_cfg,
+                        &se_serve::NoWork,
+                        &mut recorder,
+                    )?,
                 }
             }
-            None => match runtime {
-                RuntimeKind::Sim => {
+            None => match (runtime, observing) {
+                (RuntimeKind::Sim, false) => {
                     queue::simulate_closed_loop(sc.requests, sc.concurrency, &exec, &sc.policy)?
                 }
-                RuntimeKind::Staged => se_serve::run_queue_staged_closed(
+                (RuntimeKind::Sim, true) => queue::simulate_closed_loop_obs(
+                    sc.requests,
+                    sc.concurrency,
+                    &exec,
+                    &sc.policy,
+                    &mut recorder,
+                )?,
+                (RuntimeKind::Staged, false) => se_serve::run_queue_staged_closed(
                     sc.requests,
                     sc.concurrency,
                     &exec,
@@ -176,8 +201,20 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
                     &staged_cfg,
                     &se_serve::NoWork,
                 )?,
+                (RuntimeKind::Staged, true) => se_serve::run_queue_staged_closed_obs(
+                    sc.requests,
+                    sc.concurrency,
+                    &exec,
+                    &sc.policy,
+                    &staged_cfg,
+                    &se_serve::NoWork,
+                    &mut recorder,
+                )?,
             },
         };
+        if observing {
+            obs_streams.push((net.name().to_string(), recorder.into_events()));
+        }
 
         // Energy and weight-traffic totals from the executed batch mix.
         let hist = report.batch_histogram(sc.policy.max_batch);
@@ -229,6 +266,11 @@ pub fn run_with_models(flags: &Flags, models: &[NetworkDesc], out: &mut dyn Writ
         out,
         "determinism: output is bit-identical for any worker count\n\
          (SE_PARALLELISM / --sim-parallelism) given the same flags."
+    )?;
+    crate::obs_export::write_observability(
+        flags.trace_out.as_deref(),
+        flags.metrics_out.as_deref(),
+        &obs_streams,
     )?;
     Ok(())
 }

@@ -97,7 +97,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
         if !flags.selects(entry.net.name()) {
             continue;
         }
-        eprintln!("  compressing {} ...", entry.model);
+        se_core::se_info!("  compressing {} ...", entry.model);
         let se_cfg = match entry.sparsity_target {
             Some(sp) => SeConfig::default()
                 .with_max_iterations(iterations)?

@@ -28,7 +28,7 @@ pub fn run(flags: &Flags, out: &mut dyn Write) -> Result<()> {
         if !flags.selects(net.name()) {
             continue;
         }
-        eprintln!("  compressing {} ...", net.name());
+        se_core::se_info!("  compressing {} ...", net.name());
         // Replays (or populates) the persisted `CompressedNetwork`
         // artifact when `--traces-dir` is given; reports are bit-identical
         // to the direct streaming path.

@@ -68,7 +68,7 @@ fn build(flags: &Flags, out: &mut dyn Write) -> Result<()> {
     }
     let mut rows = Vec::new();
     for net in &models {
-        eprintln!("  building traces for {} (with_fc={})...", net.name(), flags.with_fc);
+        se_core::se_info!("  building traces for {} (with_fc={})...", net.name(), flags.with_fc);
         let (path, pairs) = traces::build_trace_file(net, &opts, dir)?;
         let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         rows.push(vec![

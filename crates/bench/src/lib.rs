@@ -17,6 +17,7 @@ pub mod args;
 pub mod cli;
 pub mod figures;
 pub mod json;
+pub mod obs_export;
 pub mod runner;
 pub mod table;
 

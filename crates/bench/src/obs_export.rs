@@ -1,0 +1,367 @@
+//! Exporters for the observability layer (`se_obs`): Chrome-trace /
+//! Perfetto `traceEvents` JSON and Prometheus-style text exposition,
+//! built on the same hand-rolled [`crate::json`] emitter as the bench
+//! reports.
+//!
+//! Both exports are **deterministic renderings of the virtual-time event
+//! stream**: the stream is byte-identical across `--sim-parallelism`
+//! values and across `--runtime sim|staged` (see `se_serve`'s
+//! `tests/obs_stream.rs`), and the exporters add no wall-clock or
+//! environment-dependent fields, so the files inherit that byte
+//! identity. Load a `--trace-out` file at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`); one trace "process" per stream (a cluster lane
+//! or a served model), one "thread" per instance, one timestamp tick
+//! per virtual cycle.
+
+use std::collections::BTreeSet;
+
+use se_obs::{Event, EventKind, MetricsRegistry};
+
+use crate::json::Json;
+
+/// Builds a Chrome-trace document from named event streams (one trace
+/// `pid` per stream, in order — e.g. one per cluster lane). Batch
+/// executions become `ph: "X"` duration spans on their instance's
+/// thread, queue-depth samples become `ph: "C"` counter tracks, and
+/// admission/fault/tier events become `ph: "i"` instants.
+/// [`EventKind::Served`] and [`EventKind::BatchFormed`] are folded into
+/// metrics instead of the trace (the span already carries the batch;
+/// per-request completions would dwarf it).
+pub fn chrome_trace(streams: &[(String, &[Event])]) -> Json {
+    let mut events = Vec::new();
+    for (pid, (label, stream)) in streams.iter().enumerate() {
+        events.push(metadata(pid, 0, "process_name", label));
+        let tids: BTreeSet<usize> = stream.iter().filter_map(|e| e.kind.instance()).collect();
+        for tid in tids {
+            events.push(metadata(pid, tid, "thread_name", &format!("instance {tid}")));
+        }
+    }
+    for (pid, (_, stream)) in streams.iter().enumerate() {
+        events.extend(stream.iter().filter_map(|event| trace_event(pid, event)));
+    }
+    Json::Obj(vec![
+        ("traceEvents".to_string(), Json::Arr(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".to_string())),
+    ])
+}
+
+/// Renders named event streams as Prometheus-style text exposition: each
+/// stream is folded through [`MetricsRegistry::ingest`] under a
+/// `stream="<label>"` label, so lanes stay comparable side by side.
+pub fn metrics_text(streams: &[(String, &[Event])]) -> String {
+    let mut registry = MetricsRegistry::new();
+    for (label, stream) in streams {
+        registry.ingest(stream, &[("stream", label)]);
+    }
+    registry.render()
+}
+
+/// Writes `content` to `path` (shared by the `--trace-out` /
+/// `--metrics-out` call sites so the error message is uniform).
+///
+/// # Errors
+///
+/// Propagates the I/O error, naming the file.
+pub fn write_export(path: &std::path::Path, content: &str) -> crate::Result<()> {
+    std::fs::write(path, content).map_err(|e| format!("writing {}: {e}", path.display()).into())
+}
+
+/// The `--trace-out` / `--metrics-out` epilogue shared by `se serve`,
+/// `se cluster`, and `se bench serve`: renders the recorded streams into
+/// whichever exports were requested. Confirmation notes go to stderr at
+/// info level (`SE_LOG=info`), never stdout — report output stays
+/// byte-identical whether or not exports were written.
+///
+/// # Errors
+///
+/// Propagates file-write failures.
+pub fn write_observability(
+    trace_out: Option<&std::path::Path>,
+    metrics_out: Option<&std::path::Path>,
+    streams: &[(String, Vec<Event>)],
+) -> crate::Result<()> {
+    let views: Vec<(String, &[Event])> =
+        streams.iter().map(|(name, events)| (name.clone(), events.as_slice())).collect();
+    if let Some(path) = trace_out {
+        write_export(path, &chrome_trace(&views).render())?;
+        se_core::se_info!("wrote Chrome-trace JSON to {}", path.display());
+    }
+    if let Some(path) = metrics_out {
+        write_export(path, &metrics_text(&views))?;
+        se_core::se_info!("wrote metrics exposition to {}", path.display());
+    }
+    Ok(())
+}
+
+fn num(n: u64) -> Json {
+    Json::Num(n as f64)
+}
+
+fn metadata(pid: usize, tid: usize, name: &str, arg_name: &str) -> Json {
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), num(pid as u64)),
+        ("tid".to_string(), num(tid as u64)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![("name".to_string(), Json::Str(arg_name.to_string()))]),
+        ),
+    ])
+}
+
+/// One trace event: `Some` span/counter/instant, `None` for the kinds
+/// that live in metrics only.
+fn trace_event(pid: usize, event: &Event) -> Option<Json> {
+    let kind = &event.kind;
+    let args = |fields: Vec<(&str, Json)>| {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    // Spans and counters first; everything else is an instant.
+    match *kind {
+        EventKind::Served { .. } | EventKind::BatchFormed { .. } => return None,
+        EventKind::BatchLaunched { seq, instance, model, size, done } => {
+            return Some(Json::Obj(vec![
+                ("name".to_string(), Json::Str(format!("batch m{model} x{size}"))),
+                ("ph".to_string(), Json::Str("X".to_string())),
+                ("pid".to_string(), num(pid as u64)),
+                ("tid".to_string(), num(instance as u64)),
+                ("ts".to_string(), num(event.at)),
+                ("dur".to_string(), num(done.saturating_sub(event.at))),
+                (
+                    "args".to_string(),
+                    args(vec![
+                        ("seq", num(seq)),
+                        ("model", num(model as u64)),
+                        ("size", num(size as u64)),
+                    ]),
+                ),
+            ]));
+        }
+        EventKind::QueueDepth { instance, depth } => {
+            return Some(Json::Obj(vec![
+                ("name".to_string(), Json::Str(format!("queue_depth i{instance}"))),
+                ("ph".to_string(), Json::Str("C".to_string())),
+                ("pid".to_string(), num(pid as u64)),
+                ("tid".to_string(), num(instance as u64)),
+                ("ts".to_string(), num(event.at)),
+                ("args".to_string(), args(vec![("depth", num(depth as u64))])),
+            ]));
+        }
+        _ => {}
+    }
+    let details = match *kind {
+        EventKind::Admitted { id, model, .. } | EventKind::Rejected { id, model } => {
+            vec![("id", num(id as u64)), ("model", num(model as u64))]
+        }
+        EventKind::Lost { id, model } => {
+            vec![("id", num(id as u64)), ("model", num(model as u64))]
+        }
+        EventKind::BatchCompleted { seq, size, .. } => {
+            vec![("seq", num(seq)), ("size", num(size as u64))]
+        }
+        EventKind::BatchKilled { seq, .. } => vec![("seq", num(seq))],
+        EventKind::InstanceKilled { in_flight, rerouted, lost, .. } => {
+            vec![("in_flight", num(in_flight)), ("rerouted", num(rerouted)), ("lost", num(lost))]
+        }
+        EventKind::InstanceRestarted { .. }
+        | EventKind::InstanceSpawned { .. }
+        | EventKind::InstanceDraining { .. } => vec![],
+        EventKind::TierHit { model, .. } => vec![("model", num(model as u64))],
+        EventKind::TierPromoted { model, from, cycles, .. } => {
+            vec![("model", num(model as u64)), ("from", num(from as u64)), ("cycles", num(cycles))]
+        }
+        EventKind::TierDemoted { model, to, bytes, .. } => {
+            vec![("model", num(model as u64)), ("to", num(to as u64)), ("bytes", num(bytes))]
+        }
+        EventKind::TierColdFetch { model, cycles, .. }
+        | EventKind::TierStreamed { model, cycles, .. } => {
+            vec![("model", num(model as u64)), ("cycles", num(cycles))]
+        }
+        EventKind::StageWall { stage, wall_ns } => {
+            vec![("stage", Json::Str(stage.to_string())), ("wall_ns", num(wall_ns))]
+        }
+        _ => unreachable!("spans and counters are handled above"),
+    };
+    let (tid, scope) = match kind.instance() {
+        Some(instance) => (instance as u64, "t"),
+        None => (0, "p"),
+    };
+    Some(Json::Obj(vec![
+        ("name".to_string(), Json::Str(kind.name().to_string())),
+        ("ph".to_string(), Json::Str("i".to_string())),
+        ("pid".to_string(), num(pid as u64)),
+        ("tid".to_string(), num(tid)),
+        ("ts".to_string(), num(event.at)),
+        ("s".to_string(), Json::Str(scope.to_string())),
+        ("args".to_string(), args(details)),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_stream() -> Vec<Event> {
+        vec![
+            Event { at: 0, kind: EventKind::Admitted { id: 0, model: 1, instance: 0 } },
+            Event { at: 0, kind: EventKind::QueueDepth { instance: 0, depth: 1 } },
+            Event {
+                at: 5,
+                kind: EventKind::TierPromoted { instance: 0, model: 1, from: 1, cycles: 14 },
+            },
+            Event {
+                at: 5,
+                kind: EventKind::BatchLaunched { seq: 0, instance: 0, model: 1, size: 1, done: 25 },
+            },
+            Event { at: 7, kind: EventKind::Rejected { id: 1, model: 0 } },
+            Event { at: 25, kind: EventKind::BatchCompleted { seq: 0, instance: 0, size: 1 } },
+            Event {
+                at: 25,
+                kind: EventKind::Served {
+                    id: 0,
+                    model: 1,
+                    instance: 0,
+                    latency: 25,
+                    missed: false,
+                },
+            },
+        ]
+    }
+
+    /// The golden bytes of a small export: locks the exact on-disk shape
+    /// (field order, integer formatting, metadata placement) so any
+    /// accidental format drift fails loudly, and proves the render →
+    /// parse → render loop is byte-stable.
+    #[test]
+    fn chrome_trace_golden_bytes_and_round_trip() {
+        let stream = vec![
+            Event { at: 0, kind: EventKind::Admitted { id: 0, model: 1, instance: 0 } },
+            Event {
+                at: 5,
+                kind: EventKind::BatchLaunched { seq: 0, instance: 0, model: 1, size: 1, done: 25 },
+            },
+        ];
+        let doc = chrome_trace(&[("lane".to_string(), stream.as_slice())]);
+        let text = doc.render();
+        let golden = concat!(
+            "{\n",
+            "  \"traceEvents\": [\n",
+            "    {\n",
+            "      \"name\": \"process_name\",\n",
+            "      \"ph\": \"M\",\n",
+            "      \"pid\": 0,\n",
+            "      \"tid\": 0,\n",
+            "      \"args\": {\n",
+            "        \"name\": \"lane\"\n",
+            "      }\n",
+            "    },\n",
+            "    {\n",
+            "      \"name\": \"thread_name\",\n",
+            "      \"ph\": \"M\",\n",
+            "      \"pid\": 0,\n",
+            "      \"tid\": 0,\n",
+            "      \"args\": {\n",
+            "        \"name\": \"instance 0\"\n",
+            "      }\n",
+            "    },\n",
+            "    {\n",
+            "      \"name\": \"admitted\",\n",
+            "      \"ph\": \"i\",\n",
+            "      \"pid\": 0,\n",
+            "      \"tid\": 0,\n",
+            "      \"ts\": 0,\n",
+            "      \"s\": \"t\",\n",
+            "      \"args\": {\n",
+            "        \"id\": 0,\n",
+            "        \"model\": 1\n",
+            "      }\n",
+            "    },\n",
+            "    {\n",
+            "      \"name\": \"batch m1 x1\",\n",
+            "      \"ph\": \"X\",\n",
+            "      \"pid\": 0,\n",
+            "      \"tid\": 0,\n",
+            "      \"ts\": 5,\n",
+            "      \"dur\": 20,\n",
+            "      \"args\": {\n",
+            "        \"seq\": 0,\n",
+            "        \"model\": 1,\n",
+            "        \"size\": 1\n",
+            "      }\n",
+            "    }\n",
+            "  ],\n",
+            "  \"displayTimeUnit\": \"ms\"\n",
+            "}\n",
+        );
+        assert_eq!(text, golden);
+        let reparsed = Json::parse(&text).unwrap();
+        assert_eq!(reparsed.render(), text, "render → parse → render is byte-stable");
+    }
+
+    #[test]
+    fn every_trace_kind_lands_in_the_right_phase() {
+        let stream = small_stream();
+        let doc = chrome_trace(&[("l0".to_string(), stream.as_slice())]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phase_of = |name: &str| -> Option<&str> {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|e| e.get("ph"))
+                .and_then(Json::as_str)
+        };
+        assert_eq!(phase_of("admitted"), Some("i"));
+        assert_eq!(phase_of("rejected"), Some("i"));
+        assert_eq!(phase_of("tier_promoted"), Some("i"));
+        assert_eq!(phase_of("batch m1 x1"), Some("X"));
+        assert_eq!(phase_of("queue_depth i0"), Some("C"));
+        // Served stays out of the trace (metrics carry it).
+        assert_eq!(phase_of("served"), None);
+        // Rejections are process-scoped instants (no instance).
+        let rejected = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("rejected"))
+            .unwrap();
+        assert_eq!(rejected.get("s").and_then(Json::as_str), Some("p"));
+        assert_eq!(rejected.get("tid").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn multi_stream_traces_get_one_pid_per_stream() {
+        let a = small_stream();
+        let b = vec![Event { at: 3, kind: EventKind::TierHit { instance: 2, model: 0 } }];
+        let doc =
+            chrome_trace(&[("se".to_string(), a.as_slice()), ("dense".to_string(), b.as_slice())]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let hit = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("tier_hit"))
+            .unwrap();
+        assert_eq!(hit.get("pid").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(hit.get("tid").and_then(Json::as_f64), Some(2.0));
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert_eq!(names, ["se", "dense"]);
+    }
+
+    #[test]
+    fn metrics_text_labels_each_stream() {
+        let stream = small_stream();
+        let text = metrics_text(&[("se".to_string(), stream.as_slice())]);
+        assert!(text.contains("se_requests_admitted_total{stream=\"se\"} 1\n"), "{text}");
+        assert!(text.contains("se_requests_rejected_total{stream=\"se\"} 1\n"), "{text}");
+        assert!(text.contains("se_requests_served_total{stream=\"se\"} 1\n"), "{text}");
+        assert!(text.contains("# TYPE se_request_latency_cycles histogram"), "{text}");
+        // Two ingests under different labels coexist in one exposition.
+        let both = metrics_text(&[
+            ("se".to_string(), stream.as_slice()),
+            ("dense".to_string(), stream.as_slice()),
+        ]);
+        assert!(both.contains("se_requests_served_total{stream=\"dense\"} 1\n"), "{both}");
+        assert!(both.contains("se_requests_served_total{stream=\"se\"} 1\n"), "{both}");
+    }
+}

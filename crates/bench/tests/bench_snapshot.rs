@@ -49,6 +49,10 @@ fn diff_of_identical_snapshots_passes() {
     bench_serve::run_diff(&base, &cand, &mut out).unwrap();
     let text = String::from_utf8(out).unwrap();
     assert!(text.contains("all within 2x"), "{text}");
+    // The per-config delta table prints on success too — drift shows up
+    // in CI logs before it trips the 2x gate.
+    assert!(text.contains("delta"), "{text}");
+    assert!(text.contains("+0.0%"), "{text}");
     std::fs::remove_file(&base).unwrap();
     std::fs::remove_file(&cand).unwrap();
 }

@@ -136,6 +136,54 @@ fn cluster_with_churn_prints_the_timeline_and_stays_deterministic() {
 }
 
 #[test]
+fn cluster_trace_export_is_deterministic_and_perfetto_shaped() {
+    let models = model_set();
+    let tag = std::process::id();
+    let trace = std::env::temp_dir().join(format!("se-cluster-trace-{tag}.json"));
+    let metrics = std::env::temp_dir().join(format!("se-cluster-metrics-{tag}.prom"));
+    let base = Flags {
+        kill: vec!["0@50".into()],
+        restart: vec!["0@200".into()],
+        tiers: Some("buf:2kb:16,dram:1mb:4,ssd:1gb:1".into()),
+        buffer_kb: None,
+        trace_out: Some(trace.clone()),
+        metrics_out: Some(metrics.clone()),
+        ..cluster_flags()
+    };
+    // Observing must not perturb stdout: the lane tables stay
+    // byte-identical to a tracing-off run.
+    let observed_stdout = cluster_output(&base, &models);
+    let plain_stdout =
+        cluster_output(&Flags { trace_out: None, metrics_out: None, ..base.clone() }, &models);
+    assert_eq!(observed_stdout, plain_stdout, "--trace-out must not change stdout");
+
+    let trace_text = std::fs::read_to_string(&trace).unwrap();
+    let doc = se_bench::json::Json::parse(&trace_text).unwrap();
+    let events = doc.get("traceEvents").and_then(se_bench::json::Json::as_array).unwrap();
+    assert!(!events.is_empty(), "trace must carry events");
+    // The churned tiered run tells the whole story: batch spans, fault
+    // instants, and per-tier admission events.
+    for needle in ["\"ph\": \"X\"", "instance_killed", "instance_restarted", "tier_"] {
+        assert!(trace_text.contains(needle), "trace must contain `{needle}`:\n{trace_text}");
+    }
+    let metrics_text = std::fs::read_to_string(&metrics).unwrap();
+    assert!(metrics_text.contains("se_requests_admitted_total"), "{metrics_text}");
+
+    // The export itself is part of the determinism contract: byte-identical
+    // across worker counts and across runtimes.
+    for flags in [
+        Flags { sim_parallelism: Some(4), ..base.clone() },
+        Flags { runtime: Some("staged".into()), exec_workers: Some(3), ..base.clone() },
+    ] {
+        cluster_output(&flags, &models);
+        assert_eq!(std::fs::read_to_string(&trace).unwrap(), trace_text);
+        assert_eq!(std::fs::read_to_string(&metrics).unwrap(), metrics_text);
+    }
+    std::fs::remove_file(&trace).unwrap();
+    std::fs::remove_file(&metrics).unwrap();
+}
+
+#[test]
 fn serve_rejects_fault_flags() {
     let models = vec![model_set().remove(0)];
     let flags = Flags { kill: vec!["0@10".into()], ..Flags::default() };

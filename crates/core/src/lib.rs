@@ -52,6 +52,7 @@ mod error;
 pub mod algorithm;
 pub mod baselines;
 pub mod layer;
+pub mod log;
 pub mod network;
 pub mod pipeline;
 pub mod sparsify;

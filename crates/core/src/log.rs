@@ -1,0 +1,117 @@
+//! A tiny leveled stderr logger honoring `SE_LOG`.
+//!
+//! The CLI's progress notes used to be ad-hoc `eprintln!` calls; they now
+//! go through the [`crate::se_info!`]-family macros, which check the
+//! process-wide level (parsed once from `SE_LOG=error|warn|info|debug`,
+//! default `warn`) before formatting anything. Everything still goes to
+//! **stderr** — stdout carries only report output, so CI stdout diffs
+//! stay clean by construction regardless of the level.
+
+use std::sync::OnceLock;
+
+/// Log severity, ordered: a message is printed when its level is at or
+/// below the configured maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error,
+    /// Suspicious conditions worth surfacing by default.
+    Warn,
+    /// Progress notes (the former ad-hoc stderr chatter).
+    Info,
+    /// Internal detail for debugging.
+    Debug,
+}
+
+impl Level {
+    /// Parses an `SE_LOG` value (case-insensitive); `None` when the
+    /// string names no level.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static MAX_LEVEL: OnceLock<Level> = OnceLock::new();
+
+/// The process-wide maximum level: `SE_LOG` parsed once on first use
+/// (unparseable or unset values fall back to [`Level::Warn`]).
+pub fn max_level() -> Level {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("SE_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Level::Warn)
+    })
+}
+
+/// Whether a message at `level` would be printed. The macros check this
+/// before formatting, so disabled levels cost one comparison.
+pub fn enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Logs to stderr at error level (printed unless `SE_LOG` is invalidly strict).
+#[macro_export]
+macro_rules! se_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) { eprintln!($($arg)*); }
+    };
+}
+
+/// Logs to stderr at warn level (the default maximum).
+#[macro_export]
+macro_rules! se_warn {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) { eprintln!($($arg)*); }
+    };
+}
+
+/// Logs to stderr at info level (silent unless `SE_LOG=info|debug`).
+#[macro_export]
+macro_rules! se_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) { eprintln!($($arg)*); }
+    };
+}
+
+/// Logs to stderr at debug level (silent unless `SE_LOG=debug`).
+#[macro_export]
+macro_rules! se_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) { eprintln!($($arg)*); }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_case_insensitively() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" Info "), Some(Level::Info));
+        assert_eq!(Level::parse("DEBUG"), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn severity_orders_error_lowest() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn enabled_respects_the_cached_maximum() {
+        // The cache is process-wide; whatever it resolved to, the
+        // ordering invariants hold (error is never below the maximum).
+        assert!(enabled(Level::Error));
+        assert_eq!(enabled(Level::Debug), max_level() >= Level::Debug);
+    }
+}

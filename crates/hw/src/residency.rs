@@ -23,6 +23,16 @@
 //! crossed. [`WeightBuffer`] is the degenerate one-tier stack and is
 //! implemented as exactly that, so the legacy admission semantics and the
 //! tiered ones can never drift apart.
+//!
+//! Both stores expose an *observed* admission path
+//! ([`TieredStore::admit_observed`]) that additionally yields the
+//! [`se_obs::EventKind`] tier events (hit / promotion / demotion /
+//! cold-fetch / stream) the admission produced — demotions happen deep
+//! inside the eviction cascade, so only this layer can report them. The
+//! plain [`TieredStore::admit`] runs the identical decision path with a
+//! no-op observer.
+
+use se_obs::EventKind;
 
 /// Outcome of admitting one model's weights ahead of a batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -306,13 +316,19 @@ impl TieredStore {
     /// Installs `model` into tier 0, demoting LRU entries down the stack
     /// to make room. Returns the models displaced out of tier 0,
     /// LRU-first.
-    fn install(&mut self, model: usize, bytes: u64) -> Vec<usize> {
+    fn install(
+        &mut self,
+        model: usize,
+        bytes: u64,
+        instance: usize,
+        obs: &mut dyn FnMut(EventKind),
+    ) -> Vec<usize> {
         let mut evicted = Vec::new();
         while self.occupied_bytes(0) + bytes > self.specs[0].capacity_bytes {
             let (victim, vbytes) = self.resident[0].remove(0);
             self.stats[0].evictions += 1;
             evicted.push(victim);
-            self.demote(1, victim, vbytes);
+            self.demote(1, victim, vbytes, instance, obs);
         }
         self.summary.evictions += evicted.len() as u64;
         self.resident[0].push((model, bytes));
@@ -321,20 +337,30 @@ impl TieredStore {
 
     /// Demotes one entry into tier `k`, cascading LRU evictions further
     /// down; past the bottom tier (or into a tier it cannot fit outright)
-    /// the entry drops cold. Demotion is write-back traffic overlapping
-    /// execution: counted, never charged cycles.
-    fn demote(&mut self, k: usize, model: usize, bytes: u64) {
+    /// the entry drops cold (reported with `to` = the tier count).
+    /// Demotion is write-back traffic overlapping execution: counted,
+    /// never charged cycles.
+    fn demote(
+        &mut self,
+        k: usize,
+        model: usize,
+        bytes: u64,
+        instance: usize,
+        obs: &mut dyn FnMut(EventKind),
+    ) {
         if k >= self.specs.len() || bytes > self.specs[k].capacity_bytes {
+            obs(EventKind::TierDemoted { instance, model, to: self.specs.len(), bytes });
             return;
         }
         while self.occupied_bytes(k) + bytes > self.specs[k].capacity_bytes {
             let (victim, vbytes) = self.resident[k].remove(0);
             self.stats[k].evictions += 1;
-            self.demote(k + 1, victim, vbytes);
+            self.demote(k + 1, victim, vbytes, instance, obs);
         }
         self.resident[k].push((model, bytes));
         self.stats[k].demotions += 1;
         self.stats[k].bytes_down += bytes;
+        obs(EventKind::TierDemoted { instance, model, to: k, bytes });
     }
 
     /// Admits `model` (footprint `bytes`) ahead of a batch: a top-tier
@@ -344,12 +370,40 @@ impl TieredStore {
     /// through the whole stack; a footprint larger than the top tier
     /// streams from the origin without installing.
     pub fn admit(&mut self, model: usize, bytes: u64) -> TierAdmission {
+        self.admit_with(model, bytes, 0, &mut |_| {})
+    }
+
+    /// [`TieredStore::admit`] with tier-event observation: runs the
+    /// identical decision path and additionally returns the tier events
+    /// it produced, in the order they happened (the admission outcome
+    /// first, then any demotions its eviction cascade caused). `instance`
+    /// is stamped into every event — the store itself does not know which
+    /// cluster instance owns it.
+    pub fn admit_observed(
+        &mut self,
+        model: usize,
+        bytes: u64,
+        instance: usize,
+    ) -> (TierAdmission, Vec<EventKind>) {
+        let mut notes = Vec::new();
+        let admission = self.admit_with(model, bytes, instance, &mut |kind| notes.push(kind));
+        (admission, notes)
+    }
+
+    fn admit_with(
+        &mut self,
+        model: usize,
+        bytes: u64,
+        instance: usize,
+        obs: &mut dyn FnMut(EventKind),
+    ) -> TierAdmission {
         self.admissions += 1;
         if let Some(pos) = self.resident[0].iter().position(|&(m, _)| m == model) {
             let entry = self.resident[0].remove(pos);
             self.resident[0].push(entry);
             self.stats[0].hits += 1;
             self.summary.hits += 1;
+            obs(EventKind::TierHit { instance, model });
             return TierAdmission::Hit;
         }
         self.summary.fetches += 1;
@@ -360,7 +414,8 @@ impl TieredStore {
                 self.stats[from].hits += 1;
                 self.stats[from].promotions += 1;
                 let cycles = self.charge_walk(bytes, from, 0);
-                let evicted = self.install(model, bytes);
+                obs(EventKind::TierPromoted { instance, model, from, cycles });
+                let evicted = self.install(model, bytes, instance, obs);
                 return TierAdmission::Promoted { from, cycles, evicted };
             }
         }
@@ -371,11 +426,13 @@ impl TieredStore {
             // streamed execution table; only the deeper haul is charged
             // here (zero for one- and two-tier stacks).
             let cycles = self.charge_walk(bytes, bottom, 1.min(bottom));
+            obs(EventKind::TierStreamed { instance, model, cycles });
             return TierAdmission::Streamed { cycles };
         }
         self.cold_fetches += 1;
         let cycles = self.charge_walk(bytes, bottom, 0);
-        let evicted = self.install(model, bytes);
+        obs(EventKind::TierColdFetch { instance, model, cycles });
+        let evicted = self.install(model, bytes, instance, obs);
         TierAdmission::Cold { cycles, evicted }
     }
 
@@ -442,7 +499,24 @@ impl WeightBuffer {
     /// footprint larger than the whole buffer is streamed — charged like a
     /// fetch but never made resident and never evicting anything.
     pub fn admit(&mut self, model: usize, bytes: u64) -> Admission {
-        match self.store.admit(model, bytes) {
+        Self::map_admission(self.store.admit(model, bytes))
+    }
+
+    /// [`WeightBuffer::admit`] with tier-event observation, as
+    /// [`TieredStore::admit_observed`] — the one-tier stack still reports
+    /// its hits, cold fetches, streams, and drop-cold demotions.
+    pub fn admit_observed(
+        &mut self,
+        model: usize,
+        bytes: u64,
+        instance: usize,
+    ) -> (Admission, Vec<EventKind>) {
+        let (admission, notes) = self.store.admit_observed(model, bytes, instance);
+        (Self::map_admission(admission), notes)
+    }
+
+    fn map_admission(admission: TierAdmission) -> Admission {
+        match admission {
             TierAdmission::Hit => Admission::Resident,
             TierAdmission::Cold { evicted, .. } => Admission::Fetched { evicted },
             TierAdmission::Streamed { .. } => Admission::Streamed,
@@ -697,6 +771,45 @@ mod tests {
         deep.cold_restart();
         assert_eq!(deep.occupied_bytes(2), 60, "the SSD copy of model 0 survives");
         assert!(matches!(deep.admit(0, 60), TierAdmission::Promoted { from: 2, .. }));
+    }
+
+    #[test]
+    fn observed_admission_reports_the_walk_and_its_demotions() {
+        let mut observed = stack();
+        let mut plain = stack();
+        // Cold load of 0, then 1 (evicting 0 → DRAM), then promote 0 back
+        // (evicting 1 → DRAM): the observed path must mirror the plain
+        // one bit for bit while narrating every move.
+        for (model, bytes) in [(0usize, 60u64), (1, 70), (0, 60)] {
+            let (a, _) = observed.admit_observed(model, bytes, 7);
+            assert_eq!(a, plain.admit(model, bytes), "observed path must not change decisions");
+        }
+        assert_eq!(observed, plain, "identical state after identical admissions");
+        let (_, notes) = observed.admit_observed(1, 70, 7);
+        plain.admit(1, 70);
+        assert_eq!(
+            notes,
+            vec![
+                EventKind::TierPromoted { instance: 7, model: 1, from: 1, cycles: 14 },
+                EventKind::TierDemoted { instance: 7, model: 0, to: 1, bytes: 60 },
+            ]
+        );
+        assert_eq!(observed, plain);
+        // A footprint larger than the top tier streams.
+        let (_, notes) = observed.admit_observed(9, 150, 3);
+        assert_eq!(notes, vec![EventKind::TierStreamed { instance: 3, model: 9, cycles: 150 }]);
+        // A one-tier buffer reports drop-cold demotions with to == 1.
+        let mut buf = WeightBuffer::new(100);
+        buf.admit(0, 60);
+        let (a, notes) = buf.admit_observed(1, 70, 0);
+        assert_eq!(a, Admission::Fetched { evicted: vec![0] });
+        assert_eq!(
+            notes,
+            vec![
+                EventKind::TierColdFetch { instance: 0, model: 1, cycles: 0 },
+                EventKind::TierDemoted { instance: 0, model: 0, to: 1, bytes: 60 },
+            ]
+        );
     }
 
     #[test]

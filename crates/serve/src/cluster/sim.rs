@@ -392,8 +392,35 @@ pub fn simulate_cluster_run(
     services: &[ModelService],
     spec: &ClusterSpec,
 ) -> Result<ClusterRun> {
+    simulate_inner(requests, services, spec, None)
+}
+
+/// [`simulate_cluster_run`] with observability: every scheduling decision
+/// is additionally narrated into `sink` as virtual-time
+/// [`se_obs::Event`]s. A disabled sink (e.g. [`se_obs::NullSink`]) skips
+/// the observed path entirely; the run result is identical either way.
+///
+/// # Errors
+///
+/// Rejects an invalid spec and out-of-range model indices.
+pub fn simulate_cluster_run_obs(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    sink: &mut dyn se_obs::EventSink,
+) -> Result<ClusterRun> {
+    let obs = sink.enabled().then_some(sink);
+    simulate_inner(requests, services, spec, obs)
+}
+
+fn simulate_inner(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    obs: Option<&mut dyn se_obs::EventSink>,
+) -> Result<ClusterRun> {
     validate_models(requests, services)?;
-    let mut core = ClusterCore::new(services, spec)?;
+    let mut core = ClusterCore::with_obs(services, spec, obs)?;
     let mut report = ClusterReport::default();
     let mut outcomes = Vec::with_capacity(requests.len());
     sched::drive_open_loop(&mut core, requests.iter().copied().enumerate(), &mut |event| {

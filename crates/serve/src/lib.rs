@@ -73,8 +73,9 @@ pub use fault::{
 pub use queue::{BatchPolicy, ServeReport};
 pub use sched::{Disposition, PlannedBatch, Queued, RequestOutcome, SchedEvent};
 pub use staged::{
-    run_cluster_staged, run_queue_staged_closed, run_queue_staged_open, EngineWork, ExecWork,
-    NoWork, StagedConfig,
+    run_cluster_staged, run_cluster_staged_obs, run_queue_staged_closed,
+    run_queue_staged_closed_obs, run_queue_staged_open, run_queue_staged_open_obs, EngineWork,
+    ExecWork, NoWork, StagedConfig,
 };
 pub use workload::{ArrivalPattern, Request};
 

@@ -227,11 +227,38 @@ pub fn simulate_open_loop(
     exec: &[u64],
     policy: &BatchPolicy,
 ) -> Result<ServeReport> {
+    open_loop_inner(arrivals, exec, policy, None)
+}
+
+/// [`simulate_open_loop`] with observability: scheduling decisions are
+/// additionally narrated into `sink` as virtual-time [`se_obs::Event`]s.
+/// A disabled sink skips the observed path entirely; the report is
+/// identical either way.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_open_loop`].
+pub fn simulate_open_loop_obs(
+    arrivals: &[u64],
+    exec: &[u64],
+    policy: &BatchPolicy,
+    sink: &mut dyn se_obs::EventSink,
+) -> Result<ServeReport> {
+    let obs = sink.enabled().then_some(sink);
+    open_loop_inner(arrivals, exec, policy, obs)
+}
+
+fn open_loop_inner(
+    arrivals: &[u64],
+    exec: &[u64],
+    policy: &BatchPolicy,
+    obs: Option<&mut dyn se_obs::EventSink>,
+) -> Result<ServeReport> {
     validate_exec(exec, policy)?;
     debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
     let (service, spec) = single_instance(exec, policy.clone());
     let services = [service];
-    let mut core = ClusterCore::new(&services, &spec)?;
+    let mut core = ClusterCore::with_obs(&services, &spec, obs)?;
     let mut report = ServeReport::default();
     sched::drive_open_loop(
         &mut core,
@@ -263,6 +290,35 @@ pub fn simulate_closed_loop(
     exec: &[u64],
     policy: &BatchPolicy,
 ) -> Result<ServeReport> {
+    closed_loop_inner(requests, concurrency, exec, policy, None)
+}
+
+/// [`simulate_closed_loop`] with observability: scheduling decisions are
+/// additionally narrated into `sink` as virtual-time [`se_obs::Event`]s.
+/// A disabled sink skips the observed path entirely; the report is
+/// identical either way.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_closed_loop`].
+pub fn simulate_closed_loop_obs(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    sink: &mut dyn se_obs::EventSink,
+) -> Result<ServeReport> {
+    let obs = sink.enabled().then_some(sink);
+    closed_loop_inner(requests, concurrency, exec, policy, obs)
+}
+
+fn closed_loop_inner(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    obs: Option<&mut dyn se_obs::EventSink>,
+) -> Result<ServeReport> {
     validate_exec(exec, policy)?;
     if concurrency == 0 {
         return Err(BoxError::from("closed-loop concurrency must be at least 1"));
@@ -271,7 +327,7 @@ pub fn simulate_closed_loop(
     let uncapped = BatchPolicy { queue_cap: usize::MAX, ..policy.clone() };
     let (service, spec) = single_instance(exec, uncapped);
     let services = [service];
-    let mut core = ClusterCore::new(&services, &spec)?;
+    let mut core = ClusterCore::with_obs(&services, &spec, obs)?;
     let mut report = ServeReport::default();
     sched::drive_closed_loop(&mut core, requests, concurrency, &mut |event| {
         record_event(&event, &mut report);

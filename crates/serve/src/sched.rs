@@ -36,6 +36,7 @@ use crate::fault::{ClusterEvent, ClusterEventKind, FaultAction};
 use crate::workload::Request;
 use crate::Result;
 use se_hw::residency::{Admission, TierAdmission, TieredStore, WeightBuffer};
+use se_obs::{Event, EventKind, EventSink};
 
 /// A queued request plus its issue order (the final EDF tie-breaker and
 /// the identity the determinism contract is stated over).
@@ -276,7 +277,7 @@ pub(crate) struct CoreFinish {
 /// the spec, so any driver that preserves the canonical interleaving
 /// (see [`drive_open_loop`]) reproduces the discrete-event simulation
 /// exactly.
-pub(crate) struct ClusterCore<'a> {
+pub(crate) struct ClusterCore<'a, 'o> {
     services: &'a [ModelService],
     spec: &'a ClusterSpec,
     instances: Vec<Instance>,
@@ -284,9 +285,18 @@ pub(crate) struct ClusterCore<'a> {
     /// Next unapplied event in `spec.faults.events`.
     fault_cursor: usize,
     events: Vec<ClusterEvent>,
+    /// Observability sink (`None` = tracing off: the observed paths are
+    /// skipped entirely). The core runs serially in both runtimes — the
+    /// sim's driver loop and the staged runtime's scheduler thread — so
+    /// the emitted event stream is byte-identical across runtimes and
+    /// worker counts by construction. The sink borrow has its own
+    /// lifetime: it outlives the core without pinning the services
+    /// borrow (`&mut dyn` is invariant, so sharing `'a` would force the
+    /// caller's locals and sink to live equally long).
+    obs: Option<&'o mut dyn EventSink>,
 }
 
-impl<'a> ClusterCore<'a> {
+impl<'a, 'o> ClusterCore<'a, 'o> {
     /// Builds a core over validated services and spec.
     ///
     /// # Errors
@@ -302,7 +312,27 @@ impl<'a> ClusterCore<'a> {
             launched: 0,
             fault_cursor: 0,
             events: Vec::new(),
+            obs: None,
         })
+    }
+
+    /// Builds a core that narrates its decisions into `obs` (pass `None`
+    /// — or a disabled sink upstream — for the zero-cost plain path).
+    pub(crate) fn with_obs(
+        services: &'a [ModelService],
+        spec: &'a ClusterSpec,
+        obs: Option<&'o mut dyn EventSink>,
+    ) -> Result<Self> {
+        let mut core = ClusterCore::new(services, spec)?;
+        core.obs = obs;
+        Ok(core)
+    }
+
+    /// Records one observability event (no-op when tracing is off).
+    fn emit(&mut self, at: u64, kind: EventKind) {
+        if let Some(sink) = self.obs.as_mut() {
+            sink.record(Event { at, kind });
+        }
     }
 
     /// The cycle of the next unapplied scripted fault, if any.
@@ -328,7 +358,11 @@ impl<'a> ClusterCore<'a> {
     /// bounce off the bounded queue. Returns `false` when rejected (full
     /// target queue, or no accepting instance).
     pub(crate) fn admit(&mut self, id: usize, req: Request) -> bool {
-        self.enqueue(Queued { id, req, enqueued_at: req.arrival }, req.arrival)
+        let admitted = self.enqueue(Queued { id, req, enqueued_at: req.arrival }, req.arrival);
+        if !admitted {
+            self.emit(req.arrival, EventKind::Rejected { id, model: req.model });
+        }
+        admitted
     }
 
     /// The shared admission path of first arrivals and kill re-routes:
@@ -347,6 +381,14 @@ impl<'a> ClusterCore<'a> {
         item.enqueued_at = now;
         self.instances[target].queue.push(item);
         self.instances[target].plan = None;
+        if self.obs.is_some() {
+            let depth = self.instances[target].queue.len();
+            self.emit(
+                now,
+                EventKind::Admitted { id: item.id, model: item.req.model, instance: target },
+            );
+            self.emit(now, EventKind::QueueDepth { instance: target, depth });
+        }
         true
     }
 
@@ -408,8 +450,22 @@ impl<'a> ClusterCore<'a> {
                     } else {
                         lost += 1;
                         out.push(SchedEvent::Lost(victim.id, victim.req, event.at));
+                        self.emit(
+                            event.at,
+                            EventKind::Lost { id: victim.id, model: victim.req.model },
+                        );
                     }
                 }
+                // The totals follow the per-victim re-route/loss records.
+                self.emit(
+                    event.at,
+                    EventKind::InstanceKilled {
+                        instance: event.instance,
+                        in_flight,
+                        rerouted,
+                        lost,
+                    },
+                );
                 self.events.push(ClusterEvent {
                     at: event.at,
                     instance: event.instance,
@@ -423,6 +479,7 @@ impl<'a> ClusterCore<'a> {
                 inst.free = event.at;
                 inst.plan = Some(None);
                 inst.residency.cold_restart();
+                self.emit(event.at, EventKind::InstanceRestarted { instance: event.instance });
                 self.events.push(ClusterEvent {
                     at: event.at,
                     instance: event.instance,
@@ -447,6 +504,7 @@ impl<'a> ClusterCore<'a> {
         if queued > auto.spawn_above.saturating_mul(accepting) {
             let instance = self.instances.len();
             self.instances.push(Instance::fresh(self.spec, now, true));
+            self.emit(now, EventKind::InstanceSpawned { instance });
             self.events.push(ClusterEvent { at: now, instance, kind: ClusterEventKind::Spawn });
         }
     }
@@ -463,6 +521,7 @@ impl<'a> ClusterCore<'a> {
         if queued < auto.drain_below.saturating_mul(accepting) {
             if let Some(instance) = self.instances.iter().rposition(|i| i.dynamic && i.accepting) {
                 self.instances[instance].accepting = false;
+                self.emit(now, EventKind::InstanceDraining { instance });
                 self.events.push(ClusterEvent { at: now, instance, kind: ClusterEventKind::Drain });
             }
         }
@@ -478,6 +537,11 @@ impl<'a> ClusterCore<'a> {
         let (_, idx) = self.next_launch()?;
         let spec = self.spec;
         let services = self.services;
+        let obs_on = self.obs.is_some();
+        // Tier events generated inside the store's admission (demotions
+        // are only visible there); replayed into the sink once the
+        // instance borrow ends.
+        let mut tier_notes: Vec<EventKind> = Vec::new();
         let (positions, start) = self.instances[idx].plan(spec)?.clone();
         let inst = &mut self.instances[idx];
         let k = positions.len();
@@ -487,22 +551,40 @@ impl<'a> ClusterCore<'a> {
         let svc = services.get(model)?;
         let exec = match &mut inst.residency {
             Residency::None => svc.streamed[k - 1],
-            Residency::Buffer(buffer) => match buffer.admit(model, svc.footprint_bytes) {
-                Admission::Resident => svc.resident[k - 1],
-                Admission::Fetched { .. } => svc.switch_cycles + svc.resident[k - 1],
-                Admission::Streamed => svc.streamed[k - 1],
-            },
+            Residency::Buffer(buffer) => {
+                let admission = if obs_on {
+                    let (admission, notes) = buffer.admit_observed(model, svc.footprint_bytes, idx);
+                    tier_notes = notes;
+                    admission
+                } else {
+                    buffer.admit(model, svc.footprint_bytes)
+                };
+                match admission {
+                    Admission::Resident => svc.resident[k - 1],
+                    Admission::Fetched { .. } => svc.switch_cycles + svc.resident[k - 1],
+                    Admission::Streamed => svc.streamed[k - 1],
+                }
+            }
             // The tiered store charges the real serialized walk through
             // every crossed tier instead of the flat `switch_cycles`; a
             // stream pays its deep haul on top of the per-batch-fetch
             // table (whose fetch models the final staging-tier crossing).
-            Residency::Tiered(store) => match store.admit(model, svc.footprint_bytes) {
-                TierAdmission::Hit => svc.resident[k - 1],
-                walk @ (TierAdmission::Promoted { .. } | TierAdmission::Cold { .. }) => {
-                    walk.cycles() + svc.resident[k - 1]
+            Residency::Tiered(store) => {
+                let admission = if obs_on {
+                    let (admission, notes) = store.admit_observed(model, svc.footprint_bytes, idx);
+                    tier_notes = notes;
+                    admission
+                } else {
+                    store.admit(model, svc.footprint_bytes)
+                };
+                match admission {
+                    TierAdmission::Hit => svc.resident[k - 1],
+                    walk @ (TierAdmission::Promoted { .. } | TierAdmission::Cold { .. }) => {
+                        walk.cycles() + svc.resident[k - 1]
+                    }
+                    walk @ TierAdmission::Streamed { .. } => walk.cycles() + svc.streamed[k - 1],
                 }
-                walk @ TierAdmission::Streamed { .. } => walk.cycles() + svc.streamed[k - 1],
-            },
+            }
         };
         let done = start.saturating_add(exec);
         // Compact the queue, preserving the keepers' relative order.
@@ -539,9 +621,33 @@ impl<'a> ClusterCore<'a> {
         } else {
             inst.summary.completed += k as u64;
         }
-        self.autoscale_drain(start);
         let seq = self.launched;
         self.launched += 1;
+        if obs_on {
+            for kind in std::mem::take(&mut tier_notes) {
+                self.emit(start, kind);
+            }
+            self.emit(start, EventKind::BatchFormed { seq, instance: idx, model, size: k });
+            self.emit(start, EventKind::BatchLaunched { seq, instance: idx, model, size: k, done });
+            if let Some(at) = killed_at {
+                self.emit(at, EventKind::BatchKilled { seq, instance: idx });
+            } else {
+                for m in &members {
+                    self.emit(
+                        done,
+                        EventKind::Served {
+                            id: m.id,
+                            model,
+                            instance: idx,
+                            latency: done.saturating_sub(m.req.arrival),
+                            missed: m.req.deadline.is_some_and(|d| done > d),
+                        },
+                    );
+                }
+                self.emit(done, EventKind::BatchCompleted { seq, instance: idx, size: k });
+            }
+        }
+        self.autoscale_drain(start);
         Some(PlannedBatch { seq, instance: idx, model, start, done, members, killed_at })
     }
 
@@ -567,7 +673,7 @@ impl<'a> ClusterCore<'a> {
 /// drain (which includes firing any faults scripted after the last
 /// launch).
 pub(crate) fn drive_open_loop<I>(
-    core: &mut ClusterCore<'_>,
+    core: &mut ClusterCore<'_, '_>,
     arrivals: I,
     sink: &mut dyn FnMut(SchedEvent) -> bool,
 ) -> bool
@@ -622,7 +728,7 @@ where
 /// from completions, which failure injection would sever. Returns as
 /// [`drive_open_loop`].
 pub(crate) fn drive_closed_loop(
-    core: &mut ClusterCore<'_>,
+    core: &mut ClusterCore<'_, '_>,
     requests: usize,
     concurrency: usize,
     sink: &mut dyn FnMut(SchedEvent) -> bool,
@@ -692,7 +798,7 @@ mod tests {
         }
     }
 
-    fn drive(core: &mut ClusterCore<'_>, arrivals: &[u64]) -> Vec<SchedEvent> {
+    fn drive(core: &mut ClusterCore<'_, '_>, arrivals: &[u64]) -> Vec<SchedEvent> {
         let mut events = Vec::new();
         let done = drive_open_loop(
             core,

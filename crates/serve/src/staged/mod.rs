@@ -44,7 +44,10 @@
 
 mod pipeline;
 
-pub use pipeline::{run_cluster_staged, run_queue_staged_closed, run_queue_staged_open};
+pub use pipeline::{
+    run_cluster_staged, run_cluster_staged_obs, run_queue_staged_closed,
+    run_queue_staged_closed_obs, run_queue_staged_open, run_queue_staged_open_obs,
+};
 
 use crate::engine::BatchEngine;
 use crate::sched::PlannedBatch;

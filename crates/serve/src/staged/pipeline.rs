@@ -121,9 +121,60 @@ pub fn run_cluster_staged(
     cfg: &StagedConfig,
     work: &dyn ExecWork,
 ) -> Result<ClusterRun> {
+    cluster_staged_inner(requests, services, spec, cfg, work, None)
+}
+
+/// [`run_cluster_staged`] with observability: the scheduler stage narrates
+/// its decisions into `sink` as virtual-time [`se_obs::Event`]s. The core
+/// runs serially inside the scheduler thread in both runtimes, so the
+/// event stream is byte-identical to the sim's for any worker count. When
+/// `SE_TRACE_WALL=1`, one wall-clock [`se_obs::EventKind::StageWall`]
+/// annotation is appended after the run (excluded from determinism diffs
+/// by keeping it opt-in).
+///
+/// # Errors
+///
+/// Same conditions as [`run_cluster_staged`].
+pub fn run_cluster_staged_obs<S: se_obs::EventSink>(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    sink: &mut S,
+) -> Result<ClusterRun> {
+    let wall_start = std::time::Instant::now();
+    let obs = sink.enabled().then_some(&mut *sink as &mut dyn se_obs::EventSink);
+    let run = cluster_staged_inner(requests, services, spec, cfg, work, obs)?;
+    annotate_wall(sink, run.report.makespan, wall_start);
+    Ok(run)
+}
+
+/// Appends the opt-in wall-clock stage annotation (`SE_TRACE_WALL=1`):
+/// virtual-time streams stay byte-identical across runtimes by
+/// construction because this is the only wall-clock-dependent event and
+/// it is off by default.
+fn annotate_wall(sink: &mut dyn se_obs::EventSink, at: u64, wall_start: std::time::Instant) {
+    if sink.enabled() && se_obs::wall_annotations_enabled() {
+        let wall_ns = wall_start.elapsed().as_nanos() as u64;
+        sink.record(se_obs::Event {
+            at,
+            kind: se_obs::EventKind::StageWall { stage: "staged-pipeline", wall_ns },
+        });
+    }
+}
+
+fn cluster_staged_inner(
+    requests: &[Request],
+    services: &[ModelService],
+    spec: &ClusterSpec,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    obs: Option<&mut dyn se_obs::EventSink>,
+) -> Result<ClusterRun> {
     cfg.validate()?;
     sim::validate_models(requests, services)?;
-    let core = ClusterCore::new(services, spec)?;
+    let core = ClusterCore::with_obs(services, spec, obs)?;
     let (in_tx, in_rx) = bounded::<Vec<(usize, Request)>>(cfg.channel_cap);
     let chunk_size = cfg.chunk;
     let source = move || {
@@ -195,6 +246,29 @@ pub fn run_queue_staged_open(
     Ok(serve_report_of(run.report))
 }
 
+/// [`run_queue_staged_open`] with observability (see
+/// [`run_cluster_staged_obs`] for the event-stream contract).
+///
+/// # Errors
+///
+/// Same conditions as [`run_queue_staged_open`].
+pub fn run_queue_staged_open_obs<S: se_obs::EventSink>(
+    arrivals: &[u64],
+    exec: &[u64],
+    policy: &BatchPolicy,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    sink: &mut S,
+) -> Result<ServeReport> {
+    queue::validate_exec(exec, policy)?;
+    let requests: Vec<Request> =
+        arrivals.iter().map(|&arrival| Request { model: 0, arrival, deadline: None }).collect();
+    let (service, spec) = queue::single_instance(exec, policy.clone());
+    let services = [service];
+    let run = run_cluster_staged_obs(&requests, &services, &spec, cfg, work, sink)?;
+    Ok(serve_report_of(run.report))
+}
+
 /// The staged counterpart of [`crate::queue::simulate_closed_loop`]: same
 /// report, bit for bit. The closed loop's arrivals are a function of
 /// completions, so they are generated inside the scheduler stage (which
@@ -212,6 +286,40 @@ pub fn run_queue_staged_closed(
     cfg: &StagedConfig,
     work: &dyn ExecWork,
 ) -> Result<ServeReport> {
+    closed_staged_inner(requests, concurrency, exec, policy, cfg, work, None)
+}
+
+/// [`run_queue_staged_closed`] with observability (see
+/// [`run_cluster_staged_obs`] for the event-stream contract).
+///
+/// # Errors
+///
+/// Same conditions as [`run_queue_staged_closed`].
+pub fn run_queue_staged_closed_obs<S: se_obs::EventSink>(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    sink: &mut S,
+) -> Result<ServeReport> {
+    let wall_start = std::time::Instant::now();
+    let obs = sink.enabled().then_some(&mut *sink as &mut dyn se_obs::EventSink);
+    let report = closed_staged_inner(requests, concurrency, exec, policy, cfg, work, obs)?;
+    annotate_wall(sink, report.makespan, wall_start);
+    Ok(report)
+}
+
+fn closed_staged_inner(
+    requests: usize,
+    concurrency: usize,
+    exec: &[u64],
+    policy: &BatchPolicy,
+    cfg: &StagedConfig,
+    work: &dyn ExecWork,
+    obs: Option<&mut dyn se_obs::EventSink>,
+) -> Result<ServeReport> {
     queue::validate_exec(exec, policy)?;
     if concurrency == 0 {
         return Err(BoxError::from("closed-loop concurrency must be at least 1"));
@@ -222,7 +330,7 @@ pub fn run_queue_staged_closed(
     let uncapped = BatchPolicy { queue_cap: usize::MAX, ..policy.clone() };
     let (service, spec) = queue::single_instance(exec, uncapped);
     let services = [service];
-    let core = ClusterCore::new(&services, &spec)?;
+    let core = ClusterCore::with_obs(&services, &spec, obs)?;
     let scheduler = move |sink: &mut dyn FnMut(SchedEvent) -> bool| {
         let mut core = core;
         sched::drive_closed_loop(&mut core, requests, concurrency, sink);
