@@ -104,6 +104,10 @@ pub struct Flags {
     /// `--metrics-out FILE`: write the run's folded counters, gauges, and
     /// latency histograms as Prometheus-style text exposition.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// `--window-us F`: analysis window width in microseconds for
+    /// `se obs` (default 200). Converted to cycles at the accelerator
+    /// frequency; every windowed aggregate covers `[k·W, (k+1)·W)`.
+    pub window_us: Option<f64>,
 }
 
 /// Serving back end selected by `--runtime` (see
@@ -149,6 +153,7 @@ pub const VALUE_FLAGS: &[&str] = &[
     "--tiers",
     "--trace-out",
     "--metrics-out",
+    "--window-us",
 ];
 
 impl Flags {
@@ -237,6 +242,7 @@ impl Flags {
             "--tiers" => self.tiers = Some(value.to_string()),
             "--trace-out" => self.trace_out = Some(std::path::PathBuf::from(value)),
             "--metrics-out" => self.metrics_out = Some(std::path::PathBuf::from(value)),
+            "--window-us" => self.window_us = value.parse().ok().filter(|&w: &f64| w > 0.0),
             other => unreachable!("VALUE_FLAGS entry {other} not handled"),
         }
     }
@@ -571,6 +577,10 @@ mod tests {
         let f = parse(&["--trace-out"]); // missing value: ignored
         assert!(f.trace_out.is_none());
         assert!(Flags::default().metrics_out.is_none());
+        assert_eq!(parse(&["--window-us", "250.5"]).window_us, Some(250.5));
+        assert_eq!(parse(&["--window-us", "0"]).window_us, None);
+        assert_eq!(parse(&["--window-us", "-4"]).window_us, None);
+        assert_eq!(Flags::default().window_us, None);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub const SUBCOMMANDS: &[(&str, &[&str], &str)] = &[
     ("serve", &[], "request-driven batched serving simulation (queue + aggregator)"),
     ("cluster", &[], "sharded multi-instance serving: routing, SLOs, weight residency"),
     ("bench", &[], "wall-clock runtime benchmarks (se bench serve -> BENCH_serve.json)"),
+    ("obs", &[], "trace analytics over --trace-out files (se obs summarize|attribute|diff)"),
 ];
 
 /// Resolves a user-supplied subcommand name (alias-aware) to its canonical
@@ -100,6 +101,8 @@ pub fn usage() -> String {
          BENCH FLAGS (se bench serve):\n  \
          --workers 1,4,8      staged worker counts swept (default 1,min(4,host),host)\n  \
          --bench-out FILE     machine-readable report path (default BENCH_serve.json)\n\n\
+         OBS FLAGS (se obs summarize|attribute|diff):\n  \
+         --window-us F        analysis window width in microseconds (default 200)\n\n\
          ENVIRONMENT:\n  \
          SE_PARALLELISM       default worker count for all parallel stages\n  \
          SE_LOG               stderr log level: error|warn|info|debug (default warn)\n  \
@@ -168,6 +171,7 @@ pub fn run_subcommand(name: &str, rest: &[String], out: &mut dyn Write) -> Resul
         "serve" => figures::serve::run(&flags, out),
         "cluster" => figures::cluster::run(&flags, out),
         "bench" => figures::bench_serve::run(rest, &flags, out),
+        "obs" => figures::obs::run(rest, &flags, out),
         _ => unreachable!("canonical() only returns inventory names"),
     }
 }

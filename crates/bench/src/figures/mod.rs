@@ -21,6 +21,7 @@ pub mod fig4;
 pub mod fig8;
 pub mod fig9;
 pub mod latency;
+pub mod obs;
 pub mod postproc;
 pub mod serve;
 pub mod table1;

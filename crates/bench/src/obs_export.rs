@@ -13,7 +13,7 @@
 //! or a served model), one "thread" per instance, one timestamp tick
 //! per virtual cycle.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use se_obs::{Event, EventKind, MetricsRegistry};
 
@@ -23,10 +23,12 @@ use crate::json::Json;
 /// `pid` per stream, in order — e.g. one per cluster lane). Batch
 /// executions become `ph: "X"` duration spans on their instance's
 /// thread, queue-depth samples become `ph: "C"` counter tracks, and
-/// admission/fault/tier events become `ph: "i"` instants.
-/// [`EventKind::Served`] and [`EventKind::BatchFormed`] are folded into
-/// metrics instead of the trace (the span already carries the batch;
-/// per-request completions would dwarf it).
+/// everything else — admissions, per-request completions, faults, tier
+/// traffic — becomes a `ph: "i"` instant carrying its full payload in
+/// `args`. Every event kind lands in the trace, so the document is a
+/// lossless encoding of the stream: [`events_from_chrome_trace`] is its
+/// exact inverse, which is what lets `se obs` re-analyze a `--trace-out`
+/// artifact long after the run.
 pub fn chrome_trace(streams: &[(String, &[Event])]) -> Json {
     let mut events = Vec::new();
     for (pid, (label, stream)) in streams.iter().enumerate() {
@@ -110,8 +112,7 @@ fn metadata(pid: usize, tid: usize, name: &str, arg_name: &str) -> Json {
     ])
 }
 
-/// One trace event: `Some` span/counter/instant, `None` for the kinds
-/// that live in metrics only.
+/// One trace event: a span, counter, or instant — every kind lands.
 fn trace_event(pid: usize, event: &Event) -> Option<Json> {
     let kind = &event.kind;
     let args = |fields: Vec<(&str, Json)>| {
@@ -119,7 +120,6 @@ fn trace_event(pid: usize, event: &Event) -> Option<Json> {
     };
     // Spans and counters first; everything else is an instant.
     match *kind {
-        EventKind::Served { .. } | EventKind::BatchFormed { .. } => return None,
         EventKind::BatchLaunched { seq, instance, model, size, done } => {
             return Some(Json::Obj(vec![
                 ("name".to_string(), Json::Str(format!("batch m{model} x{size}"))),
@@ -161,6 +161,17 @@ fn trace_event(pid: usize, event: &Event) -> Option<Json> {
             vec![("seq", num(seq)), ("size", num(size as u64))]
         }
         EventKind::BatchKilled { seq, .. } => vec![("seq", num(seq))],
+        EventKind::BatchFormed { seq, model, size, .. } => {
+            vec![("seq", num(seq)), ("model", num(model as u64)), ("size", num(size as u64))]
+        }
+        EventKind::Served { id, model, batch, enqueued, latency, missed, .. } => vec![
+            ("id", num(id as u64)),
+            ("model", num(model as u64)),
+            ("batch", num(batch)),
+            ("enqueued", num(enqueued)),
+            ("latency", num(latency)),
+            ("missed", Json::Bool(missed)),
+        ],
         EventKind::InstanceKilled { in_flight, rerouted, lost, .. } => {
             vec![("in_flight", num(in_flight)), ("rerouted", num(rerouted)), ("lost", num(lost))]
         }
@@ -168,14 +179,22 @@ fn trace_event(pid: usize, event: &Event) -> Option<Json> {
         | EventKind::InstanceSpawned { .. }
         | EventKind::InstanceDraining { .. } => vec![],
         EventKind::TierHit { model, .. } => vec![("model", num(model as u64))],
-        EventKind::TierPromoted { model, from, cycles, .. } => {
-            vec![("model", num(model as u64)), ("from", num(from as u64)), ("cycles", num(cycles))]
+        EventKind::TierPromoted { model, from, cycles, bytes, .. } => vec![
+            ("model", num(model as u64)),
+            ("from", num(from as u64)),
+            ("cycles", num(cycles)),
+            ("bytes", num(bytes)),
+        ],
+        EventKind::TierDemoted { model, to, bytes, dropped, .. } => vec![
+            ("model", num(model as u64)),
+            ("to", num(to as u64)),
+            ("bytes", num(bytes)),
+            ("dropped", Json::Bool(dropped)),
+        ],
+        EventKind::TierColdFetch { model, cycles, bytes, .. } => {
+            vec![("model", num(model as u64)), ("cycles", num(cycles)), ("bytes", num(bytes))]
         }
-        EventKind::TierDemoted { model, to, bytes, .. } => {
-            vec![("model", num(model as u64)), ("to", num(to as u64)), ("bytes", num(bytes))]
-        }
-        EventKind::TierColdFetch { model, cycles, .. }
-        | EventKind::TierStreamed { model, cycles, .. } => {
+        EventKind::TierStreamed { model, cycles, .. } => {
             vec![("model", num(model as u64)), ("cycles", num(cycles))]
         }
         EventKind::StageWall { stage, wall_ns } => {
@@ -198,6 +217,217 @@ fn trace_event(pid: usize, event: &Event) -> Option<Json> {
     ]))
 }
 
+/// The exact inverse of [`chrome_trace`]: reconstructs the named event
+/// streams from a parsed trace document, in stream (`pid`) order, each
+/// stream in its original emission order. `chrome_trace` loses nothing —
+/// every [`EventKind`] is rendered with its full payload — so
+/// `events_from_chrome_trace(&chrome_trace(streams))` returns `streams`
+/// verbatim, and `se obs` can analyze a `--trace-out` file exactly as it
+/// would the in-memory recording.
+///
+/// # Errors
+///
+/// Fails loudly — naming the offending entry — on anything that is not a
+/// trace this exporter wrote: a missing `traceEvents` array, an entry
+/// without `ph`/`pid`/`ts`, an unknown instant name, a missing or
+/// mistyped payload field, or a `pid` with no `process_name` metadata
+/// (a truncated or foreign trace).
+pub fn events_from_chrome_trace(doc: &Json) -> crate::Result<Vec<(String, Vec<Event>)>> {
+    let entries = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("not a Chrome-trace document: no `traceEvents` array")?;
+    let mut labels: BTreeMap<u64, String> = BTreeMap::new();
+    let mut streams: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    for (pos, entry) in entries.iter().enumerate() {
+        let ph = str_field(entry, "ph", pos)?;
+        let pid = u64_field(entry, "pid", pos)?;
+        if ph == "M" {
+            // thread_name metadata is derived from the events; only the
+            // process_name rows carry reconstruction state (the labels).
+            if str_field(entry, "name", pos)? == "process_name" {
+                let label = entry
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| {
+                        format!("trace event #{pos}: process_name metadata without args.name")
+                    })?;
+                labels.insert(pid, label.to_string());
+                streams.entry(pid).or_default();
+            }
+        } else {
+            streams.entry(pid).or_default().push(invert_event(entry, ph, pos)?);
+        }
+    }
+    let mut out = Vec::with_capacity(streams.len());
+    for (pid, stream) in streams {
+        let label = labels.remove(&pid).ok_or_else(|| {
+            format!("trace names no process for pid {pid} — truncated or foreign trace?")
+        })?;
+        out.push((label, stream));
+    }
+    Ok(out)
+}
+
+/// Inverts one non-metadata trace entry back into its [`Event`].
+fn invert_event(entry: &Json, ph: &str, pos: usize) -> crate::Result<Event> {
+    let at = u64_field(entry, "ts", pos)?;
+    let tid = u64_field(entry, "tid", pos)? as usize;
+    let arg = |name: &str| arg_u64(entry, name, pos);
+    let kind = match ph {
+        "X" => EventKind::BatchLaunched {
+            seq: arg("seq")?,
+            instance: tid,
+            model: arg("model")? as usize,
+            size: arg("size")? as usize,
+            done: at + u64_field(entry, "dur", pos)?,
+        },
+        "C" => EventKind::QueueDepth { instance: tid, depth: arg("depth")? as usize },
+        "i" => match str_field(entry, "name", pos)? {
+            "admitted" => EventKind::Admitted {
+                id: arg("id")? as usize,
+                model: arg("model")? as usize,
+                instance: tid,
+            },
+            "rejected" => {
+                EventKind::Rejected { id: arg("id")? as usize, model: arg("model")? as usize }
+            }
+            "lost" => EventKind::Lost { id: arg("id")? as usize, model: arg("model")? as usize },
+            "batch_formed" => EventKind::BatchFormed {
+                seq: arg("seq")?,
+                instance: tid,
+                model: arg("model")? as usize,
+                size: arg("size")? as usize,
+            },
+            "batch_completed" => EventKind::BatchCompleted {
+                seq: arg("seq")?,
+                instance: tid,
+                size: arg("size")? as usize,
+            },
+            "batch_killed" => EventKind::BatchKilled { seq: arg("seq")?, instance: tid },
+            "served" => EventKind::Served {
+                id: arg("id")? as usize,
+                model: arg("model")? as usize,
+                instance: tid,
+                batch: arg("batch")?,
+                enqueued: arg("enqueued")?,
+                latency: arg("latency")?,
+                missed: arg_bool(entry, "missed", pos)?,
+            },
+            "instance_killed" => EventKind::InstanceKilled {
+                instance: tid,
+                in_flight: arg("in_flight")?,
+                rerouted: arg("rerouted")?,
+                lost: arg("lost")?,
+            },
+            "instance_restarted" => EventKind::InstanceRestarted { instance: tid },
+            "instance_spawned" => EventKind::InstanceSpawned { instance: tid },
+            "instance_draining" => EventKind::InstanceDraining { instance: tid },
+            "tier_hit" => EventKind::TierHit { instance: tid, model: arg("model")? as usize },
+            "tier_promoted" => EventKind::TierPromoted {
+                instance: tid,
+                model: arg("model")? as usize,
+                from: arg("from")? as usize,
+                cycles: arg("cycles")?,
+                bytes: arg("bytes")?,
+            },
+            "tier_demoted" => EventKind::TierDemoted {
+                instance: tid,
+                model: arg("model")? as usize,
+                to: arg("to")? as usize,
+                bytes: arg("bytes")?,
+                dropped: arg_bool(entry, "dropped", pos)?,
+            },
+            "tier_cold_fetch" => EventKind::TierColdFetch {
+                instance: tid,
+                model: arg("model")? as usize,
+                cycles: arg("cycles")?,
+                bytes: arg("bytes")?,
+            },
+            "tier_streamed" => EventKind::TierStreamed {
+                instance: tid,
+                model: arg("model")? as usize,
+                cycles: arg("cycles")?,
+            },
+            "stage_wall" => EventKind::StageWall {
+                stage: stage_label(arg_str(entry, "stage", pos)?),
+                wall_ns: arg("wall_ns")?,
+            },
+            other => {
+                return Err(format!(
+                    "trace event #{pos}: unknown instant `{other}` — foreign trace?"
+                )
+                .into())
+            }
+        },
+        other => return Err(format!("trace event #{pos}: unsupported phase `{other}`").into()),
+    };
+    Ok(Event { at, kind })
+}
+
+/// Restores a stage annotation's `&'static str` label: the known labels
+/// map to their static selves, anything else is leaked once (stage
+/// labels are a tiny closed set; a foreign label means a foreign trace,
+/// and the leak is bounded by the trace's distinct labels).
+fn stage_label(stage: &str) -> &'static str {
+    match stage {
+        "staged-pipeline" => "staged-pipeline",
+        other => Box::leak(other.to_string().into_boxed_str()),
+    }
+}
+
+fn str_field<'j>(entry: &'j Json, name: &str, pos: usize) -> crate::Result<&'j str> {
+    entry
+        .get(name)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("trace event #{pos}: missing string `{name}`").into())
+}
+
+fn u64_field(entry: &Json, name: &str, pos: usize) -> crate::Result<u64> {
+    let value = entry
+        .get(name)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("trace event #{pos}: missing numeric `{name}`"))?;
+    if value < 0.0 || value.fract() != 0.0 || value > u64::MAX as f64 {
+        return Err(
+            format!("trace event #{pos}: `{name}` = {value} is not an unsigned integer").into()
+        );
+    }
+    Ok(value as u64)
+}
+
+fn arg_u64(entry: &Json, name: &str, pos: usize) -> crate::Result<u64> {
+    let value = entry
+        .get("args")
+        .and_then(|a| a.get(name))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("trace event #{pos}: missing numeric arg `{name}`"))?;
+    if value < 0.0 || value.fract() != 0.0 || value > u64::MAX as f64 {
+        return Err(format!(
+            "trace event #{pos}: arg `{name}` = {value} is not an unsigned integer"
+        )
+        .into());
+    }
+    Ok(value as u64)
+}
+
+fn arg_bool(entry: &Json, name: &str, pos: usize) -> crate::Result<bool> {
+    entry
+        .get("args")
+        .and_then(|a| a.get(name))
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("trace event #{pos}: missing boolean arg `{name}`").into())
+}
+
+fn arg_str<'j>(entry: &'j Json, name: &str, pos: usize) -> crate::Result<&'j str> {
+    entry
+        .get("args")
+        .and_then(|a| a.get(name))
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("trace event #{pos}: missing string arg `{name}`").into())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,7 +438,13 @@ mod tests {
             Event { at: 0, kind: EventKind::QueueDepth { instance: 0, depth: 1 } },
             Event {
                 at: 5,
-                kind: EventKind::TierPromoted { instance: 0, model: 1, from: 1, cycles: 14 },
+                kind: EventKind::TierPromoted {
+                    instance: 0,
+                    model: 1,
+                    from: 1,
+                    cycles: 14,
+                    bytes: 70,
+                },
             },
             Event {
                 at: 5,
@@ -222,11 +458,48 @@ mod tests {
                     id: 0,
                     model: 1,
                     instance: 0,
+                    batch: 0,
+                    enqueued: 0,
                     latency: 25,
                     missed: false,
                 },
             },
         ]
+    }
+
+    /// One event of every kind, exercising every inversion arm.
+    fn full_taxonomy_stream() -> Vec<Event> {
+        let kinds = vec![
+            EventKind::Admitted { id: 0, model: 1, instance: 0 },
+            EventKind::QueueDepth { instance: 0, depth: 3 },
+            EventKind::Rejected { id: 1, model: 0 },
+            EventKind::Lost { id: 2, model: 1 },
+            EventKind::TierHit { instance: 0, model: 1 },
+            EventKind::TierPromoted { instance: 0, model: 2, from: 2, cycles: 40, bytes: 128 },
+            EventKind::TierDemoted { instance: 0, model: 3, to: 1, bytes: 64, dropped: false },
+            EventKind::TierDemoted { instance: 0, model: 4, to: 3, bytes: 32, dropped: true },
+            EventKind::TierColdFetch { instance: 0, model: 5, cycles: 90, bytes: 256 },
+            EventKind::TierStreamed { instance: 0, model: 6, cycles: 70 },
+            EventKind::BatchFormed { seq: 0, instance: 0, model: 1, size: 2 },
+            EventKind::BatchLaunched { seq: 0, instance: 0, model: 1, size: 2, done: 60 },
+            EventKind::Served {
+                id: 0,
+                model: 1,
+                instance: 0,
+                batch: 0,
+                enqueued: 4,
+                latency: 60,
+                missed: true,
+            },
+            EventKind::BatchCompleted { seq: 0, instance: 0, size: 2 },
+            EventKind::BatchKilled { seq: 1, instance: 1 },
+            EventKind::InstanceKilled { instance: 1, in_flight: 2, rerouted: 1, lost: 1 },
+            EventKind::InstanceRestarted { instance: 1 },
+            EventKind::InstanceSpawned { instance: 2 },
+            EventKind::InstanceDraining { instance: 2 },
+            EventKind::StageWall { stage: "staged-pipeline", wall_ns: 12345 },
+        ];
+        kinds.into_iter().enumerate().map(|(i, kind)| Event { at: i as u64 * 3, kind }).collect()
     }
 
     /// The golden bytes of a small export: locks the exact on-disk shape
@@ -316,8 +589,9 @@ mod tests {
         assert_eq!(phase_of("tier_promoted"), Some("i"));
         assert_eq!(phase_of("batch m1 x1"), Some("X"));
         assert_eq!(phase_of("queue_depth i0"), Some("C"));
-        // Served stays out of the trace (metrics carry it).
-        assert_eq!(phase_of("served"), None);
+        // Per-request completions ride along as instants — the trace is a
+        // lossless encoding of the stream.
+        assert_eq!(phase_of("served"), Some("i"));
         // Rejections are process-scoped instants (no instance).
         let rejected = events
             .iter()
@@ -346,6 +620,63 @@ mod tests {
             .filter_map(|e| e.get("args")?.get("name")?.as_str())
             .collect();
         assert_eq!(names, ["se", "dense"]);
+    }
+
+    /// The round-trip guarantee behind `se obs` on `--trace-out` files:
+    /// every event kind survives export → parse → invert verbatim, even
+    /// through the on-disk text form.
+    #[test]
+    fn chrome_trace_round_trips_every_event_kind() {
+        let a = full_taxonomy_stream();
+        let b = vec![Event { at: 2, kind: EventKind::TierHit { instance: 1, model: 0 } }];
+        let streams = vec![
+            ("se".to_string(), a.clone()),
+            ("dense".to_string(), b.clone()),
+            ("idle".to_string(), vec![]),
+        ];
+        let views: Vec<(String, &[Event])> =
+            streams.iter().map(|(n, e)| (n.clone(), e.as_slice())).collect();
+        let text = chrome_trace(&views).render();
+        let reparsed = Json::parse(&text).unwrap();
+        let recovered = events_from_chrome_trace(&reparsed).unwrap();
+        assert_eq!(recovered, streams, "export → parse → invert must be the identity");
+    }
+
+    #[test]
+    fn foreign_and_truncated_traces_fail_loudly() {
+        let foreign = Json::parse("{\"hello\": 1}\n").unwrap();
+        let err = events_from_chrome_trace(&foreign).unwrap_err().to_string();
+        assert!(err.contains("traceEvents"), "{err}");
+
+        // An event for a pid the metadata never named: truncation.
+        let orphan = Json::parse(
+            "{\"traceEvents\": [{\"name\": \"admitted\", \"ph\": \"i\", \"pid\": 7, \
+             \"tid\": 0, \"ts\": 0, \"s\": \"t\", \"args\": {\"id\": 0, \"model\": 0}}]}\n",
+        )
+        .unwrap();
+        let err = events_from_chrome_trace(&orphan).unwrap_err().to_string();
+        assert!(err.contains("no process for pid 7"), "{err}");
+
+        // A payload field of the wrong type.
+        let mistyped = Json::parse(
+            "{\"traceEvents\": [{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+             \"tid\": 0, \"args\": {\"name\": \"l\"}}, {\"name\": \"admitted\", \"ph\": \"i\", \
+             \"pid\": 0, \"tid\": 0, \"ts\": 0, \"s\": \"t\", \
+             \"args\": {\"id\": \"zero\", \"model\": 0}}]}\n",
+        )
+        .unwrap();
+        let err = events_from_chrome_trace(&mistyped).unwrap_err().to_string();
+        assert!(err.contains("missing numeric arg `id`"), "{err}");
+
+        // An instant this exporter never writes.
+        let unknown = Json::parse(
+            "{\"traceEvents\": [{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \
+             \"tid\": 0, \"args\": {\"name\": \"l\"}}, {\"name\": \"gc_pause\", \"ph\": \"i\", \
+             \"pid\": 0, \"tid\": 0, \"ts\": 0, \"s\": \"t\", \"args\": {}}]}\n",
+        )
+        .unwrap();
+        let err = events_from_chrome_trace(&unknown).unwrap_err().to_string();
+        assert!(err.contains("unknown instant `gc_pause`"), "{err}");
     }
 
     #[test]

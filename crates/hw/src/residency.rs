@@ -349,7 +349,13 @@ impl TieredStore {
         obs: &mut dyn FnMut(EventKind),
     ) {
         if k >= self.specs.len() || bytes > self.specs[k].capacity_bytes {
-            obs(EventKind::TierDemoted { instance, model, to: self.specs.len(), bytes });
+            obs(EventKind::TierDemoted {
+                instance,
+                model,
+                to: self.specs.len(),
+                bytes,
+                dropped: true,
+            });
             return;
         }
         while self.occupied_bytes(k) + bytes > self.specs[k].capacity_bytes {
@@ -360,7 +366,7 @@ impl TieredStore {
         self.resident[k].push((model, bytes));
         self.stats[k].demotions += 1;
         self.stats[k].bytes_down += bytes;
-        obs(EventKind::TierDemoted { instance, model, to: k, bytes });
+        obs(EventKind::TierDemoted { instance, model, to: k, bytes, dropped: false });
     }
 
     /// Admits `model` (footprint `bytes`) ahead of a batch: a top-tier
@@ -414,7 +420,7 @@ impl TieredStore {
                 self.stats[from].hits += 1;
                 self.stats[from].promotions += 1;
                 let cycles = self.charge_walk(bytes, from, 0);
-                obs(EventKind::TierPromoted { instance, model, from, cycles });
+                obs(EventKind::TierPromoted { instance, model, from, cycles, bytes });
                 let evicted = self.install(model, bytes, instance, obs);
                 return TierAdmission::Promoted { from, cycles, evicted };
             }
@@ -431,7 +437,7 @@ impl TieredStore {
         }
         self.cold_fetches += 1;
         let cycles = self.charge_walk(bytes, bottom, 0);
-        obs(EventKind::TierColdFetch { instance, model, cycles });
+        obs(EventKind::TierColdFetch { instance, model, cycles, bytes });
         let evicted = self.install(model, bytes, instance, obs);
         TierAdmission::Cold { cycles, evicted }
     }
@@ -443,13 +449,33 @@ impl TieredStore {
     /// buffer). Lifetime counters survive, and the drops are not LRU
     /// evictions: nothing was displaced *by* a fetch.
     pub fn cold_restart(&mut self) {
+        let _ = self.cold_restart_observed(0);
+    }
+
+    /// [`TieredStore::cold_restart`] with tier-event observation: the
+    /// purged entries come back as `dropped` [`EventKind::TierDemoted`]
+    /// events (`to` = the tier count), in tier order then LRU order —
+    /// the trace's record of what the power cycle cost. Entries parked
+    /// in the durable bottom tier survive and report nothing.
+    pub fn cold_restart_observed(&mut self, instance: usize) -> Vec<EventKind> {
         let keep_bottom = self.specs.len() > 1;
         let last = self.specs.len() - 1;
+        let mut notes = Vec::new();
         for (k, tier) in self.resident.iter_mut().enumerate() {
             if !(keep_bottom && k == last) {
+                for &(model, bytes) in tier.iter() {
+                    notes.push(EventKind::TierDemoted {
+                        instance,
+                        model,
+                        to: self.specs.len(),
+                        bytes,
+                        dropped: true,
+                    });
+                }
                 tier.clear();
             }
         }
+        notes
     }
 }
 
@@ -535,6 +561,13 @@ impl WeightBuffer {
         // A one-tier stack has no durable origin below it: everything is
         // volatile, exactly the legacy behaviour.
         self.store.cold_restart();
+    }
+
+    /// [`WeightBuffer::cold_restart`] with tier-event observation, as
+    /// [`TieredStore::cold_restart_observed`] — every resident model
+    /// reports a `dropped` demotion with `to == 1`.
+    pub fn cold_restart_observed(&mut self, instance: usize) -> Vec<EventKind> {
+        self.store.cold_restart_observed(instance)
     }
 }
 
@@ -790,8 +823,8 @@ mod tests {
         assert_eq!(
             notes,
             vec![
-                EventKind::TierPromoted { instance: 7, model: 1, from: 1, cycles: 14 },
-                EventKind::TierDemoted { instance: 7, model: 0, to: 1, bytes: 60 },
+                EventKind::TierPromoted { instance: 7, model: 1, from: 1, cycles: 14, bytes: 70 },
+                EventKind::TierDemoted { instance: 7, model: 0, to: 1, bytes: 60, dropped: false },
             ]
         );
         assert_eq!(observed, plain);
@@ -806,10 +839,42 @@ mod tests {
         assert_eq!(
             notes,
             vec![
-                EventKind::TierColdFetch { instance: 0, model: 1, cycles: 0 },
-                EventKind::TierDemoted { instance: 0, model: 0, to: 1, bytes: 60 },
+                EventKind::TierColdFetch { instance: 0, model: 1, cycles: 0, bytes: 70 },
+                EventKind::TierDemoted { instance: 0, model: 0, to: 1, bytes: 60, dropped: true },
             ]
         );
+    }
+
+    #[test]
+    fn observed_cold_restart_reports_the_purged_entries() {
+        let mut store = stack();
+        store.admit(0, 60); // resident in buf
+        store.admit(1, 70); // 0 demoted to dram
+        let notes = store.cold_restart_observed(4);
+        assert_eq!(
+            notes,
+            vec![
+                EventKind::TierDemoted { instance: 4, model: 1, to: 3, bytes: 70, dropped: true },
+                EventKind::TierDemoted { instance: 4, model: 0, to: 3, bytes: 60, dropped: true },
+            ],
+            "both volatile tiers purge; the empty SSD tier reports nothing"
+        );
+        assert_eq!(store.occupied_bytes(0) + store.occupied_bytes(1), 0);
+        // The silent and observed restarts leave identical state.
+        let mut silent = stack();
+        silent.admit(0, 60);
+        silent.admit(1, 70);
+        silent.cold_restart();
+        assert_eq!(store, silent);
+        // A one-tier buffer purges everything.
+        let mut buf = WeightBuffer::new(200);
+        buf.admit(0, 60);
+        let notes = buf.cold_restart_observed(2);
+        assert_eq!(
+            notes,
+            vec![EventKind::TierDemoted { instance: 2, model: 0, to: 1, bytes: 60, dropped: true }]
+        );
+        assert_eq!(buf.occupied_bytes(), 0);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! `se_obs` — deterministic tracing + metrics for the serving stack.
+//! `se_obs` — deterministic tracing, metrics, and trace analytics for
+//! the serving stack.
 //!
 //! The serving runtimes (`se_serve`'s discrete-event sim and staged
 //! pipeline) advance a *virtual* clock; every scheduling decision happens
@@ -7,7 +8,9 @@
 //! abstraction ([`EventSink`]) the scheduler core emits into, plus a
 //! metrics registry ([`MetricsRegistry`]) that folds an event stream into
 //! counters, gauges, and log-bucketed histograms with a Prometheus-style
-//! text exposition.
+//! text exposition, and an analytics engine ([`analyze`]) that turns a
+//! stream into windowed timeseries, SLO-miss attributions, and
+//! cross-run diffs.
 //!
 //! **Determinism contract.** Events are emitted from the serial scheduler
 //! core only (never from concurrent pipeline stages), so the event stream
@@ -15,702 +18,21 @@
 //! `--runtime sim|staged`. The one exception is [`EventKind::StageWall`]:
 //! a wall-clock annotation the staged runtime appends *only* when
 //! `SE_TRACE_WALL=1` is set, excluded from determinism diffs by
-//! construction (it is never emitted unless opted in).
+//! construction (it is never emitted unless opted in). Everything in
+//! [`analyze`] is a pure function of the stream and inherits the
+//! contract.
 //!
 //! The crate is dependency-free so the hardware model (`se_hw`) can
 //! construct events without pulling the serving stack in. Exporters that
-//! need a JSON renderer (Chrome-trace/Perfetto) live in `se_bench`.
+//! need a JSON renderer (Chrome-trace/Perfetto) live in `se_bench`, as
+//! does the `se obs` CLI fronting the analyzer.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use std::collections::BTreeMap;
+pub mod analyze;
+pub mod event;
+pub mod metrics;
 
-/// One observed scheduling decision, stamped with the virtual cycle it
-/// happened at. Stream order is emission order (deterministic); `at` is
-/// the virtual time the event describes, which may run behind the stream
-/// position (a batch's completion is known — and emitted — at launch).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Event {
-    /// Virtual cycle the event describes.
-    pub at: u64,
-    /// What happened.
-    pub kind: EventKind,
-}
-
-/// The event taxonomy of the serving stack: request admission, batch
-/// lifecycle, instance membership churn, tiered-weight-store traffic, and
-/// queue-depth samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EventKind {
-    /// A request joined an instance queue (first admission or kill
-    /// re-route — a re-routed victim is re-admitted at the kill cycle).
-    Admitted {
-        /// Arrival sequence number.
-        id: usize,
-        /// Model the request targets.
-        model: usize,
-        /// Instance whose queue it joined.
-        instance: usize,
-    },
-    /// An arrival bounced off a full queue (or nothing was accepting).
-    Rejected {
-        /// Arrival sequence number.
-        id: usize,
-        /// Model the request targeted.
-        model: usize,
-    },
-    /// A kill victim could not be re-routed — terminally lost.
-    Lost {
-        /// Arrival sequence number.
-        id: usize,
-        /// Model the request targeted.
-        model: usize,
-    },
-    /// Queue depth of an instance right after an admission — the
-    /// taxonomy's queue-depth sample.
-    QueueDepth {
-        /// Sampled instance.
-        instance: usize,
-        /// Requests waiting (including the one just admitted).
-        depth: usize,
-    },
-    /// A batch was formed (members chosen, start decided).
-    BatchFormed {
-        /// Cluster-wide launch sequence number.
-        seq: u64,
-        /// Instance the batch runs on.
-        instance: usize,
-        /// The batch's (single) model.
-        model: usize,
-        /// Members in the batch.
-        size: usize,
-    },
-    /// A formed batch was launched; its completion cycle is already
-    /// decided (virtual execution is table-driven).
-    BatchLaunched {
-        /// Cluster-wide launch sequence number.
-        seq: u64,
-        /// Instance the batch runs on.
-        instance: usize,
-        /// The batch's (single) model.
-        model: usize,
-        /// Members in the batch.
-        size: usize,
-        /// Virtual completion cycle.
-        done: u64,
-    },
-    /// A launched batch ran to completion (`at` = completion cycle).
-    BatchCompleted {
-        /// Cluster-wide launch sequence number.
-        seq: u64,
-        /// Instance the batch ran on.
-        instance: usize,
-        /// Members served.
-        size: usize,
-    },
-    /// A scripted kill caught the batch in flight (`at` = kill cycle);
-    /// none of its members complete here.
-    BatchKilled {
-        /// Cluster-wide launch sequence number.
-        seq: u64,
-        /// Instance the batch was running on.
-        instance: usize,
-    },
-    /// One request served to completion (`at` = completion cycle).
-    Served {
-        /// Arrival sequence number.
-        id: usize,
-        /// Model served.
-        model: usize,
-        /// Instance that served it.
-        instance: usize,
-        /// Completion − arrival, in cycles.
-        latency: u64,
-        /// Whether completion overran the request's deadline.
-        missed: bool,
-    },
-    /// A scripted kill took an instance down.
-    InstanceKilled {
-        /// The killed instance.
-        instance: usize,
-        /// Members of the in-flight batch the kill caught.
-        in_flight: u64,
-        /// Victims re-routed to surviving instances.
-        rerouted: u64,
-        /// Victims with nowhere to go.
-        lost: u64,
-    },
-    /// A scripted restart brought an instance back (empty, cold).
-    InstanceRestarted {
-        /// The restarted instance.
-        instance: usize,
-    },
-    /// Autoscaling spawned a fresh instance under queue pressure.
-    InstanceSpawned {
-        /// The new instance's index.
-        instance: usize,
-    },
-    /// Autoscaling told an instance to drain (stop accepting).
-    InstanceDraining {
-        /// The draining instance.
-        instance: usize,
-    },
-    /// A weight admission hit the top (serving) tier.
-    TierHit {
-        /// Instance whose store was asked.
-        instance: usize,
-        /// Model admitted.
-        model: usize,
-    },
-    /// A weight admission promoted the model from a lower tier.
-    TierPromoted {
-        /// Instance whose store was asked.
-        instance: usize,
-        /// Model admitted.
-        model: usize,
-        /// Tier the model was parked in (0 = top).
-        from: usize,
-        /// Serialized promotion-walk cost in cycles.
-        cycles: u64,
-    },
-    /// An eviction pushed a model down one tier (or off the bottom —
-    /// then `to` is the tier count and the bytes are simply dropped).
-    TierDemoted {
-        /// Instance whose store demoted.
-        instance: usize,
-        /// Model demoted.
-        model: usize,
-        /// Destination tier index.
-        to: usize,
-        /// Model footprint moved (or dropped), in bytes.
-        bytes: u64,
-    },
-    /// A weight admission found the model in no tier and hauled it up
-    /// from the bottom.
-    TierColdFetch {
-        /// Instance whose store was asked.
-        instance: usize,
-        /// Model admitted.
-        model: usize,
-        /// Serialized haul cost in cycles.
-        cycles: u64,
-    },
-    /// A model too large for the top tier streamed past it.
-    TierStreamed {
-        /// Instance whose store was asked.
-        instance: usize,
-        /// Model streamed.
-        model: usize,
-        /// Serialized haul cost in cycles.
-        cycles: u64,
-    },
-    /// Wall-clock stage timing — an **opt-in** annotation the staged
-    /// runtime appends only under `SE_TRACE_WALL=1`, excluded from
-    /// determinism diffs by construction. `at` is always 0.
-    StageWall {
-        /// Stage label.
-        stage: &'static str,
-        /// Measured wall time in nanoseconds.
-        wall_ns: u64,
-    },
-}
-
-impl EventKind {
-    /// Stable snake_case name of the event kind (exporters key on it).
-    pub fn name(&self) -> &'static str {
-        match self {
-            EventKind::Admitted { .. } => "admitted",
-            EventKind::Rejected { .. } => "rejected",
-            EventKind::Lost { .. } => "lost",
-            EventKind::QueueDepth { .. } => "queue_depth",
-            EventKind::BatchFormed { .. } => "batch_formed",
-            EventKind::BatchLaunched { .. } => "batch_launched",
-            EventKind::BatchCompleted { .. } => "batch_completed",
-            EventKind::BatchKilled { .. } => "batch_killed",
-            EventKind::Served { .. } => "served",
-            EventKind::InstanceKilled { .. } => "instance_killed",
-            EventKind::InstanceRestarted { .. } => "instance_restarted",
-            EventKind::InstanceSpawned { .. } => "instance_spawned",
-            EventKind::InstanceDraining { .. } => "instance_draining",
-            EventKind::TierHit { .. } => "tier_hit",
-            EventKind::TierPromoted { .. } => "tier_promoted",
-            EventKind::TierDemoted { .. } => "tier_demoted",
-            EventKind::TierColdFetch { .. } => "tier_cold_fetch",
-            EventKind::TierStreamed { .. } => "tier_streamed",
-            EventKind::StageWall { .. } => "stage_wall",
-        }
-    }
-
-    /// The instance the event concerns, when it concerns one.
-    pub fn instance(&self) -> Option<usize> {
-        match *self {
-            EventKind::Admitted { instance, .. }
-            | EventKind::QueueDepth { instance, .. }
-            | EventKind::BatchFormed { instance, .. }
-            | EventKind::BatchLaunched { instance, .. }
-            | EventKind::BatchCompleted { instance, .. }
-            | EventKind::BatchKilled { instance, .. }
-            | EventKind::Served { instance, .. }
-            | EventKind::InstanceKilled { instance, .. }
-            | EventKind::InstanceRestarted { instance }
-            | EventKind::InstanceSpawned { instance }
-            | EventKind::InstanceDraining { instance }
-            | EventKind::TierHit { instance, .. }
-            | EventKind::TierPromoted { instance, .. }
-            | EventKind::TierDemoted { instance, .. }
-            | EventKind::TierColdFetch { instance, .. }
-            | EventKind::TierStreamed { instance, .. } => Some(instance),
-            EventKind::Rejected { .. } | EventKind::Lost { .. } | EventKind::StageWall { .. } => {
-                None
-            }
-        }
-    }
-}
-
-/// Where the scheduler core sends its events. `Send` so a sink can ride
-/// into the staged runtime's scheduler thread (which is the only thread
-/// that ever touches it — emission stays serial).
-pub trait EventSink: Send {
-    /// Whether the sink wants events at all. The serving entry points
-    /// check this once up front and skip the entire observed path when
-    /// `false`, keeping the hot path zero-cost with the default sink.
-    fn enabled(&self) -> bool {
-        true
-    }
-
-    /// Records one event.
-    fn record(&mut self, event: Event);
-}
-
-/// The default sink: tracing off, zero cost.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NullSink;
-
-impl EventSink for NullSink {
-    fn enabled(&self) -> bool {
-        false
-    }
-
-    fn record(&mut self, _event: Event) {}
-}
-
-/// A sink that keeps every event in order — the exporter's input and the
-/// subject of the byte-identical determinism property tests.
-#[derive(Debug, Default, Clone)]
-pub struct Recorder {
-    events: Vec<Event>,
-}
-
-impl Recorder {
-    /// An empty recorder.
-    pub fn new() -> Recorder {
-        Recorder::default()
-    }
-
-    /// The recorded events, in emission order.
-    pub fn events(&self) -> &[Event] {
-        &self.events
-    }
-
-    /// Consumes the recorder into its event stream.
-    pub fn into_events(self) -> Vec<Event> {
-        self.events
-    }
-
-    /// Recorded event count.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// Whether nothing was recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-}
-
-impl EventSink for Recorder {
-    fn record(&mut self, event: Event) {
-        self.events.push(event);
-    }
-}
-
-/// A log₂-bucketed histogram: bucket `i` counts observed values of bit
-/// length `i` (so bucket 0 holds zeros, bucket `i` holds values in
-/// `[2^(i-1), 2^i - 1]`). Exact sum and count ride along, so means are
-/// exact even though the distribution is bucketed.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Histogram {
-    counts: Vec<u64>,
-    sum: u128,
-    count: u64,
-}
-
-impl Histogram {
-    /// Records one value.
-    pub fn observe(&mut self, value: u64) {
-        let idx = (64 - value.leading_zeros()) as usize;
-        if self.counts.len() <= idx {
-            self.counts.resize(idx + 1, 0);
-        }
-        self.counts[idx] += 1;
-        self.sum += u128::from(value);
-        self.count += 1;
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Exact sum of every observed value.
-    pub fn sum(&self) -> u128 {
-        self.sum
-    }
-
-    /// Per-bucket counts up to the highest non-empty bucket; bucket `i`'s
-    /// inclusive upper bound is `2^i - 1`.
-    pub fn buckets(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Inclusive upper bound of bucket `idx`.
-    pub fn bucket_bound(idx: usize) -> u64 {
-        if idx >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << idx) - 1
-        }
-    }
-}
-
-/// A deterministic metrics registry: counters, gauges, and log-bucketed
-/// histograms keyed by Prometheus-style metric names (labels inline in
-/// the key, e.g. `se_queue_depth{lane="se"}`). Iteration order is sorted
-/// by key, so renders are byte-stable.
-#[derive(Debug, Clone, Default)]
-pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
-}
-
-/// Joins a metric family name with label pairs into a registry key.
-fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
-    if labels.is_empty() {
-        return name.to_string();
-    }
-    let body: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
-    format!("{name}{{{}}}", body.join(","))
-}
-
-impl MetricsRegistry {
-    /// An empty registry.
-    pub fn new() -> MetricsRegistry {
-        MetricsRegistry::default()
-    }
-
-    /// Adds `by` to a counter (created at zero).
-    pub fn inc(&mut self, key: &str, by: u64) {
-        *self.counters.entry(key.to_string()).or_insert(0) += by;
-    }
-
-    /// Sets a gauge (last write wins).
-    pub fn set_gauge(&mut self, key: &str, value: f64) {
-        self.gauges.insert(key.to_string(), value);
-    }
-
-    /// Records one observation into a histogram (created empty).
-    pub fn observe(&mut self, key: &str, value: u64) {
-        self.histograms.entry(key.to_string()).or_default().observe(value);
-    }
-
-    /// A counter's current value (`None` if never incremented).
-    pub fn counter(&self, key: &str) -> Option<u64> {
-        self.counters.get(key).copied()
-    }
-
-    /// A gauge's current value.
-    pub fn gauge(&self, key: &str) -> Option<f64> {
-        self.gauges.get(key).copied()
-    }
-
-    /// A histogram, if anything was observed under `key`.
-    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
-        self.histograms.get(key)
-    }
-
-    /// Folds an event stream into the registry. `labels` is appended to
-    /// every metric key (e.g. `[("lane", "se")]` when aggregating several
-    /// accelerator lanes into one registry).
-    pub fn ingest(&mut self, events: &[Event], labels: &[(&str, &str)]) {
-        for event in events {
-            match &event.kind {
-                EventKind::Admitted { .. } => {
-                    self.inc(&keyed("se_requests_admitted_total", labels), 1);
-                }
-                EventKind::Rejected { .. } => {
-                    self.inc(&keyed("se_requests_rejected_total", labels), 1);
-                }
-                EventKind::Lost { .. } => {
-                    self.inc(&keyed("se_requests_lost_total", labels), 1);
-                }
-                EventKind::QueueDepth { depth, .. } => {
-                    self.set_gauge(&keyed("se_queue_depth", labels), *depth as f64);
-                    self.observe(&keyed("se_queue_depth_samples", labels), *depth as u64);
-                }
-                EventKind::BatchFormed { size, .. } => {
-                    self.inc(&keyed("se_batches_formed_total", labels), 1);
-                    self.observe(&keyed("se_batch_size", labels), *size as u64);
-                }
-                EventKind::BatchLaunched { done, .. } => {
-                    self.inc(&keyed("se_batches_launched_total", labels), 1);
-                    self.observe(&keyed("se_batch_cycles", labels), done.saturating_sub(event.at));
-                }
-                EventKind::BatchCompleted { .. } => {
-                    self.inc(&keyed("se_batches_completed_total", labels), 1);
-                }
-                EventKind::BatchKilled { .. } => {
-                    self.inc(&keyed("se_batches_killed_total", labels), 1);
-                }
-                EventKind::Served { latency, missed, .. } => {
-                    self.inc(&keyed("se_requests_served_total", labels), 1);
-                    self.observe(&keyed("se_request_latency_cycles", labels), *latency);
-                    if *missed {
-                        self.inc(&keyed("se_deadline_misses_total", labels), 1);
-                    }
-                }
-                EventKind::InstanceKilled { .. } => {
-                    self.inc(&keyed("se_instance_kills_total", labels), 1);
-                }
-                EventKind::InstanceRestarted { .. } => {
-                    self.inc(&keyed("se_instance_restarts_total", labels), 1);
-                }
-                EventKind::InstanceSpawned { .. } => {
-                    self.inc(&keyed("se_instance_spawns_total", labels), 1);
-                }
-                EventKind::InstanceDraining { .. } => {
-                    self.inc(&keyed("se_instance_drains_total", labels), 1);
-                }
-                EventKind::TierHit { .. } => {
-                    self.inc(&keyed("se_tier_hits_total", labels), 1);
-                }
-                EventKind::TierPromoted { cycles, .. } => {
-                    self.inc(&keyed("se_tier_promotions_total", labels), 1);
-                    self.observe(&keyed("se_tier_walk_cycles", labels), *cycles);
-                }
-                EventKind::TierDemoted { .. } => {
-                    self.inc(&keyed("se_tier_demotions_total", labels), 1);
-                }
-                EventKind::TierColdFetch { cycles, .. } => {
-                    self.inc(&keyed("se_tier_cold_fetches_total", labels), 1);
-                    self.observe(&keyed("se_tier_walk_cycles", labels), *cycles);
-                }
-                EventKind::TierStreamed { cycles, .. } => {
-                    self.inc(&keyed("se_tier_streams_total", labels), 1);
-                    self.observe(&keyed("se_tier_walk_cycles", labels), *cycles);
-                }
-                EventKind::StageWall { stage, wall_ns } => {
-                    let mut with_stage: Vec<(&str, &str)> = labels.to_vec();
-                    with_stage.push(("stage", stage));
-                    self.set_gauge(&keyed("se_stage_wall_ns", &with_stage), *wall_ns as f64);
-                }
-            }
-        }
-    }
-
-    /// Renders the registry as Prometheus-style text exposition:
-    /// `# TYPE` headers (once per family), counters, then gauges, then
-    /// histograms with cumulative `_bucket{le=...}` lines, `_sum`, and
-    /// `_count`. Byte-stable for a given registry state.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        let mut last_family = String::new();
-        for (key, value) in &self.counters {
-            type_header(&mut out, key, "counter", &mut last_family);
-            out.push_str(&format!("{key} {value}\n"));
-        }
-        last_family.clear();
-        for (key, value) in &self.gauges {
-            type_header(&mut out, key, "gauge", &mut last_family);
-            out.push_str(&format!("{key} {value}\n"));
-        }
-        last_family.clear();
-        for (key, hist) in &self.histograms {
-            type_header(&mut out, key, "histogram", &mut last_family);
-            let (family, labels) = split_key(key);
-            let mut cumulative = 0u64;
-            for (idx, &count) in hist.buckets().iter().enumerate() {
-                cumulative += count;
-                if count > 0 || idx + 1 == hist.buckets().len() {
-                    let bound = Histogram::bucket_bound(idx);
-                    out.push_str(&format!(
-                        "{family}_bucket{{{}le=\"{bound}\"}} {cumulative}\n",
-                        labels_prefix(labels)
-                    ));
-                }
-            }
-            out.push_str(&format!(
-                "{family}_bucket{{{}le=\"+Inf\"}} {}\n",
-                labels_prefix(labels),
-                hist.count()
-            ));
-            out.push_str(&format!("{family}_sum{} {}\n", brace(labels), hist.sum()));
-            out.push_str(&format!("{family}_count{} {}\n", brace(labels), hist.count()));
-        }
-        out
-    }
-}
-
-/// Splits a registry key into `(family, label body)` — the label body is
-/// the text between the braces, empty when unlabeled.
-fn split_key(key: &str) -> (&str, &str) {
-    match key.find('{') {
-        Some(pos) => (&key[..pos], key[pos + 1..].trim_end_matches('}')),
-        None => (key, ""),
-    }
-}
-
-/// Label body followed by a comma, ready to precede an `le` label.
-fn labels_prefix(labels: &str) -> String {
-    if labels.is_empty() {
-        String::new()
-    } else {
-        format!("{labels},")
-    }
-}
-
-/// Label body wrapped back in braces, empty when unlabeled.
-fn brace(labels: &str) -> String {
-    if labels.is_empty() {
-        String::new()
-    } else {
-        format!("{{{labels}}}")
-    }
-}
-
-/// Emits a `# TYPE` header when the metric family changes.
-fn type_header(out: &mut String, key: &str, kind: &str, last_family: &mut String) {
-    let (family, _) = split_key(key);
-    if family != last_family {
-        out.push_str(&format!("# TYPE {family} {kind}\n"));
-        *last_family = family.to_string();
-    }
-}
-
-/// Whether wall-clock stage annotations were opted into via
-/// `SE_TRACE_WALL=1` (see [`EventKind::StageWall`]).
-pub fn wall_annotations_enabled() -> bool {
-    std::env::var("SE_TRACE_WALL").is_ok_and(|v| v == "1")
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn null_sink_is_disabled_and_recorder_keeps_order() {
-        assert!(!NullSink.enabled());
-        let mut rec = Recorder::new();
-        assert!(rec.enabled());
-        assert!(rec.is_empty());
-        rec.record(Event { at: 5, kind: EventKind::Rejected { id: 0, model: 1 } });
-        rec.record(Event { at: 9, kind: EventKind::InstanceRestarted { instance: 2 } });
-        assert_eq!(rec.len(), 2);
-        assert_eq!(rec.events()[0].at, 5);
-        assert_eq!(rec.events()[1].kind.name(), "instance_restarted");
-        let events = rec.into_events();
-        assert_eq!(events[1].kind.instance(), Some(2));
-        assert_eq!(events[0].kind.instance(), None);
-    }
-
-    #[test]
-    fn histogram_buckets_by_bit_length() {
-        let mut h = Histogram::default();
-        for v in [0, 1, 1, 2, 3, 7, 8, 1000] {
-            h.observe(v);
-        }
-        assert_eq!(h.count(), 8);
-        assert_eq!(h.sum(), 1022);
-        // 0 → bucket 0; 1,1 → bucket 1; 2,3 → bucket 2; 7 → bucket 3;
-        // 8 → bucket 4; 1000 → bucket 10.
-        assert_eq!(h.buckets()[0], 1);
-        assert_eq!(h.buckets()[1], 2);
-        assert_eq!(h.buckets()[2], 2);
-        assert_eq!(h.buckets()[3], 1);
-        assert_eq!(h.buckets()[4], 1);
-        assert_eq!(h.buckets()[10], 1);
-        assert_eq!(Histogram::bucket_bound(0), 0);
-        assert_eq!(Histogram::bucket_bound(3), 7);
-        assert_eq!(Histogram::bucket_bound(64), u64::MAX);
-    }
-
-    #[test]
-    fn ingest_folds_the_taxonomy_into_counters_and_histograms() {
-        let events = vec![
-            Event { at: 0, kind: EventKind::Admitted { id: 0, model: 0, instance: 0 } },
-            Event { at: 0, kind: EventKind::QueueDepth { instance: 0, depth: 1 } },
-            Event { at: 1, kind: EventKind::Rejected { id: 1, model: 0 } },
-            Event {
-                at: 2,
-                kind: EventKind::BatchLaunched { seq: 0, instance: 0, model: 0, size: 1, done: 12 },
-            },
-            Event {
-                at: 12,
-                kind: EventKind::Served { id: 0, model: 0, instance: 0, latency: 12, missed: true },
-            },
-            Event { at: 12, kind: EventKind::BatchCompleted { seq: 0, instance: 0, size: 1 } },
-            Event {
-                at: 3,
-                kind: EventKind::TierPromoted { instance: 0, model: 0, from: 1, cycles: 40 },
-            },
-        ];
-        let mut reg = MetricsRegistry::new();
-        reg.ingest(&events, &[]);
-        assert_eq!(reg.counter("se_requests_admitted_total"), Some(1));
-        assert_eq!(reg.counter("se_requests_rejected_total"), Some(1));
-        assert_eq!(reg.counter("se_batches_completed_total"), Some(1));
-        assert_eq!(reg.counter("se_deadline_misses_total"), Some(1));
-        assert_eq!(reg.counter("se_tier_promotions_total"), Some(1));
-        assert_eq!(reg.gauge("se_queue_depth"), Some(1.0));
-        assert_eq!(reg.histogram("se_request_latency_cycles").unwrap().count(), 1);
-        assert_eq!(reg.histogram("se_batch_cycles").unwrap().sum(), 10);
-        assert_eq!(reg.histogram("se_tier_walk_cycles").unwrap().count(), 1);
-    }
-
-    #[test]
-    fn labeled_ingest_keys_and_render_are_byte_stable() {
-        let events =
-            vec![Event { at: 0, kind: EventKind::Admitted { id: 0, model: 0, instance: 0 } }];
-        let mut reg = MetricsRegistry::new();
-        reg.ingest(&events, &[("lane", "se")]);
-        reg.ingest(&events, &[("lane", "dense")]);
-        reg.observe("se_batch_size{lane=\"se\"}", 3);
-        assert_eq!(reg.counter("se_requests_admitted_total{lane=\"se\"}"), Some(1));
-        let text = reg.render();
-        assert_eq!(
-            text,
-            "# TYPE se_requests_admitted_total counter\n\
-             se_requests_admitted_total{lane=\"dense\"} 1\n\
-             se_requests_admitted_total{lane=\"se\"} 1\n\
-             # TYPE se_batch_size histogram\n\
-             se_batch_size_bucket{lane=\"se\",le=\"3\"} 1\n\
-             se_batch_size_bucket{lane=\"se\",le=\"+Inf\"} 1\n\
-             se_batch_size_sum{lane=\"se\"} 3\n\
-             se_batch_size_count{lane=\"se\"} 1\n"
-        );
-        // Rendering twice is byte-identical.
-        assert_eq!(text, reg.render());
-    }
-
-    #[test]
-    fn stage_wall_annotations_become_labeled_gauges() {
-        let events = vec![Event {
-            at: 0,
-            kind: EventKind::StageWall { stage: "staged-pipeline", wall_ns: 123 },
-        }];
-        let mut reg = MetricsRegistry::new();
-        reg.ingest(&events, &[]);
-        assert_eq!(reg.gauge("se_stage_wall_ns{stage=\"staged-pipeline\"}"), Some(123.0));
-    }
-}
+pub use event::{wall_annotations_enabled, Event, EventKind, EventSink, NullSink, Recorder};
+pub use metrics::{Histogram, MetricsRegistry};

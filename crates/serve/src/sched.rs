@@ -178,6 +178,16 @@ impl Residency {
             Residency::Tiered(store) => store.cold_restart(),
         }
     }
+
+    /// [`Residency::cold_restart`] narrating the purge: every entry the
+    /// power cycle dropped comes back as a `dropped` tier-demotion event.
+    fn cold_restart_observed(&mut self, instance: usize) -> Vec<EventKind> {
+        match self {
+            Residency::None => Vec::new(),
+            Residency::Buffer(buffer) => buffer.cold_restart_observed(instance),
+            Residency::Tiered(store) => store.cold_restart_observed(instance),
+        }
+    }
 }
 
 /// One instance's private state, including its memoized launch plan.
@@ -473,13 +483,24 @@ impl<'a, 'o> ClusterCore<'a, 'o> {
                 });
             }
             FaultAction::Restart => {
+                let obs_on = self.obs.is_some();
                 let inst = &mut self.instances[event.instance];
                 inst.up = true;
                 inst.accepting = true;
                 inst.free = event.at;
                 inst.plan = Some(None);
-                inst.residency.cold_restart();
+                let purged = if obs_on {
+                    inst.residency.cold_restart_observed(event.instance)
+                } else {
+                    inst.residency.cold_restart();
+                    Vec::new()
+                };
                 self.emit(event.at, EventKind::InstanceRestarted { instance: event.instance });
+                // The purge follows the restart it belongs to: the trace
+                // reads "instance came back, and these weights were lost".
+                for kind in purged {
+                    self.emit(event.at, kind);
+                }
                 self.events.push(ClusterEvent {
                     at: event.at,
                     instance: event.instance,
@@ -639,6 +660,8 @@ impl<'a, 'o> ClusterCore<'a, 'o> {
                             id: m.id,
                             model,
                             instance: idx,
+                            batch: seq,
+                            enqueued: m.enqueued_at,
                             latency: done.saturating_sub(m.req.arrival),
                             missed: m.req.deadline.is_some_and(|d| done > d),
                         },
